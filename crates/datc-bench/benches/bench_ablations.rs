@@ -1,0 +1,21 @@
+//! Regenerates the design-choice ablations (frame size, DAC resolution,
+//! history weights, receiver) and times the frame-size sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::ablations;
+use datc_experiments::reference::ReferenceCase;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", ablations::report());
+    let case = ReferenceCase::fig3_reference();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("frame_size_sweep", |b| {
+        b.iter(|| ablations::frame_size_sweep(&case))
+    });
+    g.bench_function("dac_bits_sweep", |b| b.iter(|| ablations::dac_bits_sweep(&case)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

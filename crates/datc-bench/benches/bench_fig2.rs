@@ -1,0 +1,16 @@
+//! Regenerates Fig. 2 (constant vs dynamic thresholding concept) and
+//! times the demonstration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::fig2;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig2::report());
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(fig2::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

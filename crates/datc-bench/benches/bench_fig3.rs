@@ -1,0 +1,22 @@
+//! Regenerates Fig. 3 (reference signal: ATC@0.3 V vs D-ATC, events and
+//! correlations) and times its pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::fig3;
+use datc_experiments::reference::{ReferenceCase, ATC_VTH_FIG3};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig3::report());
+    let case = ReferenceCase::fig3_reference();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(fig3::run));
+    g.bench_function("atc_encode_and_score", |b| {
+        b.iter(|| case.run_atc(ATC_VTH_FIG3))
+    });
+    g.bench_function("datc_encode_and_score", |b| b.iter(|| case.run_datc()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 5 (correlation across the corpus: ATC 47–95.2 % vs
+//! D-ATC 85–98 % in the paper) and times the sweep.
+//!
+//! The printed report uses the paper-sized 190-pattern corpus; the timed
+//! loop uses 16 patterns (set `DATC_BENCH_FULL=1` to time all 190).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::fig5;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig5::report(190));
+    let timed_n = if datc_bench::full_scale() { 190 } else { 16 };
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function(format!("sweep_{timed_n}_patterns"), |b| {
+        b.iter(|| fig5::run(timed_n))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

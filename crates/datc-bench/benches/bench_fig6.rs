@@ -1,0 +1,16 @@
+//! Regenerates Fig. 6 (ATC@0.2 V matching D-ATC's correlation at +56 %
+//! event cost in the paper) and times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::fig6;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig6::report());
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(fig6::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 7 (events vs correlation trade-off across threshold
+//! levels for four patterns) and times the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::fig7;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig7::report());
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(fig7::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Engineering performance benches: encoder/DTC/RTL throughput (not a
+//! paper artefact — documents that the reproduction itself is fast).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datc_core::atc::AtcEncoder;
+use datc_core::config::DatcConfig;
+use datc_core::datc::DatcEncoder;
+use datc_core::dtc::Dtc;
+use datc_rtl::DtcRtl;
+use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+
+fn bench(c: &mut Criterion) {
+    let fs = 2500.0;
+    let force = ForceProfile::mvc_protocol().samples(fs, 20.0);
+    let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
+        .generate(&force, 42)
+        .to_scaled(0.4)
+        .to_rectified();
+
+    let mut g = c.benchmark_group("encoders");
+    g.throughput(Throughput::Elements(semg.len() as u64));
+    g.bench_function("semg_generation_50k", |b| {
+        let gen = SemgGenerator::new(SemgModel::modulated_noise(), fs);
+        b.iter(|| gen.generate(&force, 42))
+    });
+    g.bench_function("atc_encode_50k_samples", |b| {
+        let enc = AtcEncoder::new(0.3);
+        b.iter(|| enc.encode(&semg))
+    });
+    g.bench_function("datc_encode_20s", |b| {
+        let enc = DatcEncoder::new(DatcConfig::paper());
+        b.iter(|| enc.encode(&semg))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("dtc_kernels");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("behavioural_dtc_10k_cycles", |b| {
+        b.iter(|| {
+            let mut dtc = Dtc::new(DatcConfig::paper()).unwrap();
+            for k in 0..10_000u32 {
+                dtc.step(k % 10 < 3);
+            }
+            dtc.vth_code()
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("gate_level_dtc_10k_cycles", |b| {
+        b.iter(|| {
+            let mut rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+            let mut last = 0;
+            for k in 0..10_000u32 {
+                last = rtl.step(k % 10 < 3).set_vth;
+            }
+            last
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

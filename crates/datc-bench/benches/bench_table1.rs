@@ -1,0 +1,23 @@
+//! Regenerates Table I (cells / ports / area / power of the DTC) from the
+//! gate-level model and times the RTL workload.
+//!
+//! The printed report runs the full 20 s reference recording through the
+//! gate-level DTC; the timed loop uses a 1 s slice (set
+//! `DATC_BENCH_FULL=1` for the full trace).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datc_experiments::figures::table1;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table1::report());
+    let timed_ticks = if datc_bench::full_scale() { 40_000 } else { 2_000 };
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function(format!("rtl_workload_{timed_ticks}_ticks"), |b| {
+        b.iter(|| table1::run(timed_ticks))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

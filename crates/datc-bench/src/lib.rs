@@ -1,0 +1,12 @@
+//! Support crate for the Criterion benches in `benches/` — see that
+//! directory for the per-figure harnesses. Each bench first prints the
+//! corresponding paper-vs-measured report (the "regenerate the figure"
+//! deliverable), then times the computation that produces it.
+
+/// Environment flag: set `DATC_BENCH_FULL=1` to run the paper-sized
+/// workloads (190 patterns, 20 s RTL traces) inside the timed loops as
+/// well; default keeps timed loops on reduced workloads so
+/// `cargo bench --workspace` completes in minutes.
+pub fn full_scale() -> bool {
+    std::env::var("DATC_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,170 @@
+//! Fixed-threshold Average Threshold Crossing (ATC) — the baseline scheme
+//! of Crepaldi et al. (BioCAS 2012, Ref. [10]) that D-ATC is compared
+//! against.
+//!
+//! ATC radiates one bare IR-UWB pulse on every positive crossing of a
+//! *fixed* threshold `Vth`. "The average number of radiated pulses is …
+//! proportional to the applied muscle force" — but only when the signal
+//! amplitude suits the chosen threshold, which is exactly the weakness the
+//! paper demonstrates (Fig. 2-B/C, Fig. 5).
+
+use crate::comparator::Comparator;
+use crate::event::{Event, EventStream};
+use datc_signal::Signal;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-threshold ATC encoder.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::atc::AtcEncoder;
+/// use datc_signal::Signal;
+///
+/// let s = Signal::from_fn(2500.0, 1.0, |t| (40.0 * t).sin().abs());
+/// let events = AtcEncoder::new(0.3).encode(&s);
+/// assert!(!events.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtcEncoder {
+    vth: f64,
+    hysteresis_v: f64,
+}
+
+impl AtcEncoder {
+    /// Creates an encoder with fixed threshold `vth` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vth` is not finite.
+    pub fn new(vth: f64) -> Self {
+        assert!(vth.is_finite(), "threshold must be finite");
+        AtcEncoder {
+            vth,
+            hysteresis_v: 0.0,
+        }
+    }
+
+    /// Adds comparator hysteresis (volts).
+    pub fn with_hysteresis(mut self, hysteresis_v: f64) -> Self {
+        self.hysteresis_v = hysteresis_v.max(0.0);
+        self
+    }
+
+    /// The fixed threshold in volts.
+    pub fn vth(&self) -> f64 {
+        self.vth
+    }
+
+    /// Asynchronous encoding: one event per positive crossing of the
+    /// rectified input, detected at the signal's own sample rate (the
+    /// comparator in the original ATC chipset is not clocked).
+    pub fn encode(&self, rectified: &Signal) -> EventStream {
+        let mut comp = Comparator::ideal().with_hysteresis(self.hysteresis_v);
+        let fs = rectified.sample_rate();
+        let mut events = Vec::new();
+        let mut prev = false;
+        for (i, &x) in rectified.samples().iter().enumerate() {
+            let now = comp.compare(x, self.vth);
+            if now && !prev {
+                events.push(Event {
+                    tick: i as u64,
+                    time_s: i as f64 / fs,
+                    vth_code: None,
+                });
+            }
+            prev = now;
+        }
+        EventStream::new(events, fs, rectified.duration().max(f64::MIN_POSITIVE))
+    }
+
+    /// Clocked encoding: the comparator output is re-sampled at
+    /// `clock_hz` before edge detection (for apples-to-apples comparisons
+    /// with the clocked D-ATC).
+    pub fn encode_clocked(&self, rectified: &Signal, clock_hz: f64) -> EventStream {
+        let mut comp = Comparator::ideal().with_hysteresis(self.hysteresis_v);
+        let fs = rectified.sample_rate();
+        let n = rectified.len();
+        let n_ticks = (rectified.duration() * clock_hz).floor() as u64;
+        let mut events = Vec::new();
+        let mut prev = false;
+        for k in 0..n_ticks {
+            let t = k as f64 / clock_hz;
+            let idx = ((t * fs) as usize).min(n.saturating_sub(1));
+            let now = comp.compare(rectified.samples()[idx], self.vth);
+            if now && !prev {
+                events.push(Event {
+                    tick: k,
+                    time_s: t,
+                    vth_code: None,
+                });
+            }
+            prev = now;
+        }
+        EventStream::new(events, clock_hz, rectified.duration().max(f64::MIN_POSITIVE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_each_positive_crossing_once() {
+        // |sin| at 10 Hz crosses 0.5 upward twice per period (two humps
+        // per period of the underlying 10 Hz sine → 20 humps in 1 s).
+        let s = Signal::from_fn(10_000.0, 1.0, |t| {
+            (2.0 * std::f64::consts::PI * 10.0 * t).sin().abs()
+        });
+        let ev = AtcEncoder::new(0.5).encode(&s);
+        assert_eq!(ev.len(), 20);
+    }
+
+    #[test]
+    fn threshold_above_signal_yields_no_events() {
+        let s = Signal::from_fn(2500.0, 1.0, |t| 0.2 * (t * 300.0).sin().abs());
+        let ev = AtcEncoder::new(0.3).encode(&s);
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn lower_threshold_never_fires_less() {
+        let s = Signal::from_fn(2500.0, 2.0, |t| {
+            ((t * 97.0).sin() * (t * 13.0).cos()).abs() * 0.8
+        });
+        let hi = AtcEncoder::new(0.5).encode(&s).len();
+        let lo = AtcEncoder::new(0.1).encode(&s).len();
+        assert!(lo >= hi, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn clocked_encoding_bounds_event_rate() {
+        // At a 2 kHz clock, at most 1 kHz of rising edges are observable.
+        let s = Signal::from_fn(20_000.0, 1.0, |t| {
+            (2.0 * std::f64::consts::PI * 900.0 * t).sin().abs()
+        });
+        let ev = AtcEncoder::new(0.5).encode_clocked(&s, 2000.0);
+        assert!(ev.len() as f64 <= 1000.0);
+    }
+
+    #[test]
+    fn events_are_bare_pulses() {
+        let s = Signal::from_fn(2500.0, 0.5, |t| (t * 200.0).sin().abs());
+        let ev = AtcEncoder::new(0.3).encode(&s);
+        assert!(ev.iter().all(|e| e.vth_code.is_none()));
+        assert_eq!(ev.symbol_count(4), ev.len() as u64);
+    }
+
+    #[test]
+    fn hysteresis_reduces_chatter_on_noisy_signal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| 0.3 + 0.01 * (rng.gen::<f64>() - 0.5))
+            .collect();
+        let s = Signal::from_samples(samples, 2500.0);
+        let plain = AtcEncoder::new(0.3).encode(&s).len();
+        let hyst = AtcEncoder::new(0.3).with_hysteresis(0.05).encode(&s).len();
+        assert!(hyst < plain / 10, "hyst {hyst} plain {plain}");
+    }
+}

@@ -1,0 +1,174 @@
+//! The analog comparator (Fig. 1): produces the 1-bit `D_in` consumed by
+//! the DTC. Ideal by default, with optional input offset, hysteresis and
+//! input-referred noise for robustness studies.
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural comparator model.
+///
+/// `compare(x, vth)` returns `true` when the (rectified, amplified) sEMG
+/// sample exceeds the DAC threshold. With hysteresis `h`, the switching
+/// points become `vth + h/2` (rising) and `vth - h/2` (falling), which
+/// suppresses chatter on slow crossings — a knob the paper's analog
+/// designers would use.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::comparator::Comparator;
+/// let mut c = Comparator::ideal();
+/// assert!(c.compare(0.4, 0.3));
+/// assert!(!c.compare(0.2, 0.3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparator {
+    offset_v: f64,
+    hysteresis_v: f64,
+    noise_sigma_v: f64,
+    state: bool,
+    noise_rng_state: u64,
+}
+
+impl Comparator {
+    /// An ideal comparator: no offset, no hysteresis, no noise.
+    pub fn ideal() -> Self {
+        Comparator {
+            offset_v: 0.0,
+            hysteresis_v: 0.0,
+            noise_sigma_v: 0.0,
+            state: false,
+            noise_rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Sets a static input-referred offset (volts).
+    pub fn with_offset(mut self, offset_v: f64) -> Self {
+        self.offset_v = offset_v;
+        self
+    }
+
+    /// Sets the hysteresis width (volts, total).
+    pub fn with_hysteresis(mut self, hysteresis_v: f64) -> Self {
+        self.hysteresis_v = hysteresis_v.max(0.0);
+        self
+    }
+
+    /// Sets Gaussian input-referred noise (volts RMS) with a deterministic
+    /// internal generator seeded by `seed`.
+    pub fn with_noise(mut self, sigma_v: f64, seed: u64) -> Self {
+        self.noise_sigma_v = sigma_v.max(0.0);
+        self.noise_rng_state = seed | 1;
+        self
+    }
+
+    /// The configured offset in volts.
+    pub fn offset_v(&self) -> f64 {
+        self.offset_v
+    }
+
+    /// The configured hysteresis in volts.
+    pub fn hysteresis_v(&self) -> f64 {
+        self.hysteresis_v
+    }
+
+    /// Compares input `x` against threshold `vth`, updating the hysteresis
+    /// state.
+    pub fn compare(&mut self, x: f64, vth: f64) -> bool {
+        let noise = if self.noise_sigma_v > 0.0 {
+            self.noise_sigma_v * self.next_gaussian()
+        } else {
+            0.0
+        };
+        let eff = x + self.offset_v + noise;
+        let half = self.hysteresis_v / 2.0;
+        let threshold = if self.state { vth - half } else { vth + half };
+        self.state = eff > threshold;
+        self.state
+    }
+
+    /// Resets the hysteresis state to low.
+    pub fn reset(&mut self) {
+        self.state = false;
+    }
+
+    // xorshift64* + Box-Muller-lite (sum of 12 uniforms − 6 ≈ N(0,1));
+    // the comparator needs speed, not tail fidelity.
+    fn next_uniform(&mut self) -> f64 {
+        let mut x = self.noise_rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.noise_rng_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_gaussian(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += self.next_uniform();
+        }
+        s - 6.0
+    }
+}
+
+impl Default for Comparator {
+    fn default() -> Self {
+        Comparator::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_comparator_is_a_strict_threshold() {
+        let mut c = Comparator::ideal();
+        assert!(!c.compare(0.3, 0.3)); // strict: equal is not above
+        assert!(c.compare(0.300001, 0.3));
+    }
+
+    #[test]
+    fn offset_shifts_threshold() {
+        let mut c = Comparator::ideal().with_offset(-0.05);
+        assert!(!c.compare(0.32, 0.3));
+        assert!(c.compare(0.36, 0.3));
+    }
+
+    #[test]
+    fn hysteresis_suppresses_chatter() {
+        let mut c = Comparator::ideal().with_hysteresis(0.1);
+        // rising: must exceed vth + 0.05
+        assert!(!c.compare(0.34, 0.3));
+        assert!(c.compare(0.36, 0.3));
+        // once high, stays high until below vth - 0.05
+        assert!(c.compare(0.28, 0.3));
+        assert!(!c.compare(0.24, 0.3));
+    }
+
+    #[test]
+    fn noise_produces_stochastic_but_deterministic_decisions() {
+        let mut a = Comparator::ideal().with_noise(0.05, 99);
+        let mut b = Comparator::ideal().with_noise(0.05, 99);
+        let mut flips = 0;
+        for _ in 0..1000 {
+            let ra = a.compare(0.3, 0.3);
+            let rb = b.compare(0.3, 0.3);
+            assert_eq!(ra, rb); // same seed, same decisions
+            if ra {
+                flips += 1;
+            }
+        }
+        // right at threshold with symmetric noise ≈ half the time
+        assert!((300..700).contains(&flips), "flips {flips}");
+    }
+
+    #[test]
+    fn reset_clears_hysteresis_state() {
+        let mut c = Comparator::ideal().with_hysteresis(0.2);
+        assert!(c.compare(0.5, 0.3));
+        c.reset();
+        // back to the rising threshold
+        assert!(!c.compare(0.35, 0.3));
+    }
+}

@@ -1,0 +1,271 @@
+//! Encoder configuration.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The programmable frame length (the paper's 2-bit `Frame_selector`):
+/// 100, 200, 400 or 800 system-clock periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FrameSize {
+    /// 100 clock periods (50 ms at 2 kHz) — the most reactive setting.
+    #[default]
+    F100,
+    /// 200 clock periods (100 ms at 2 kHz).
+    F200,
+    /// 400 clock periods (200 ms at 2 kHz).
+    F400,
+    /// 800 clock periods (400 ms at 2 kHz) — the smoothest setting.
+    F800,
+}
+
+impl FrameSize {
+    /// All selectable frame sizes, in selector order.
+    pub const ALL: [FrameSize; 4] = [
+        FrameSize::F100,
+        FrameSize::F200,
+        FrameSize::F400,
+        FrameSize::F800,
+    ];
+
+    /// Frame length in clock periods.
+    pub fn len(&self) -> u32 {
+        match self {
+            FrameSize::F100 => 100,
+            FrameSize::F200 => 200,
+            FrameSize::F400 => 400,
+            FrameSize::F800 => 800,
+        }
+    }
+
+    /// The 2-bit selector value wired into the hardware.
+    pub fn selector(&self) -> u8 {
+        match self {
+            FrameSize::F100 => 0b00,
+            FrameSize::F200 => 0b01,
+            FrameSize::F400 => 0b10,
+            FrameSize::F800 => 0b11,
+        }
+    }
+
+    /// Builds a frame size from the 2-bit selector.
+    pub fn from_selector(sel: u8) -> Option<FrameSize> {
+        match sel {
+            0b00 => Some(FrameSize::F100),
+            0b01 => Some(FrameSize::F200),
+            0b10 => Some(FrameSize::F400),
+            0b11 => Some(FrameSize::F800),
+            _ => None,
+        }
+    }
+}
+
+/// The DTC arithmetic implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Arithmetic {
+    /// Bit-accurate integer arithmetic as synthesised in hardware
+    /// (weights quantised to 1/256, divide-by-2 folded into a shift).
+    #[default]
+    Fixed,
+    /// Double-precision reference implementation of Listing 1.
+    Float,
+}
+
+/// Full D-ATC encoder configuration.
+///
+/// Use [`DatcConfig::paper`] for the paper's operating point and the
+/// builder methods to deviate from it.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::config::{DatcConfig, FrameSize};
+/// let cfg = DatcConfig::paper().with_frame_size(FrameSize::F200);
+/// assert_eq!(cfg.frame_size, FrameSize::F200);
+/// assert_eq!(cfg.clock_hz, 2000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatcConfig {
+    /// DTC system clock in Hz (paper: 2 kHz = 2·f_sEMG, Nyquist for the
+    /// ~1 kHz sEMG bandwidth).
+    pub clock_hz: f64,
+    /// Frame length selector.
+    pub frame_size: FrameSize,
+    /// DAC resolution in bits (paper: 4).
+    pub dac_bits: u8,
+    /// DAC reference voltage in volts (paper: 1.0).
+    pub vref: f64,
+    /// History weights `(W_F3, W_F2, W_F1)` for the newest, middle and
+    /// oldest frame (paper: 1.0, 0.65, 0.35 — "determined empirically").
+    pub weights: (f64, f64, f64),
+    /// Interval step as a fraction of frame size: `level_k =
+    /// step·(k+1)·frame_size` (paper: 0.03, Eqn. 2).
+    pub interval_step: f64,
+    /// Threshold code the controller starts from (the paper's floor code
+    /// is 1; starting low lets the controller ramp up within 3 frames).
+    pub initial_code: u8,
+    /// Arithmetic implementation.
+    pub arithmetic: Arithmetic,
+}
+
+impl DatcConfig {
+    /// The paper's operating point: 2 kHz clock, frame 100, 4-bit DAC with
+    /// 1 V reference, weights (1, 0.65, 0.35), 0.03 interval step,
+    /// fixed-point arithmetic.
+    pub fn paper() -> Self {
+        DatcConfig {
+            clock_hz: 2000.0,
+            frame_size: FrameSize::F100,
+            dac_bits: 4,
+            vref: 1.0,
+            weights: (1.0, 0.65, 0.35),
+            interval_step: 0.03,
+            initial_code: 1,
+            arithmetic: Arithmetic::Fixed,
+        }
+    }
+
+    /// Replaces the frame size.
+    pub fn with_frame_size(mut self, fs: FrameSize) -> Self {
+        self.frame_size = fs;
+        self
+    }
+
+    /// Replaces the DAC resolution (for the paper's "different DAC
+    /// resolution have been examined" ablation).
+    pub fn with_dac_bits(mut self, bits: u8) -> Self {
+        self.dac_bits = bits;
+        self
+    }
+
+    /// Replaces the history weights.
+    pub fn with_weights(mut self, w3: f64, w2: f64, w1: f64) -> Self {
+        self.weights = (w3, w2, w1);
+        self
+    }
+
+    /// Replaces the arithmetic implementation.
+    pub fn with_arithmetic(mut self, a: Arithmetic) -> Self {
+        self.arithmetic = a;
+        self
+    }
+
+    /// Replaces the DTC clock.
+    pub fn with_clock_hz(mut self, clock_hz: f64) -> Self {
+        self.clock_hz = clock_hz;
+        self
+    }
+
+    /// Maximum threshold code (`2^dac_bits - 1`).
+    pub fn max_code(&self) -> u8 {
+        ((1u16 << self.dac_bits) - 1) as u8
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "clock_hz",
+                reason: format!("must be positive and finite, got {}", self.clock_hz),
+            });
+        }
+        if self.dac_bits == 0 || self.dac_bits > 8 {
+            return Err(CoreError::InvalidConfig {
+                field: "dac_bits",
+                reason: format!("must be in 1..=8, got {}", self.dac_bits),
+            });
+        }
+        if !(self.vref.is_finite() && self.vref > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "vref",
+                reason: format!("must be positive and finite, got {}", self.vref),
+            });
+        }
+        let (w3, w2, w1) = self.weights;
+        if !(w3 > 0.0 && w2 >= 0.0 && w1 >= 0.0 && w3.is_finite() && w2.is_finite() && w1.is_finite())
+        {
+            return Err(CoreError::InvalidConfig {
+                field: "weights",
+                reason: format!("newest weight must be positive, all finite; got {:?}", self.weights),
+            });
+        }
+        if !(self.interval_step > 0.0 && self.interval_step.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                field: "interval_step",
+                reason: format!("must be positive, got {}", self.interval_step),
+            });
+        }
+        // All interval levels must stay representable: the top level is
+        // step·2^bits·frame; it may exceed the max attainable AVR, which is
+        // fine, but must not overflow the 10-bit hardware counters scaled
+        // by 512 — checked in the fixed-point module.
+        if self.initial_code > self.max_code() {
+            return Err(CoreError::InvalidConfig {
+                field: "initial_code",
+                reason: format!(
+                    "must be ≤ max code {}, got {}",
+                    self.max_code(),
+                    self.initial_code
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for DatcConfig {
+    fn default() -> Self {
+        DatcConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_paper() {
+        let c = DatcConfig::paper();
+        c.validate().unwrap();
+        assert_eq!(c.clock_hz, 2000.0);
+        assert_eq!(c.dac_bits, 4);
+        assert_eq!(c.vref, 1.0);
+        assert_eq!(c.weights, (1.0, 0.65, 0.35));
+        assert_eq!(c.interval_step, 0.03);
+        assert_eq!(c.max_code(), 15);
+    }
+
+    #[test]
+    fn frame_selector_roundtrip() {
+        for fs in FrameSize::ALL {
+            assert_eq!(FrameSize::from_selector(fs.selector()), Some(fs));
+        }
+        assert_eq!(FrameSize::from_selector(4), None);
+    }
+
+    #[test]
+    fn frame_lengths_match_paper() {
+        assert_eq!(
+            FrameSize::ALL.map(|f| f.len()),
+            [100, 200, 400, 800]
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(DatcConfig::paper().with_clock_hz(0.0).validate().is_err());
+        assert!(DatcConfig::paper().with_dac_bits(0).validate().is_err());
+        assert!(DatcConfig::paper().with_dac_bits(9).validate().is_err());
+        assert!(DatcConfig::paper().with_weights(-1.0, 0.5, 0.5).validate().is_err());
+        let mut c = DatcConfig::paper();
+        c.interval_step = 0.0;
+        assert!(c.validate().is_err());
+        c = DatcConfig::paper();
+        c.initial_code = 200;
+        assert!(c.validate().is_err());
+    }
+}

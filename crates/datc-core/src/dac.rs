@@ -1,0 +1,191 @@
+//! The threshold DAC (Fig. 1): converts the DTC's `Set_Vth` code to the
+//! comparator threshold, `Vth = Vref·code/2^Nb` (Eqn. 3 of the paper).
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// An `n_bits` DAC with reference voltage `vref` and optional static
+/// non-linearity (per-code INL offsets) to study non-ideal converters.
+///
+/// The paper uses `n_bits = 4`, `vref = 1 V`, giving 16 levels with a
+/// 62.5 mV step — "accurate enough for this application" (Sec. III-A).
+///
+/// # Example
+///
+/// ```
+/// use datc_core::dac::Dac;
+/// let dac = Dac::paper();
+/// assert!((dac.voltage(8).unwrap() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    n_bits: u8,
+    vref: f64,
+    inl: Option<Vec<f64>>,
+}
+
+impl Dac {
+    /// Creates an ideal DAC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for `n_bits` outside `1..=16`
+    /// or a non-positive `vref`.
+    pub fn new(n_bits: u8, vref: f64) -> Result<Self, CoreError> {
+        if n_bits == 0 || n_bits > 16 {
+            return Err(CoreError::InvalidConfig {
+                field: "n_bits",
+                reason: format!("must be in 1..=16, got {n_bits}"),
+            });
+        }
+        if !(vref.is_finite() && vref > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "vref",
+                reason: format!("must be positive and finite, got {vref}"),
+            });
+        }
+        Ok(Dac {
+            n_bits,
+            vref,
+            inl: None,
+        })
+    }
+
+    /// The paper's converter: 4 bits, 1 V reference.
+    pub fn paper() -> Self {
+        Dac::new(4, 1.0).expect("paper parameters are valid")
+    }
+
+    /// Attaches integral-non-linearity offsets (volts, one per code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the table length differs
+    /// from `2^n_bits`.
+    pub fn with_inl(mut self, inl: Vec<f64>) -> Result<Self, CoreError> {
+        if inl.len() != self.level_count() {
+            return Err(CoreError::InvalidConfig {
+                field: "inl",
+                reason: format!(
+                    "INL table must have {} entries, got {}",
+                    self.level_count(),
+                    inl.len()
+                ),
+            });
+        }
+        self.inl = Some(inl);
+        Ok(self)
+    }
+
+    /// Resolution in bits.
+    pub fn n_bits(&self) -> u8 {
+        self.n_bits
+    }
+
+    /// Reference voltage in volts.
+    pub fn vref(&self) -> f64 {
+        self.vref
+    }
+
+    /// Number of representable levels (`2^n_bits`).
+    pub fn level_count(&self) -> usize {
+        1usize << self.n_bits
+    }
+
+    /// One LSB step in volts.
+    pub fn lsb(&self) -> f64 {
+        self.vref / self.level_count() as f64
+    }
+
+    /// Output voltage for `code` (Eqn. 3, plus INL when configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CodeOutOfRange`] when `code >= 2^n_bits`.
+    pub fn voltage(&self, code: u16) -> Result<f64, CoreError> {
+        if usize::from(code) >= self.level_count() {
+            return Err(CoreError::CodeOutOfRange {
+                code,
+                n_bits: self.n_bits,
+            });
+        }
+        let ideal = self.vref * f64::from(code) / self.level_count() as f64;
+        let err = self
+            .inl
+            .as_ref()
+            .map(|t| t[usize::from(code)])
+            .unwrap_or(0.0);
+        Ok(ideal + err)
+    }
+
+    /// The nearest code whose ideal output does not exceed `v` (used by
+    /// tests to invert the transfer function).
+    pub fn code_for_voltage(&self, v: f64) -> u16 {
+        let code = (v / self.lsb()).floor();
+        code.clamp(0.0, (self.level_count() - 1) as f64) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dac_levels() {
+        let dac = Dac::paper();
+        assert_eq!(dac.level_count(), 16);
+        assert!((dac.lsb() - 0.0625).abs() < 1e-12);
+        assert_eq!(dac.voltage(0).unwrap(), 0.0);
+        assert!((dac.voltage(15).unwrap() - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_is_monotonic() {
+        let dac = Dac::paper();
+        let mut last = -1.0;
+        for c in 0..16 {
+            let v = dac.voltage(c).unwrap();
+            assert!(v > last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn out_of_range_code_rejected() {
+        let dac = Dac::paper();
+        assert!(matches!(
+            dac.voltage(16),
+            Err(CoreError::CodeOutOfRange { code: 16, n_bits: 4 })
+        ));
+    }
+
+    #[test]
+    fn inl_shifts_levels() {
+        let mut inl = vec![0.0; 16];
+        inl[8] = 0.01;
+        let dac = Dac::paper().with_inl(inl).unwrap();
+        assert!((dac.voltage(8).unwrap() - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inl_wrong_length_rejected() {
+        assert!(Dac::paper().with_inl(vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn code_for_voltage_inverts() {
+        let dac = Dac::paper();
+        for c in 0..16u16 {
+            let v = dac.voltage(c).unwrap();
+            assert_eq!(dac.code_for_voltage(v + 1e-9), c);
+        }
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(Dac::new(0, 1.0).is_err());
+        assert!(Dac::new(17, 1.0).is_err());
+        assert!(Dac::new(4, 0.0).is_err());
+        assert!(Dac::new(4, f64::NAN).is_err());
+    }
+}

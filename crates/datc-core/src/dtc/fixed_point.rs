@@ -1,0 +1,163 @@
+//! The threshold predictor (Listing 1) in hardware fixed-point and
+//! reference floating-point arithmetic.
+//!
+//! Hardware path: weights are quantised to 1/256 (`{256, 166, 90}` for the
+//! paper's `{1.0, 0.65, 0.35}`), so with the algorithm's divide-by-2 the
+//! weighted average `AVR` appears scaled by 512 and the comparison against
+//! the interval ROM ([`super::intervals::IntervalTable`]) is exact in
+//! integers — no divider is synthesised.
+
+use super::intervals::{IntervalTable, AVR_SCALE};
+
+/// Weight quantisation denominator used by the hardware multiplier
+/// constants.
+pub const WEIGHT_SCALE: u64 = 256;
+
+/// Quantises `(w3, w2, w1)` to multiples of 1/256.
+///
+/// The paper's `(1.0, 0.65, 0.35)` become `(256, 166, 90)`; `166/256 =
+/// 0.6484…`, `90/256 = 0.3516…` — within 0.2 % of the nominal weights.
+pub fn quantize_weights(weights: (f64, f64, f64)) -> (u64, u64, u64) {
+    let q = |w: f64| (w * WEIGHT_SCALE as f64).round().max(0.0) as u64;
+    (q(weights.0), q(weights.1), q(weights.2))
+}
+
+/// Floating-point `AVR` per Listing 1: `(w3·n3 + w2·n2 + w1·n1) / 2`.
+pub fn avr_float(n3: u32, n2: u32, n1: u32, weights: (f64, f64, f64)) -> f64 {
+    (weights.0 * f64::from(n3) + weights.1 * f64::from(n2) + weights.2 * f64::from(n1)) / 2.0
+}
+
+/// Fixed-point `AVR` scaled by [`AVR_SCALE`]: `Σ w_q·n` with weights
+/// already carrying the ×256 factor (so ×512 total relative to the
+/// floating-point value, matching the scaled interval ROM).
+pub fn avr_scaled(n3: u32, n2: u32, n1: u32, weights_q: (u64, u64, u64)) -> u64 {
+    weights_q.0 * u64::from(n3) + weights_q.1 * u64::from(n2) + weights_q.2 * u64::from(n1)
+}
+
+/// The predictor's priority decision (Listing 1), floating point: returns
+/// the highest code `k ∈ [2, max_code]` with `AVR ≥ level_k`, else 1.
+pub fn predict_code_float(avr: f64, table: &IntervalTable, max_code: u8) -> u8 {
+    let top = usize::from(max_code).min(table.n_levels() - 1);
+    for k in (2..=top).rev() {
+        if avr >= table.level_float(k) {
+            return k as u8;
+        }
+    }
+    1
+}
+
+/// The predictor's priority decision, fixed point (scaled by
+/// [`AVR_SCALE`]): bit-exact model of the synthesised comparator tree.
+pub fn predict_code_fixed(avr_scaled: u64, table: &IntervalTable, max_code: u8) -> u8 {
+    let top = usize::from(max_code).min(table.n_levels() - 1);
+    for k in (2..=top).rev() {
+        if avr_scaled >= table.level_scaled(k) {
+            return k as u8;
+        }
+    }
+    1
+}
+
+/// Sanity-check that the scale constants agree (compile-time contract of
+/// the two representations).
+pub const fn scales_consistent() -> bool {
+    AVR_SCALE == 2 * WEIGHT_SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameSize;
+
+    #[test]
+    fn paper_weights_quantise_to_known_constants() {
+        assert_eq!(quantize_weights((1.0, 0.65, 0.35)), (256, 166, 90));
+    }
+
+    #[test]
+    fn scales_are_consistent() {
+        assert!(scales_consistent());
+    }
+
+    #[test]
+    fn avr_representations_agree_for_exact_weights() {
+        // Weights representable in 1/256 make both paths identical.
+        let w = (1.0, 0.5, 0.25);
+        let wq = quantize_weights(w);
+        for (n3, n2, n1) in [(0u32, 0, 0), (10, 20, 30), (48, 47, 46), (100, 0, 100)] {
+            let f = avr_float(n3, n2, n1, w);
+            let s = avr_scaled(n3, n2, n1, wq);
+            assert_eq!((f * AVR_SCALE as f64).round() as u64, s);
+        }
+    }
+
+    #[test]
+    fn predictor_floor_is_code_1() {
+        let t = IntervalTable::paper(FrameSize::F100);
+        assert_eq!(predict_code_float(0.0, &t, 15), 1);
+        assert_eq!(predict_code_fixed(0, &t, 15), 1);
+        // Even an AVR between level_0 and level_2 floors at 1 — Listing 1
+        // never emits code 0.
+        assert_eq!(predict_code_float(4.0, &t, 15), 1);
+    }
+
+    #[test]
+    fn predictor_saturates_at_max_code() {
+        let t = IntervalTable::paper(FrameSize::F100);
+        assert_eq!(predict_code_float(1e9, &t, 15), 15);
+        assert_eq!(predict_code_fixed(u64::MAX / 2, &t, 15), 15);
+    }
+
+    #[test]
+    fn predictor_is_monotonic_in_avr() {
+        let t = IntervalTable::paper(FrameSize::F400);
+        let mut last = 0u8;
+        for i in 0..2000 {
+            let avr = i as f64 * 0.1;
+            let c = predict_code_float(avr, &t, 15);
+            assert!(c >= last, "code decreased at avr={avr}");
+            last = c;
+        }
+        assert_eq!(last, 15);
+    }
+
+    #[test]
+    fn fixed_and_float_agree_away_from_boundaries() {
+        let t = IntervalTable::paper(FrameSize::F100);
+        let w = (1.0, 0.65, 0.35);
+        let wq = quantize_weights(w);
+        let mut disagreements = 0u32;
+        let mut total = 0u32;
+        for n3 in (0..=100).step_by(5) {
+            for n2 in (0..=100).step_by(5) {
+                for n1 in (0..=100).step_by(5) {
+                    let cf = predict_code_float(avr_float(n3, n2, n1, w), &t, 15);
+                    let cx = predict_code_fixed(avr_scaled(n3, n2, n1, wq), &t, 15);
+                    total += 1;
+                    if cf != cx {
+                        disagreements += 1;
+                        assert!(
+                            (i16::from(cf) - i16::from(cx)).abs() <= 1,
+                            "codes differ by more than 1 LSB: {cf} vs {cx}"
+                        );
+                    }
+                }
+            }
+        }
+        // quantised weights differ by <0.2 %; boundary flips must be rare
+        assert!(
+            f64::from(disagreements) / f64::from(total) < 0.02,
+            "{disagreements}/{total} disagreements"
+        );
+    }
+
+    #[test]
+    fn exact_boundary_maps_to_level() {
+        // AVR exactly at a level takes that level (>= comparison).
+        let t = IntervalTable::paper(FrameSize::F100);
+        for k in 2..=15usize {
+            let c = predict_code_float(t.level_float(k), &t, 15);
+            assert_eq!(c as usize, k);
+        }
+    }
+}

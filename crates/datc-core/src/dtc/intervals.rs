@@ -1,0 +1,135 @@
+//! The interval look-up table (Eqn. 2 of the paper).
+//!
+//! `interval_level_k = step·(k+1)·frame_size`, with `step = 0.03`:
+//! `level_15 = 0.48·frame`, `level_14 = 0.45·frame`, …, `level_1 =
+//! 0.06·frame`, `level_0 = 0.03·frame`. The hardware stores the
+//! pre-computed products for every selectable frame size "to save area and
+//! computation time" (Sec. III-A) — this module is that ROM.
+
+use crate::config::FrameSize;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale of the stored comparison thresholds.
+///
+/// The weighted average is computed as `Σ w_q·N` with weights quantised to
+/// 1/256 and the paper's divide-by-2 folded in, so an AVR of `x` counts is
+/// represented as `512·x`; interval levels are stored at the same scale to
+/// make the comparison exact in integers.
+pub const AVR_SCALE: u64 = 512;
+
+/// The pre-computed interval table for one frame size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalTable {
+    frame_len: u32,
+    step: f64,
+    levels_float: Vec<f64>,
+    levels_scaled: Vec<u64>,
+}
+
+impl IntervalTable {
+    /// Builds the table for `n_levels` DAC levels (16 in the paper) with
+    /// the given step fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_levels == 0` or `step` is not positive and finite.
+    pub fn new(frame_len: u32, step: f64, n_levels: usize) -> Self {
+        assert!(n_levels > 0, "need at least one level");
+        assert!(step.is_finite() && step > 0.0, "step must be positive");
+        let levels_float: Vec<f64> = (0..n_levels)
+            .map(|k| step * (k as f64 + 1.0) * frame_len as f64)
+            .collect();
+        let levels_scaled = levels_float
+            .iter()
+            .map(|l| (l * AVR_SCALE as f64).round() as u64)
+            .collect();
+        IntervalTable {
+            frame_len,
+            step,
+            levels_float,
+            levels_scaled,
+        }
+    }
+
+    /// Builds the paper's table (step 0.03, 16 levels) for a selectable
+    /// frame size.
+    pub fn paper(frame: FrameSize) -> Self {
+        IntervalTable::new(frame.len(), 0.03, 16)
+    }
+
+    /// Frame length in clock periods.
+    pub fn frame_len(&self) -> u32 {
+        self.frame_len
+    }
+
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels_float.len()
+    }
+
+    /// `interval_level_k` in counts (floating point, Eqn. 2).
+    pub fn level_float(&self, k: usize) -> f64 {
+        self.levels_float[k]
+    }
+
+    /// `interval_level_k` scaled by [`AVR_SCALE`] (the ROM word the
+    /// hardware comparator tree uses).
+    pub fn level_scaled(&self, k: usize) -> u64 {
+        self.levels_scaled[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_levels_match_eqn_2() {
+        // For frame 100: level_15 = 48, level_14 = 45, …, level_1 = 6,
+        // level_0 = 3 — the constants printed in the paper.
+        let t = IntervalTable::paper(FrameSize::F100);
+        assert!((t.level_float(15) - 48.0).abs() < 1e-9);
+        assert!((t.level_float(14) - 45.0).abs() < 1e-9);
+        assert!((t.level_float(1) - 6.0).abs() < 1e-9);
+        assert!((t.level_float(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levels_scale_linearly_with_frame() {
+        let t100 = IntervalTable::paper(FrameSize::F100);
+        let t800 = IntervalTable::paper(FrameSize::F800);
+        for k in 0..16 {
+            assert!((t800.level_float(k) - 8.0 * t100.level_float(k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn levels_are_strictly_increasing() {
+        for frame in FrameSize::ALL {
+            let t = IntervalTable::paper(frame);
+            for k in 1..t.n_levels() {
+                assert!(t.level_scaled(k) > t.level_scaled(k - 1));
+                assert!(t.level_float(k) > t.level_float(k - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_levels_round_consistently() {
+        let t = IntervalTable::paper(FrameSize::F200);
+        for k in 0..16 {
+            let expect = (t.level_float(k) * AVR_SCALE as f64).round() as u64;
+            assert_eq!(t.level_scaled(k), expect);
+        }
+    }
+
+    #[test]
+    fn top_level_is_under_half_frame() {
+        // 0.48·frame < 0.5·frame: even a full-scale AVR of frame/2 maps to
+        // the top code — documents why the paper chose 0.48 as the cap.
+        for frame in FrameSize::ALL {
+            let t = IntervalTable::paper(frame);
+            assert!(t.level_float(15) < 0.5 * frame.len() as f64);
+        }
+    }
+}

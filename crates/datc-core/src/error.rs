@@ -1,0 +1,58 @@
+//! Error types for the encoder crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encoder configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Constraint description.
+        reason: String,
+    },
+    /// A DAC code exceeded the converter's range.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u16,
+        /// Number of DAC bits.
+        n_bits: u8,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            CoreError::CodeOutOfRange { code, n_bits } => {
+                write!(f, "DAC code {code} out of range for {n_bits}-bit converter")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = CoreError::InvalidConfig {
+            field: "clock_hz",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("clock_hz"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! Threshold-crossing events and event streams.
+
+use serde::{Deserialize, Serialize};
+
+/// A single positive threshold-crossing event, as issued to the IR-UWB
+/// modulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Clock tick (for clocked D-ATC) or sample index (for asynchronous
+    /// ATC) at which the crossing was detected.
+    pub tick: u64,
+    /// Event time in seconds.
+    pub time_s: f64,
+    /// The 4-bit threshold code in force when the event fired (`None` for
+    /// plain ATC, which transmits a bare pulse).
+    pub vth_code: Option<u8>,
+}
+
+impl Event {
+    /// Number of IR-UWB symbols this event costs on air: 1 for a bare ATC
+    /// pulse, `1 + n_bits` for a D-ATC event pattern (Fig. 2-E: the event
+    /// marker plus the digitised threshold level).
+    pub fn symbol_cost(&self, vth_bits: u8) -> u64 {
+        match self.vth_code {
+            None => 1,
+            Some(_) => 1 + u64::from(vth_bits),
+        }
+    }
+}
+
+/// An ordered stream of events over a known observation window.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::event::{Event, EventStream};
+/// let ev = vec![Event { tick: 10, time_s: 0.005, vth_code: Some(3) }];
+/// let s = EventStream::new(ev, 2000.0, 1.0);
+/// assert_eq!(s.len(), 1);
+/// assert!((s.mean_rate_hz() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventStream {
+    events: Vec<Event>,
+    tick_rate_hz: f64,
+    duration_s: f64,
+}
+
+impl EventStream {
+    /// Wraps events with their timebase. Events must be tick-ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when events are out of order (a stream is a time series by
+    /// contract) or the duration is not positive.
+    pub fn new(events: Vec<Event>, tick_rate_hz: f64, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "duration must be positive");
+        assert!(
+            events.windows(2).all(|w| w[0].tick <= w[1].tick),
+            "events must be ordered by tick"
+        );
+        EventStream {
+            events,
+            tick_rate_hz,
+            duration_s,
+        }
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events (the paper's "transmitted events").
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events fired.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The tick rate the `tick` fields are expressed in (Hz).
+    pub fn tick_rate_hz(&self) -> f64 {
+        self.tick_rate_hz
+    }
+
+    /// Observation-window length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Mean firing rate over the observation window (events/s).
+    pub fn mean_rate_hz(&self) -> f64 {
+        self.events.len() as f64 / self.duration_s
+    }
+
+    /// Total on-air symbol count (Sec. III-B accounting): ATC events cost
+    /// 1 symbol, D-ATC events cost `1 + vth_bits`.
+    pub fn symbol_count(&self, vth_bits: u8) -> u64 {
+        self.events.iter().map(|e| e.symbol_cost(vth_bits)).sum()
+    }
+
+    /// Event count inside `[t0, t1)` seconds.
+    pub fn count_in_window(&self, t0: f64, t1: f64) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.time_s >= t0 && e.time_s < t1)
+            .count()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a EventStream {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, t: f64, code: Option<u8>) -> Event {
+        Event {
+            tick,
+            time_s: t,
+            vth_code: code,
+        }
+    }
+
+    #[test]
+    fn symbol_costs_match_paper_accounting() {
+        let atc = ev(0, 0.0, None);
+        let datc = ev(0, 0.0, Some(7));
+        assert_eq!(atc.symbol_cost(4), 1);
+        assert_eq!(datc.symbol_cost(4), 5); // the paper's "3724×5" factor
+    }
+
+    #[test]
+    fn stream_symbol_count_sums() {
+        let s = EventStream::new(
+            vec![ev(0, 0.0, Some(1)), ev(1, 0.001, Some(2)), ev(2, 0.002, Some(3))],
+            2000.0,
+            1.0,
+        );
+        assert_eq!(s.symbol_count(4), 15);
+    }
+
+    #[test]
+    fn window_counting() {
+        let s = EventStream::new(
+            vec![ev(0, 0.1, None), ev(1, 0.2, None), ev(2, 0.9, None)],
+            1000.0,
+            1.0,
+        );
+        assert_eq!(s.count_in_window(0.0, 0.5), 2);
+        assert_eq!(s.count_in_window(0.5, 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered by tick")]
+    fn unordered_events_rejected() {
+        let _ = EventStream::new(vec![ev(5, 0.5, None), ev(1, 0.1, None)], 1000.0, 1.0);
+    }
+
+    #[test]
+    fn iteration_works() {
+        let s = EventStream::new(vec![ev(0, 0.0, None)], 1000.0, 1.0);
+        assert_eq!((&s).into_iter().count(), 1);
+    }
+}

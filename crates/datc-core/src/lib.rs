@@ -1,0 +1,56 @@
+//! # datc-core — ATC and D-ATC spike encoders
+//!
+//! This crate implements the primary contribution of Shahshahani et al.,
+//! *DATE 2015*: **Dynamic Average Threshold Crossing (D-ATC)**, an
+//! all-digital spike-based encoding of sEMG for IR-UWB muscle-force
+//! transmission, together with the fixed-threshold **ATC** baseline it is
+//! compared against.
+//!
+//! The architecture mirrors the paper's Fig. 1/Fig. 4:
+//!
+//! * [`frontend::AnalogFrontEnd`] — preamplifier gain, saturation and
+//!   full-wave rectification;
+//! * [`comparator::Comparator`] — the analog comparator (with optional
+//!   offset, hysteresis and input-referred noise);
+//! * [`dac::Dac`] — the 4-bit threshold DAC, `Vth = Vref·code/2^Nb`
+//!   (Eqn. 3);
+//! * [`dtc::Dtc`] — the Dynamic Threshold Controller: per-frame `'1'`
+//!   counting, three-frame weighted history
+//!   `AVR = (1.0·N₃ + 0.65·N₂ + 0.35·N₁)/2`, interval LUT
+//!   `level_k = 0.03·(k+1)·frame_size` (Eqn. 2) and the threshold
+//!   predictor (Listing 1) — in both floating-point reference and
+//!   bit-accurate fixed-point (hardware) arithmetic;
+//! * [`atc::AtcEncoder`] / [`datc::DatcEncoder`] — end-to-end encoders
+//!   producing [`event::EventStream`]s ready for the UWB modulator.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use datc_core::datc::DatcEncoder;
+//! use datc_core::config::DatcConfig;
+//! use datc_signal::Signal;
+//!
+//! let signal = Signal::from_fn(2500.0, 1.0, |t| (t * 40.0).sin().abs() * 0.5);
+//! let encoder = DatcEncoder::new(DatcConfig::paper());
+//! let out = encoder.encode(&signal);
+//! assert!(!out.events.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod atc;
+pub mod comparator;
+pub mod config;
+pub mod dac;
+pub mod datc;
+pub mod dtc;
+pub mod error;
+pub mod event;
+pub mod frontend;
+pub mod stream;
+
+pub use config::{DatcConfig, FrameSize};
+pub use datc::{DatcEncoder, DatcOutput};
+pub use error::CoreError;
+pub use event::{Event, EventStream};

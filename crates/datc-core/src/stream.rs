@@ -1,0 +1,192 @@
+//! Real-time streaming D-ATC encoder.
+//!
+//! [`DatcEncoder`](crate::datc::DatcEncoder) consumes a whole recorded
+//! [`Signal`](datc_signal::Signal); embedded and real-time users instead
+//! feed one analog sample per DTC clock tick through [`DatcStream`] —
+//! exactly the interface the silicon presents (comparator input in,
+//! event strobe + threshold code out).
+
+use crate::comparator::Comparator;
+use crate::config::DatcConfig;
+use crate::dac::Dac;
+use crate::dtc::Dtc;
+use crate::error::CoreError;
+use crate::event::Event;
+
+/// What one clock tick of the streaming encoder produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamTick {
+    /// The event fired this tick, if any (tagged with the code in force
+    /// when the comparator decision was sampled).
+    pub event: Option<Event>,
+    /// The threshold code after this tick.
+    pub set_vth: u8,
+    /// The threshold voltage after this tick.
+    pub vth_volts: f64,
+    /// `true` when this tick closed a frame.
+    pub end_of_frame: bool,
+}
+
+/// Streaming D-ATC encoder: push one comparator-input sample per system
+/// clock tick.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::stream::DatcStream;
+/// use datc_core::config::DatcConfig;
+///
+/// let mut stream = DatcStream::new(DatcConfig::paper())?;
+/// let mut events = 0;
+/// for k in 0..2000u32 {
+///     let x = 0.4 * ((k as f64) * 0.2).sin().abs();
+///     if stream.tick(x).event.is_some() {
+///         events += 1;
+///     }
+/// }
+/// assert!(events > 0);
+/// # Ok::<(), datc_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatcStream {
+    dtc: Dtc,
+    dac: Dac,
+    comparator: Comparator,
+    tick: u64,
+}
+
+impl DatcStream {
+    /// Creates a streaming encoder with an ideal comparator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn new(config: DatcConfig) -> Result<Self, CoreError> {
+        Ok(DatcStream {
+            dtc: Dtc::new(config)?,
+            dac: Dac::new(config.dac_bits, config.vref)?,
+            comparator: Comparator::ideal(),
+            tick: 0,
+        })
+    }
+
+    /// Replaces the comparator model.
+    pub fn with_comparator(mut self, comparator: Comparator) -> Self {
+        self.comparator = comparator;
+        self
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &DatcConfig {
+        self.dtc.config()
+    }
+
+    /// Current threshold voltage.
+    pub fn vth_volts(&self) -> f64 {
+        self.dac
+            .voltage(u16::from(self.dtc.vth_code()))
+            .expect("DTC codes are bounded")
+    }
+
+    /// Ticks executed.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Processes one system-clock tick with the instantaneous rectified
+    /// input voltage `x_volts`.
+    pub fn tick(&mut self, x_volts: f64) -> StreamTick {
+        let vth = self.vth_volts();
+        let d_in = self.comparator.compare(x_volts, vth);
+        let step = self.dtc.step(d_in);
+        let clock = self.dtc.config().clock_hz;
+        let event = step.event.then(|| Event {
+            tick: self.tick,
+            time_s: self.tick as f64 / clock,
+            vth_code: Some(step.sampled_code),
+        });
+        self.tick += 1;
+        StreamTick {
+            event,
+            set_vth: step.set_vth,
+            vth_volts: self
+                .dac
+                .voltage(u16::from(step.set_vth))
+                .expect("DTC codes are bounded"),
+            end_of_frame: step.end_of_frame,
+        }
+    }
+
+    /// Resets the encoder to power-on state.
+    pub fn reset(&mut self) {
+        self.dtc.reset();
+        self.comparator.reset();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datc::DatcEncoder;
+    use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+
+    #[test]
+    fn stream_matches_batch_encoder_exactly() {
+        let fs = 2500.0;
+        let force = ForceProfile::mvc_protocol().samples(fs, 5.0);
+        let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
+            .generate(&force, 33)
+            .to_scaled(0.5)
+            .to_rectified();
+
+        let config = DatcConfig::paper();
+        let batch = DatcEncoder::new(config).encode(&semg);
+
+        let mut stream = DatcStream::new(config).unwrap();
+        let n_ticks = (semg.duration() * config.clock_hz).floor() as u64;
+        let mut events = Vec::new();
+        let mut vth_trace = Vec::new();
+        for k in 0..n_ticks {
+            let t = k as f64 / config.clock_hz;
+            let idx = ((t * fs) as usize).min(semg.len() - 1);
+            let out = stream.tick(semg.samples()[idx]);
+            if let Some(e) = out.event {
+                events.push(e);
+            }
+            vth_trace.push(out.set_vth);
+        }
+        assert_eq!(events, batch.events.events());
+        assert_eq!(vth_trace, batch.vth_code_trace);
+    }
+
+    #[test]
+    fn reset_restarts_the_stream() {
+        let mut s = DatcStream::new(DatcConfig::paper()).unwrap();
+        for _ in 0..500 {
+            s.tick(0.9);
+        }
+        assert!(s.ticks() == 500);
+        let code_before = s.tick(0.9).set_vth;
+        assert!(code_before > 1);
+        s.reset();
+        assert_eq!(s.ticks(), 0);
+        assert!((s.vth_volts() - 0.0625).abs() < 1e-12, "back to code 1");
+    }
+
+    #[test]
+    fn events_are_timestamped_on_the_clock() {
+        let mut s = DatcStream::new(DatcConfig::paper()).unwrap();
+        let mut first_event = None;
+        for k in 0..300u64 {
+            let x = if k % 3 == 0 { 0.9 } else { 0.0 };
+            if let Some(e) = s.tick(x).event {
+                first_event = Some(e);
+                break;
+            }
+        }
+        let e = first_event.expect("toggling input must fire");
+        assert!((e.time_s - e.tick as f64 / 2000.0).abs() < 1e-12);
+    }
+}

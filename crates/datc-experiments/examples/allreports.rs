@@ -1,0 +1,5 @@
+fn main() {
+    for r in datc_experiments::run_all(false) {
+        println!("### {} ###\n{}", r.id, r.text);
+    }
+}

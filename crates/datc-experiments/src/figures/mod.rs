@@ -1,0 +1,10 @@
+//! Per-figure experiment runners (see crate docs for the mapping).
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod symbols;
+pub mod table1;

@@ -1,0 +1,154 @@
+//! Sec. III-B — the on-air symbol-count bullet list.
+//!
+//! Paper numbers for one 20 s recording:
+//!
+//! * standard packet-based system — 12 × 50 000 = **600 000** symbols;
+//! * ATC (Vth = 0.3 V) — **3 183** event symbols;
+//! * ATC (Vth = 0.2 V) — **5 821** event symbols;
+//! * D-ATC — 3 724 × 5 = **18 620** event symbols.
+
+use crate::reference::{ReferenceCase, ATC_VTH_FIG3, ATC_VTH_FIG6};
+use crate::report::{comparison_table, Row};
+use datc_uwb::energy::{compare_schemes, TxEnergyModel};
+use datc_uwb::modulator::{pulse_count, symbolize_events};
+use datc_uwb::packet::PacketTx;
+use serde::Serialize;
+
+/// Result of the symbol-count comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SymbolsResult {
+    /// Payload-only packet symbols (the paper's 600 000).
+    pub packet_symbols: u64,
+    /// Full-packet symbols including header/SFD/ID/CRC overhead.
+    pub packet_symbols_with_overhead: u64,
+    /// ATC@0.3 V symbols (1 per event).
+    pub atc_high_symbols: u64,
+    /// ATC@0.2 V symbols.
+    pub atc_low_symbols: u64,
+    /// D-ATC symbols (5 per event).
+    pub datc_symbols: u64,
+    /// D-ATC radiated pulses (OOK ones only — what TX energy scales with).
+    pub datc_pulses: u64,
+    /// Average TX power per scheme, watts: `[packet, ATC@0.3, D-ATC]`.
+    pub tx_power_w: [f64; 3],
+}
+
+/// Runs the comparison on the canonical reference case.
+pub fn run() -> SymbolsResult {
+    let case = ReferenceCase::fig3_reference();
+    let n_samples = case.rectified.len() as u64;
+    let duration = case.rectified.duration();
+
+    let packet = PacketTx::baseline();
+    let (payload_only, with_overhead) = packet.symbol_counts(n_samples);
+
+    let (atc_high, _) = case.run_atc(ATC_VTH_FIG3);
+    let (atc_low, _) = case.run_atc(ATC_VTH_FIG6);
+    let (datc, _) = case.run_datc();
+
+    let patterns = symbolize_events(&datc.events, 4);
+    let datc_pulses = pulse_count(&patterns);
+    let datc_symbols = datc.events.symbol_count(4);
+    let pulse_fraction = datc_pulses as f64 / datc_symbols.max(1) as f64;
+
+    let energy = compare_schemes(
+        &TxEnergyModel::paper_class(),
+        duration,
+        payload_only,
+        atc_high.len() as u64,
+        datc_symbols,
+        pulse_fraction,
+    );
+
+    SymbolsResult {
+        packet_symbols: payload_only,
+        packet_symbols_with_overhead: with_overhead,
+        atc_high_symbols: atc_high.symbol_count(4),
+        atc_low_symbols: atc_low.symbol_count(4),
+        datc_symbols,
+        datc_pulses,
+        tx_power_w: [
+            energy[0].average_power_w,
+            energy[1].average_power_w,
+            energy[2].average_power_w,
+        ],
+    }
+}
+
+/// Text report for the symbol comparison.
+pub fn report() -> String {
+    let r = run();
+    comparison_table(
+        "Sec. III-B — on-air symbols per 20 s recording",
+        &[
+            Row::new("packet (12-bit ADC)", "600000", r.packet_symbols.to_string()),
+            Row::new(
+                "packet w/ overhead",
+                "—",
+                r.packet_symbols_with_overhead.to_string(),
+            ),
+            Row::new("ATC @0.3 V", "3183", r.atc_high_symbols.to_string()),
+            Row::new("ATC @0.2 V", "5821", r.atc_low_symbols.to_string()),
+            Row::new("D-ATC (×5)", "18620", r.datc_symbols.to_string()),
+            Row::new(
+                "TX power packet/ATC/D-ATC",
+                "≫ / low / low",
+                format!(
+                    "{:.0} / {:.0} / {:.0} nW",
+                    r.tx_power_w[0] * 1e9,
+                    r.tx_power_w[1] * 1e9,
+                    r.tx_power_w[2] * 1e9
+                ),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_count_matches_paper_exactly() {
+        let r = run();
+        assert_eq!(r.packet_symbols, 600_000);
+        assert_eq!(r.packet_symbols_with_overhead, 50_000 * 44);
+    }
+
+    #[test]
+    fn scheme_ordering_matches_paper() {
+        // packet ≫ D-ATC > ATC@0.2 > ATC@0.3 in symbols
+        let r = run();
+        assert!(r.packet_symbols > 10 * r.datc_symbols);
+        assert!(r.datc_symbols > r.atc_low_symbols);
+        assert!(r.atc_low_symbols > r.atc_high_symbols);
+    }
+
+    #[test]
+    fn datc_symbols_are_five_per_event() {
+        let r = run();
+        assert_eq!(r.datc_symbols % 5, 0);
+    }
+
+    #[test]
+    fn pulse_count_is_between_one_and_five_per_event() {
+        let r = run();
+        let events = r.datc_symbols / 5;
+        assert!(r.datc_pulses >= events, "at least the marker per event");
+        assert!(r.datc_pulses <= 5 * events);
+    }
+
+    #[test]
+    fn packet_tx_burns_most_power() {
+        let r = run();
+        assert!(r.tx_power_w[0] > 5.0 * r.tx_power_w[2]);
+        assert!(r.tx_power_w[2] < 1e-6, "D-ATC TX must stay sub-µW");
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = report();
+        assert!(s.contains("600000"));
+        assert!(s.contains("D-ATC"));
+    }
+}

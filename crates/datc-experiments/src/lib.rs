@@ -1,0 +1,31 @@
+//! # datc-experiments — the paper's evaluation, regenerated
+//!
+//! One module per figure/table of Shahshahani et al., *DATE 2015*, plus
+//! the ablations DESIGN.md calls out. Each runner returns a typed result
+//! (with the paper's reference values embedded for comparison) and
+//! renders a text report.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`figures::fig2`]  | Fig. 2 — constant vs dynamic thresholding concept |
+//! | [`figures::fig3`]  | Fig. 3 — reference signal, ATC@0.3 V vs D-ATC |
+//! | [`figures::fig5`]  | Fig. 5 — correlation across the 190-pattern corpus |
+//! | [`figures::fig6`]  | Fig. 6 — ATC@0.2 V matching D-ATC's correlation |
+//! | [`figures::symbols`] | Sec. III-B — symbol-count bullet list |
+//! | [`figures::fig7`]  | Fig. 7 — events-vs-correlation trade-off |
+//! | [`figures::table1`] | Table I — synthesis and power |
+//! | [`figures::ablations`] | frame size / DAC bits / weights / reconstructor sweeps |
+//!
+//! Run everything with [`runner::run_all`]; the `quick` flag shrinks the
+//! corpus for CI-speed smoke runs.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod figures;
+pub mod reference;
+pub mod report;
+pub mod runner;
+
+pub use reference::ReferenceCase;
+pub use runner::{run_all, NamedReport};

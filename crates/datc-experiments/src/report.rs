@@ -1,0 +1,127 @@
+//! Text rendering helpers shared by the figure runners.
+
+use std::fmt::Write as _;
+
+/// A paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// What is being compared.
+    pub label: String,
+    /// The value the paper reports (as printed there).
+    pub paper: String,
+    /// The value this reproduction measured.
+    pub measured: String,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        Row {
+            label: label.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// Renders rows as a fixed-width comparison table.
+pub fn comparison_table(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let w_label = rows.iter().map(|r| r.label.len()).max().unwrap_or(8).max(8);
+    let w_paper = rows.iter().map(|r| r.paper.len()).max().unwrap_or(5).max(5);
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<w_label$}  {:>w_paper$}  measured",
+        "quantity", "paper"
+    );
+    for r in rows {
+        let _ = writeln!(out, "{:<w_label$}  {:>w_paper$}  {}", r.label, r.paper, r.measured);
+    }
+    out
+}
+
+/// A tiny ASCII sparkline (8 levels) of a series, for terminal reports.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a long series to `n` points (mean per bucket) for
+/// sparklines.
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let bucket = (values.len() as f64 / n as f64).max(1.0);
+    (0..n)
+        .map(|i| {
+            let lo = (i as f64 * bucket) as usize;
+            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len()).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = comparison_table(
+            "Fig. 3",
+            &[
+                Row::new("correlation", "96.41 %", "97.2 %"),
+                Row::new("events", "3724", "2008"),
+            ],
+        );
+        assert!(t.contains("Fig. 3"));
+        assert!(t.contains("96.41 %"));
+        assert!(t.contains("2008"));
+    }
+
+    #[test]
+    fn sparkline_length_matches_input() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_of_constant_series_is_flat() {
+        let s = sparkline(&[2.0; 5]);
+        assert_eq!(s.chars().count(), 5);
+    }
+
+    #[test]
+    fn downsample_reduces_length() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.len(), 10);
+        assert!(d[9] > d[0]);
+    }
+
+    #[test]
+    fn downsample_degenerate_inputs() {
+        assert!(downsample(&[], 5).is_empty());
+        assert!(downsample(&[1.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Batch execution of all experiments.
+
+use crate::figures::{ablations, fig2, fig3, fig5, fig6, fig7, symbols, table1};
+
+/// A rendered experiment report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedReport {
+    /// Experiment id (e.g. "fig3").
+    pub id: &'static str,
+    /// The rendered text table.
+    pub text: String,
+}
+
+/// Runs every experiment. With `quick = true` the corpus-scale sweeps are
+/// shrunk (Fig. 5 → 24 patterns, Table I workload → 2 s) so the whole
+/// suite finishes in seconds; `quick = false` reproduces the paper-sized
+/// runs (190 patterns, 20 s RTL workload).
+pub fn run_all(quick: bool) -> Vec<NamedReport> {
+    let fig5_n = if quick { 24 } else { 190 };
+    let table1_ticks = if quick { 4_000 } else { 40_000 };
+    vec![
+        NamedReport {
+            id: "fig2",
+            text: fig2::report(),
+        },
+        NamedReport {
+            id: "fig3",
+            text: fig3::report(),
+        },
+        NamedReport {
+            id: "fig5",
+            text: fig5::report(fig5_n),
+        },
+        NamedReport {
+            id: "fig6",
+            text: fig6::report(),
+        },
+        NamedReport {
+            id: "symbols",
+            text: symbols::report(),
+        },
+        NamedReport {
+            id: "fig7",
+            text: fig7::report(),
+        },
+        NamedReport {
+            id: "table1",
+            text: {
+                let r = table1::run(table1_ticks);
+                use crate::report::{comparison_table, Row};
+                comparison_table(
+                    "Table I — DTC simulation and synthesis results",
+                    &[
+                        Row::new("power supply", "1.8 V", format!("{} V", r.synth.supply_v)),
+                        Row::new("number of cells", "512", r.synth.cell_count.to_string()),
+                        Row::new("number of ports", "12", r.synth.total_ports.to_string()),
+                        Row::new(
+                            "core area",
+                            "11700 um^2",
+                            format!("{:.0} um^2", r.synth.core_area_um2),
+                        ),
+                        Row::new(
+                            "dynamic power (est./meas.)",
+                            "~70 nW",
+                            format!(
+                                "{:.0} / {:.1} nW",
+                                r.power_estimated.dynamic_w * 1e9,
+                                r.power_measured.dynamic_w * 1e9
+                            ),
+                        ),
+                    ],
+                )
+            },
+        },
+        NamedReport {
+            id: "ablations",
+            text: ablations::report(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_reports() {
+        let reports = run_all(true);
+        let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec!["fig2", "fig3", "fig5", "fig6", "symbols", "fig7", "table1", "ablations"]
+        );
+        for r in &reports {
+            assert!(!r.text.is_empty(), "{} report empty", r.id);
+        }
+    }
+}

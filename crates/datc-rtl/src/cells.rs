@@ -1,0 +1,216 @@
+//! Standard-cell library model for a high-voltage 0.18 µm CMOS process.
+//!
+//! Figures are representative of a 1.8 V HV 0.18 µm library (drawn from
+//! public 0.18 µm datasheets, scaled for HV track height):
+//!
+//! * area per cell in µm² (HV cells are ~1.4× their LV counterparts);
+//! * energy per output transition at 1.8 V in femtojoules — **including a
+//!   wire-load allowance** (HV metal pitches give 15–40 fF of pin+wire
+//!   capacitance per net; at 1.8 V that is `C·V² ≈ 50–130 fJ` on top of
+//!   the internal energy, which is what a wire-load-model synthesis run
+//!   reports);
+//! * leakage per cell, in picowatts (HV thick-oxide devices leak very
+//!   little — this is what makes 2 kHz operation land in the tens of nW).
+//!
+//! Table I is reproduced by combining these with the structural netlist
+//! (cell count / area, [`crate::synth`]) and measured switching activity
+//! ([`crate::power`]).
+
+use crate::netlist::{GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Physical data for one library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellInfo {
+    /// Layout area, µm².
+    pub area_um2: f64,
+    /// Energy per output transition at nominal voltage, fJ.
+    pub energy_per_toggle_fj: f64,
+    /// Static leakage, pW.
+    pub leakage_pw: f64,
+}
+
+/// The library: cell data per gate kind plus the two flavours of
+/// flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    inv: CellInfo,
+    nand2: CellInfo,
+    nor2: CellInfo,
+    and2: CellInfo,
+    or2: CellInfo,
+    xor2: CellInfo,
+    xnor2: CellInfo,
+    mux2: CellInfo,
+    xor3: CellInfo,
+    maj3: CellInfo,
+    and3: CellInfo,
+    or3: CellInfo,
+    dff: CellInfo,
+    dffe: CellInfo,
+}
+
+impl CellLibrary {
+    /// The high-voltage 0.18 µm / 1.8 V library used for Table I.
+    pub fn hv018() -> Self {
+        let c = |area_um2: f64, energy_per_toggle_fj: f64, leakage_pw: f64| CellInfo {
+            area_um2,
+            energy_per_toggle_fj,
+            leakage_pw,
+        };
+        CellLibrary {
+            vdd: 1.8,
+            inv: c(12.5, 54.0, 1.5),
+            nand2: c(16.6, 72.0, 2.0),
+            nor2: c(16.6, 72.0, 2.0),
+            and2: c(20.8, 90.0, 2.5),
+            or2: c(20.8, 90.0, 2.5),
+            xor2: c(29.1, 138.0, 3.5),
+            xnor2: c(29.1, 138.0, 3.5),
+            mux2: c(29.1, 126.0, 3.5),
+            xor3: c(41.6, 192.0, 5.0),
+            maj3: c(33.3, 156.0, 4.0),
+            and3: c(25.0, 108.0, 3.0),
+            or3: c(25.0, 108.0, 3.0),
+            dff: c(62.4, 288.0, 7.0),
+            dffe: c(74.9, 312.0, 8.5),
+        }
+    }
+
+    /// Data for a combinational kind.
+    pub fn gate(&self, kind: GateKind) -> &CellInfo {
+        match kind {
+            GateKind::Inv => &self.inv,
+            GateKind::Nand2 => &self.nand2,
+            GateKind::Nor2 => &self.nor2,
+            GateKind::And2 => &self.and2,
+            GateKind::Or2 => &self.or2,
+            GateKind::Xor2 => &self.xor2,
+            GateKind::Xnor2 => &self.xnor2,
+            GateKind::Mux2 => &self.mux2,
+            GateKind::Xor3 => &self.xor3,
+            GateKind::Maj3 => &self.maj3,
+            GateKind::And3 => &self.and3,
+            GateKind::Or3 => &self.or3,
+        }
+    }
+
+    /// Data for a flip-flop (`enabled` selects the clock-enable flavour).
+    pub fn dff(&self, enabled: bool) -> &CellInfo {
+        if enabled {
+            &self.dffe
+        } else {
+            &self.dff
+        }
+    }
+
+    /// Total layout area of a netlist, µm².
+    pub fn area_um2(&self, netlist: &Netlist) -> f64 {
+        let gates: f64 = netlist
+            .gates()
+            .iter()
+            .map(|g| self.gate(g.kind).area_um2)
+            .sum();
+        let dffs: f64 = netlist
+            .dffs()
+            .iter()
+            .map(|d| self.dff(d.en.is_some()).area_um2)
+            .sum();
+        gates + dffs
+    }
+
+    /// Total leakage of a netlist, watts.
+    pub fn leakage_w(&self, netlist: &Netlist) -> f64 {
+        let gates: f64 = netlist
+            .gates()
+            .iter()
+            .map(|g| self.gate(g.kind).leakage_pw)
+            .sum();
+        let dffs: f64 = netlist
+            .dffs()
+            .iter()
+            .map(|d| self.dff(d.en.is_some()).leakage_pw)
+            .sum();
+        (gates + dffs) * 1e-12
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::hv018()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Dff, Net};
+
+    #[test]
+    fn sequential_cells_dominate_area() {
+        let lib = CellLibrary::hv018();
+        assert!(lib.dff(false).area_um2 > 2.0 * lib.gate(GateKind::Nand2).area_um2);
+        assert!(lib.dff(true).area_um2 > lib.dff(false).area_um2);
+    }
+
+    #[test]
+    fn area_sums_over_cells() {
+        let lib = CellLibrary::hv018();
+        let mut nl = Netlist::new();
+        let a = nl.fresh_net();
+        nl.declare_input("a", a);
+        let y = nl.fresh_net();
+        nl.push_gate(GateKind::Inv, vec![a], y);
+        let q = nl.fresh_net();
+        nl.push_dff(Dff {
+            d: y,
+            q,
+            en: None,
+            reset_val: false,
+        });
+        let expect = lib.gate(GateKind::Inv).area_um2 + lib.dff(false).area_um2;
+        assert!((lib.area_um2(&nl) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_is_sub_nanowatt_for_small_blocks() {
+        let lib = CellLibrary::hv018();
+        let mut nl = Netlist::new();
+        let a = nl.fresh_net();
+        nl.declare_input("a", a);
+        let mut prev = a;
+        for _ in 0..100 {
+            let y = nl.fresh_net();
+            nl.push_gate(GateKind::Inv, vec![prev], y);
+            prev = y;
+        }
+        let leak = lib.leakage_w(&nl);
+        assert!(leak < 1e-9, "leakage {leak}");
+        assert!(leak > 0.0);
+    }
+
+    #[test]
+    fn average_cell_area_matches_table_1_scale() {
+        // Table I: 11 700 µm² / 512 cells ≈ 22.9 µm²/cell. Our library's
+        // mix-weighted average should be in that range for a typical
+        // datapath mix.
+        let lib = CellLibrary::hv018();
+        let mix = [
+            (GateKind::Inv, 15usize),
+            (GateKind::Nand2, 20),
+            (GateKind::And2, 15),
+            (GateKind::Or2, 15),
+            (GateKind::Xor2, 10),
+            (GateKind::Mux2, 10),
+            (GateKind::Maj3, 5),
+            (GateKind::Xor3, 5),
+        ];
+        let total: f64 = mix.iter().map(|(k, n)| lib.gate(*k).area_um2 * *n as f64).sum();
+        let count: usize = mix.iter().map(|(_, n)| n).sum();
+        let avg = total / count as f64;
+        assert!((15.0..30.0).contains(&avg), "avg comb cell {avg} µm²");
+        let _ = Net(0);
+    }
+}

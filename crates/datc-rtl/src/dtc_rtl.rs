@@ -1,0 +1,357 @@
+//! The Dynamic Threshold Controller in gates (Fig. 4, structural).
+//!
+//! Architecture (one 2 kHz clock domain):
+//!
+//! ```text
+//! d_in ──DFF(In_reg)── d ──┬────────────────────────────► D_out
+//!                          │rising edge (d & !d_prev) ──► Event
+//!                          ▼
+//!                    ones counter n3 = cnt + d
+//! tick counter ──eq ROM──► End_of_frame
+//!                          │
+//!          ┌───────────────┴────────────┐
+//!          ▼                            ▼
+//!   n2 ◄─DFFE─ n3                n1 ◄─DFFE─ n2
+//!          │                            │
+//!          └── S = 256·n3 + 166·n2 + 90·n1   (shift–add tree)
+//!                 │
+//!          ge_k = S ≥ ROM_k(frame_sel)·512   (k = 2…15)
+//!                 │
+//!          Set_Vth = 1 + popcount(ge_2…ge_15)  (levels are nested)
+//! ```
+//!
+//! The popcount trick exploits the monotonicity of the interval levels —
+//! the ge bits form a thermometer code, so "highest satisfied level" is
+//! just a sum. It is the kind of strength reduction a synthesis tool
+//! performs on Listing 1's if/elsif cascade.
+
+use crate::builder::NetlistBuilder;
+use crate::netlist::{Net, Netlist};
+use crate::sim::Simulator;
+use datc_core::config::DatcConfig;
+use datc_core::dtc::fixed_point::quantize_weights;
+use datc_core::dtc::intervals::IntervalTable;
+use datc_core::error::CoreError;
+
+/// Width of the AVR datapath (×512-scaled sums for frames up to 800).
+const S_WIDTH: usize = 19;
+/// Width of the frame counters (up to 800 clock periods).
+const CNT_WIDTH: usize = 10;
+
+/// Per-cycle observation of the gate-level DTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtlStep {
+    /// Synchronised comparator bit (`D_out`), pre-edge.
+    pub d_out: bool,
+    /// Rising-edge event strobe, pre-edge.
+    pub event: bool,
+    /// `End_of_frame`, pre-edge.
+    pub end_of_frame: bool,
+    /// Threshold code after the clock edge (matches the behavioural
+    /// model's post-frame `set_vth`).
+    pub set_vth: u8,
+}
+
+/// The gate-level DTC with its simulator.
+#[derive(Debug, Clone)]
+pub struct DtcRtl {
+    sim: Simulator,
+    frame_sel: u8,
+}
+
+impl DtcRtl {
+    /// Builds the netlist for `config` and wraps it in a simulator.
+    ///
+    /// The frame size is applied through the `frame_sel` input pins
+    /// (hardware-accurate: one netlist serves all four frame lengths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the configuration is
+    /// invalid or uses features the hardware does not have (the gate-level
+    /// DTC is fixed to the paper's 4-bit DAC and fixed-point weights).
+    pub fn new(config: DatcConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        if config.dac_bits != 4 {
+            return Err(CoreError::InvalidConfig {
+                field: "dac_bits",
+                reason: "the gate-level DTC implements the paper's 4-bit datapath".into(),
+            });
+        }
+        let netlist = build_dtc_netlist(&config);
+        debug_assert!(netlist.lint().is_empty());
+        Ok(DtcRtl {
+            sim: Simulator::new(netlist),
+            frame_sel: config.frame_size.selector(),
+        })
+    }
+
+    /// The underlying netlist (for synthesis/power reports).
+    pub fn netlist(&self) -> &Netlist {
+        self.sim.netlist()
+    }
+
+    /// The simulator (for activity inspection).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Runs one 2 kHz clock cycle.
+    pub fn step(&mut self, d_in: bool) -> RtlStep {
+        self.sim.step(&[
+            ("d_in", d_in),
+            ("frame_sel[0]", self.frame_sel & 1 == 1),
+            ("frame_sel[1]", self.frame_sel >> 1 & 1 == 1),
+        ]);
+        RtlStep {
+            d_out: self.sim.get_output_pre("d_out"),
+            event: self.sim.get_output_pre("event"),
+            end_of_frame: self.sim.get_output_pre("end_of_frame"),
+            set_vth: self.sim.get_output_bus("set_vth", 4) as u8,
+        }
+    }
+
+    /// Cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycles()
+    }
+
+    /// Resets to power-on state.
+    pub fn reset(&mut self) {
+        self.sim.reset();
+    }
+}
+
+/// Builds the DTC netlist for `config` (weights and interval table are
+/// baked in as ROM constants, frame size stays a runtime input).
+pub fn build_dtc_netlist(config: &DatcConfig) -> Netlist {
+    let mut b = NetlistBuilder::new();
+
+    // ---- primary inputs -------------------------------------------------
+    let d_in = b.input("d_in");
+    let fsel = [b.input("frame_sel[0]"), b.input("frame_sel[1]")];
+
+    // ---- input synchroniser and edge detector ---------------------------
+    let in_reg = b.register(1, None, 0);
+    let d = in_reg.qs[0];
+    b.connect_register(in_reg, &[d_in]);
+
+    let prev_reg = b.register(1, None, 0);
+    let d_prev = prev_reg.qs[0];
+    b.connect_register(prev_reg, &[d]);
+    let n_prev = b.not(d_prev);
+    let event = b.and2(d, n_prev);
+
+    // ---- tick counter & End_of_frame ------------------------------------
+    let tick_reg = b.register(CNT_WIDTH, None, 0);
+    let tick_q = tick_reg.qs.clone();
+    // frame_len-1 ROM: 99 / 199 / 399 / 799
+    let eof_targets = [99u64, 199, 399, 799];
+    let mut eq_terms = Vec::new();
+    // equality against mux-of-constants, bit by bit
+    let rom_bits = b.rom4(fsel, eof_targets, CNT_WIDTH);
+    for (qbit, rbit) in tick_q.iter().zip(&rom_bits) {
+        let x = b.xor2(*qbit, *rbit);
+        eq_terms.push(b.not(x));
+    }
+    let end_of_frame = b.and_tree(&eq_terms);
+    let tick_inc = b.increment(&tick_q);
+    let n_eof = b.not(end_of_frame);
+    let tick_next: Vec<Net> = tick_inc[..CNT_WIDTH]
+        .iter()
+        .map(|&bit| b.and2(bit, n_eof))
+        .collect();
+    b.connect_register(tick_reg, &tick_next);
+
+    // ---- ones counter (n3 includes the current cycle's bit) -------------
+    let cnt_reg = b.register(CNT_WIDTH, None, 0);
+    let cnt_q = cnt_reg.qs.clone();
+    let cnt_inc = b.increment(&cnt_q);
+    // n3 = d ? cnt+1 : cnt
+    let n3: Vec<Net> = (0..CNT_WIDTH)
+        .map(|i| b.mux2(d, cnt_q[i], cnt_inc[i]))
+        .collect();
+    // counter next = eof ? 0 : n3
+    let cnt_next: Vec<Net> = n3.iter().map(|&bit| b.and2(bit, n_eof)).collect();
+    b.connect_register(cnt_reg, &cnt_next);
+
+    // ---- frame history registers ----------------------------------------
+    let n2_reg = b.register(CNT_WIDTH, Some(end_of_frame), 0);
+    let n2 = n2_reg.qs.clone();
+    let n1_reg = b.register(CNT_WIDTH, Some(end_of_frame), 0);
+    let n1 = n1_reg.qs.clone();
+    b.connect_register(n2_reg, &n3);
+    b.connect_register(n1_reg, &n2);
+
+    // ---- weighted sum S = w3·n3 + w2·n2 + w1·n1 (shift–add) -------------
+    let (w3, w2, w1) = quantize_weights(config.weights);
+    let term3 = shift_add_mul(&mut b, &n3, w3);
+    let term2 = shift_add_mul(&mut b, &n2, w2);
+    let term1 = shift_add_mul(&mut b, &n1, w1);
+    let t12 = b.adder(&term1, &term2);
+    let s_full = b.adder(&t12, &term3);
+    let s: Vec<Net> = s_full.iter().copied().take(S_WIDTH + 1).collect();
+
+    // ---- interval comparators (thermometer code) -------------------------
+    // ge_k = S ≥ level_k(frame)·512 for k = 2..=15, per frame size via a
+    // ge-per-frame + mux4 (constant comparators are ~1 gate/bit).
+    let tables: Vec<IntervalTable> = [100u32, 200, 400, 800]
+        .iter()
+        .map(|&len| IntervalTable::new(len, config.interval_step, 16))
+        .collect();
+    let mut ge_bits = Vec::new();
+    for k in 2..=15usize {
+        let per_frame: Vec<Net> = tables
+            .iter()
+            .map(|t| b.ge_const(&s, t.level_scaled(k)))
+            .collect();
+        let ge = b.mux4(fsel, [per_frame[0], per_frame[1], per_frame[2], per_frame[3]]);
+        ge_bits.push(ge);
+    }
+
+    // ---- popcount priority: code = 1 + Σ ge_k ----------------------------
+    let pop = popcount(&mut b, &ge_bits); // 4 bits (≤14)
+    let code_next = b.increment(&pop); // ≤15 → fits 4 bits
+
+    // ---- Set_Vth register -------------------------------------------------
+    let initial = u64::from(config.initial_code);
+    let vth_reg = b.register(4, Some(end_of_frame), initial);
+    let vth_q = vth_reg.qs.clone();
+    b.connect_register(vth_reg, &code_next[..4].to_vec());
+
+    // ---- primary outputs ---------------------------------------------------
+    b.output("d_out", d);
+    b.output("event", event);
+    b.output("end_of_frame", end_of_frame);
+    for (i, q) in vth_q.iter().enumerate() {
+        b.output(&format!("set_vth[{i}]"), *q);
+    }
+
+    b.finish()
+}
+
+/// Constant multiplication by shift-and-add over the set bits of `k`.
+fn shift_add_mul(b: &mut NetlistBuilder, a: &[Net], k: u64) -> Vec<Net> {
+    let mut acc: Option<Vec<Net>> = None;
+    for bit in 0..64 {
+        if k >> bit & 1 == 1 {
+            let shifted = b.shift_left(a, bit);
+            acc = Some(match acc {
+                None => shifted,
+                Some(prev) => b.adder(&prev, &shifted),
+            });
+        }
+    }
+    acc.unwrap_or_default()
+}
+
+/// Population count via a full-adder tree (3:2 compressors down to a
+/// binary sum).
+fn popcount(b: &mut NetlistBuilder, bits: &[Net]) -> Vec<Net> {
+    match bits.len() {
+        0 => vec![],
+        1 => vec![bits[0]],
+        2 => {
+            let (s, c) = b.full_adder(bits[0], bits[1], crate::netlist::GND);
+            vec![s, c]
+        }
+        _ => {
+            let (s, c) = b.full_adder(bits[0], bits[1], bits[2]);
+            let rest = popcount(b, &bits[3..]);
+            let low = popcount_merge(b, s, &rest);
+            // add carry at weight 1
+            b.adder(&low, &[crate::netlist::GND, c])
+                .into_iter()
+                .take(4.max(low.len()))
+                .collect()
+        }
+    }
+}
+
+fn popcount_merge(b: &mut NetlistBuilder, bit: Net, rest: &[Net]) -> Vec<Net> {
+    if rest.is_empty() {
+        return vec![bit];
+    }
+    b.adder(rest, &[bit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datc_core::config::FrameSize;
+
+    #[test]
+    fn netlist_is_structurally_clean() {
+        let nl = build_dtc_netlist(&DatcConfig::paper());
+        assert!(nl.lint().is_empty(), "{:?}", nl.lint());
+    }
+
+    #[test]
+    fn cell_count_is_in_table_1_decade() {
+        // Table I reports 512 cells; the structural model (before the
+        // logic optimisation a commercial tool applies) should land in the
+        // same decade — hundreds to ~2000 cells, not tens of thousands.
+        let nl = build_dtc_netlist(&DatcConfig::paper());
+        let cells = nl.cell_count();
+        assert!(
+            (200..3000).contains(&cells),
+            "cell count {cells} far from Table I's 512"
+        );
+    }
+
+    #[test]
+    fn port_count_matches_table_1_scale() {
+        // Table I: 12 ports. Ours: d_in + frame_sel[2] + d_out + event +
+        // end_of_frame + set_vth[4] = 10 signal pins (+ clk/rst/VDD/GND
+        // implicit).
+        let nl = build_dtc_netlist(&DatcConfig::paper());
+        assert_eq!(nl.port_count(), 10);
+    }
+
+    #[test]
+    fn all_zero_input_keeps_floor_code() {
+        let mut rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        for _ in 0..350 {
+            let s = rtl.step(false);
+            assert!(s.set_vth == 1, "code {}", s.set_vth);
+        }
+    }
+
+    #[test]
+    fn all_one_input_saturates_code_after_first_frame() {
+        let mut rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        let mut last = RtlStep {
+            d_out: false,
+            event: false,
+            end_of_frame: false,
+            set_vth: 1,
+        };
+        for _ in 0..100 {
+            last = rtl.step(true);
+        }
+        // 100th cycle closes the first frame (tick counter hit 99)
+        assert!(last.end_of_frame);
+        assert_eq!(last.set_vth, 15);
+    }
+
+    #[test]
+    fn frame_selector_changes_frame_length() {
+        let mut rtl =
+            DtcRtl::new(DatcConfig::paper().with_frame_size(FrameSize::F200)).unwrap();
+        let mut eof_at = Vec::new();
+        for k in 0..600u32 {
+            if rtl.step(false).end_of_frame {
+                eof_at.push(k);
+            }
+        }
+        assert_eq!(eof_at, vec![199, 399, 599]);
+    }
+
+    #[test]
+    fn event_strobe_fires_on_rising_edge() {
+        let mut rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        assert!(!rtl.step(true).event); // In_reg delay
+        assert!(rtl.step(false).event); // edge visible now
+        assert!(!rtl.step(false).event);
+    }
+}

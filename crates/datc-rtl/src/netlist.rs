@@ -1,0 +1,369 @@
+//! Gate-level netlist representation.
+//!
+//! Nets are numbered wires; cells are single-output gates; sequential
+//! state lives in D flip-flops clocked by one implicit global clock with
+//! an implicit asynchronous reset. Nets `0` and `1` are the constant
+//! `false`/`true` rails.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A wire in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Net(pub u32);
+
+/// The constant-low rail.
+pub const GND: Net = Net(0);
+/// The constant-high rail.
+pub const VDD: Net = Net(1);
+
+/// Combinational cell types (single output). The set mirrors a compact
+/// standard-cell library: simple gates, 2:1 mux, and the 3-input
+/// sum/majority cells a mapped full adder decomposes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer — inputs `[sel, a, b]`, output `sel ? b : a`.
+    Mux2,
+    /// 3-input XOR (full-adder sum).
+    Xor3,
+    /// 3-input majority (full-adder carry).
+    Maj3,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+}
+
+impl GateKind {
+    /// Number of input pins.
+    pub fn arity(&self) -> usize {
+        match self {
+            GateKind::Inv => 1,
+            GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::Mux2 | GateKind::Xor3 | GateKind::Maj3 | GateKind::And3 | GateKind::Or3 => 3,
+        }
+    }
+
+    /// Evaluates the gate function.
+    pub fn eval(&self, ins: &[bool]) -> bool {
+        match self {
+            GateKind::Inv => !ins[0],
+            GateKind::Nand2 => !(ins[0] && ins[1]),
+            GateKind::Nor2 => !(ins[0] || ins[1]),
+            GateKind::And2 => ins[0] && ins[1],
+            GateKind::Or2 => ins[0] || ins[1],
+            GateKind::Xor2 => ins[0] ^ ins[1],
+            GateKind::Xnor2 => !(ins[0] ^ ins[1]),
+            GateKind::Mux2 => {
+                if ins[0] {
+                    ins[2]
+                } else {
+                    ins[1]
+                }
+            }
+            GateKind::Xor3 => ins[0] ^ ins[1] ^ ins[2],
+            GateKind::Maj3 => (ins[0] && ins[1]) || (ins[1] && ins[2]) || (ins[0] && ins[2]),
+            GateKind::And3 => ins[0] && ins[1] && ins[2],
+            GateKind::Or3 => ins[0] || ins[1] || ins[2],
+        }
+    }
+}
+
+/// A combinational cell instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Cell type.
+    pub kind: GateKind,
+    /// Input nets (length = `kind.arity()`).
+    pub ins: Vec<Net>,
+    /// Output net (each net is driven at most once).
+    pub out: Net,
+}
+
+/// A D flip-flop (positive-edge, implicit clock, implicit asynchronous
+/// reset to `reset_val`, optional synchronous enable).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dff {
+    /// Data input net.
+    pub d: Net,
+    /// Output net.
+    pub q: Net,
+    /// Optional clock-enable net (`None` = always enabled).
+    pub en: Option<Net>,
+    /// Value taken on asynchronous reset.
+    pub reset_val: bool,
+}
+
+/// A complete netlist.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    n_nets: u32,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    inputs: Vec<(String, Net)>,
+    outputs: Vec<(String, Net)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the two constant rails allocated.
+    pub fn new() -> Self {
+        Netlist {
+            n_nets: 2,
+            ..Netlist::default()
+        }
+    }
+
+    /// Allocates a fresh net.
+    pub fn fresh_net(&mut self) -> Net {
+        let n = Net(self.n_nets);
+        self.n_nets += 1;
+        n
+    }
+
+    /// Total number of nets (including rails).
+    pub fn net_count(&self) -> u32 {
+        self.n_nets
+    }
+
+    /// Adds a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input count does not match the cell's arity.
+    pub fn push_gate(&mut self, kind: GateKind, ins: Vec<Net>, out: Net) {
+        assert_eq!(ins.len(), kind.arity(), "{kind:?} arity mismatch");
+        self.gates.push(Gate { kind, ins, out });
+    }
+
+    /// Adds a flip-flop.
+    pub fn push_dff(&mut self, dff: Dff) {
+        self.dffs.push(dff);
+    }
+
+    /// Declares a primary input pin.
+    pub fn declare_input(&mut self, name: &str, net: Net) {
+        self.inputs.push((name.to_string(), net));
+    }
+
+    /// Declares a primary output pin.
+    pub fn declare_output(&mut self, name: &str, net: Net) {
+        self.outputs.push((name.to_string(), net));
+    }
+
+    /// The combinational cells.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Mutable access to the cells — used by the verification tests to
+    /// inject faults (stuck-at / wrong-cell mutations) and prove the
+    /// lockstep checker catches them.
+    pub fn gates_mut(&mut self) -> &mut [Gate] {
+        &mut self.gates
+    }
+
+    /// The flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Declared primary inputs.
+    pub fn inputs(&self) -> &[(String, Net)] {
+        &self.inputs
+    }
+
+    /// Declared primary outputs.
+    pub fn outputs(&self) -> &[(String, Net)] {
+        &self.outputs
+    }
+
+    /// Primary input net by name.
+    pub fn input(&self, name: &str) -> Option<Net> {
+        self.inputs.iter().find(|(n, _)| n == name).map(|&(_, net)| net)
+    }
+
+    /// Primary output net by name.
+    pub fn output(&self, name: &str) -> Option<Net> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|&(_, net)| net)
+    }
+
+    /// Total cell count (gates + flip-flops) — Table I's "Number of
+    /// cells".
+    pub fn cell_count(&self) -> usize {
+        self.gates.len() + self.dffs.len()
+    }
+
+    /// Signal port count (inputs + outputs); add 2 for VDD/GND to match
+    /// the paper's pin accounting.
+    pub fn port_count(&self) -> usize {
+        // Multi-bit buses are counted per wire here; named buses share a
+        // prefix ("set_vth[0]" …).
+        self.inputs.len() + self.outputs.len()
+    }
+
+    /// Per-kind cell histogram (for synthesis reports).
+    pub fn cell_histogram(&self) -> BTreeMap<String, usize> {
+        let mut h: BTreeMap<String, usize> = BTreeMap::new();
+        for g in &self.gates {
+            *h.entry(format!("{:?}", g.kind)).or_default() += 1;
+        }
+        let (plain, enabled): (Vec<_>, Vec<_>) = self.dffs.iter().partition(|d| d.en.is_none());
+        if !plain.is_empty() {
+            h.insert("Dff".to_string(), plain.len());
+        }
+        if !enabled.is_empty() {
+            h.insert("DffE".to_string(), enabled.len());
+        }
+        h
+    }
+
+    /// Validates structural sanity: single driver per net, inputs not
+    /// driven, no dangling gate inputs. Returns a list of problems
+    /// (empty = clean).
+    pub fn lint(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut driven = vec![0u8; self.n_nets as usize];
+        driven[0] = 1;
+        driven[1] = 1;
+        for (name, net) in &self.inputs {
+            if driven[net.0 as usize] > 0 {
+                problems.push(format!("input `{name}` net {net:?} is multiply driven"));
+            }
+            driven[net.0 as usize] += 1;
+        }
+        for g in &self.gates {
+            if driven[g.out.0 as usize] > 0 {
+                problems.push(format!("net {:?} multiply driven (gate {:?})", g.out, g.kind));
+            }
+            driven[g.out.0 as usize] += 1;
+        }
+        for d in &self.dffs {
+            if driven[d.q.0 as usize] > 0 {
+                problems.push(format!("net {:?} multiply driven (dff)", d.q));
+            }
+            driven[d.q.0 as usize] += 1;
+        }
+        for g in &self.gates {
+            for i in &g.ins {
+                if driven[i.0 as usize] == 0 {
+                    problems.push(format!("gate {:?} reads undriven net {:?}", g.kind, i));
+                }
+            }
+        }
+        for d in &self.dffs {
+            if driven[d.d.0 as usize] == 0 {
+                problems.push(format!("dff reads undriven net {:?}", d.d));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        use GateKind::*;
+        assert!(Inv.eval(&[false]));
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(Xor2.eval(&[true, false]));
+        assert!(Xnor2.eval(&[true, true]));
+        assert!(Mux2.eval(&[false, true, false])); // sel=0 → a
+        assert!(Mux2.eval(&[true, false, true])); // sel=1 → b
+        assert!(Xor3.eval(&[true, true, true]));
+        assert!(!Xor3.eval(&[true, true, false]));
+        assert!(Maj3.eval(&[true, true, false]));
+        assert!(!Maj3.eval(&[true, false, false]));
+        assert!(And3.eval(&[true, true, true]));
+        assert!(Or3.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn netlist_bookkeeping() {
+        let mut nl = Netlist::new();
+        let a = nl.fresh_net();
+        let b = nl.fresh_net();
+        let y = nl.fresh_net();
+        nl.declare_input("a", a);
+        nl.declare_input("b", b);
+        nl.push_gate(GateKind::And2, vec![a, b], y);
+        nl.declare_output("y", y);
+        assert_eq!(nl.cell_count(), 1);
+        assert_eq!(nl.port_count(), 3);
+        assert_eq!(nl.input("a"), Some(a));
+        assert_eq!(nl.output("y"), Some(y));
+        assert!(nl.lint().is_empty());
+    }
+
+    #[test]
+    fn lint_catches_double_drive() {
+        let mut nl = Netlist::new();
+        let a = nl.fresh_net();
+        nl.declare_input("a", a);
+        let y = nl.fresh_net();
+        nl.push_gate(GateKind::Inv, vec![a], y);
+        nl.push_gate(GateKind::Inv, vec![a], y);
+        assert!(!nl.lint().is_empty());
+    }
+
+    #[test]
+    fn lint_catches_dangling_input() {
+        let mut nl = Netlist::new();
+        let ghost = nl.fresh_net();
+        let y = nl.fresh_net();
+        nl.push_gate(GateKind::Inv, vec![ghost], y);
+        assert!(!nl.lint().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_enforced() {
+        let mut nl = Netlist::new();
+        let y = nl.fresh_net();
+        nl.push_gate(GateKind::And2, vec![GND], y);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let mut nl = Netlist::new();
+        let a = nl.fresh_net();
+        nl.declare_input("a", a);
+        let y1 = nl.fresh_net();
+        let y2 = nl.fresh_net();
+        nl.push_gate(GateKind::Inv, vec![a], y1);
+        nl.push_gate(GateKind::Inv, vec![y1], y2);
+        let q = nl.fresh_net();
+        nl.push_dff(Dff {
+            d: y2,
+            q,
+            en: None,
+            reset_val: false,
+        });
+        let h = nl.cell_histogram();
+        assert_eq!(h.get("Inv"), Some(&2));
+        assert_eq!(h.get("Dff"), Some(&1));
+    }
+}

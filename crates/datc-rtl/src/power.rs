@@ -1,0 +1,201 @@
+//! Dynamic power from measured switching activity.
+//!
+//! `P_dyn = Σ_cells toggles·E_toggle / T_sim` — the post-synthesis power
+//! methodology the paper applies ("post synthesis Verilog netlist together
+//! with timing constraint files are … used to check … dynamic power
+//! consumption"). Leakage is added from the library model.
+
+use crate::cells::CellLibrary;
+use crate::sim::Simulator;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Energy per clock-pin edge of a flip-flop (fJ): ≈ 8 fF at 1.8 V.
+pub const CLOCK_PIN_ENERGY_FJ: f64 = 26.0;
+
+/// The default activity factor a no-SAIF synthesis power run assumes
+/// (toggles per cell per cycle). The paper's ~70 nW figure is consistent
+/// with this flow on a netlist of this size.
+pub const DEFAULT_ACTIVITY: f64 = 0.35;
+
+/// The power column of Table I, from a simulated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Clock frequency the activity was collected at, Hz.
+    pub clock_hz: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Dynamic power, watts.
+    pub dynamic_w: f64,
+    /// Leakage power, watts.
+    pub leakage_w: f64,
+    /// Mean toggles per cell per cycle (activity factor).
+    pub activity: f64,
+}
+
+impl PowerReport {
+    /// Computes power from the activity a [`Simulator`] accumulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulator has executed no cycles or `clock_hz` is
+    /// not positive.
+    pub fn from_simulation(sim: &Simulator, library: &CellLibrary, clock_hz: f64) -> Self {
+        assert!(sim.cycles() > 0, "run the workload first");
+        assert!(clock_hz > 0.0, "clock must be positive");
+        let netlist = sim.netlist();
+        let sim_time_s = sim.cycles() as f64 / clock_hz;
+
+        let mut energy_j = 0.0f64;
+        for (gate, toggles) in netlist.gates().iter().zip(sim.gate_toggles()) {
+            energy_j += *toggles as f64 * library.gate(gate.kind).energy_per_toggle_fj * 1e-15;
+        }
+        for (dff, toggles) in netlist.dffs().iter().zip(sim.dff_toggles()) {
+            energy_j += *toggles as f64 * library.dff(dff.en.is_some()).energy_per_toggle_fj * 1e-15;
+        }
+        // Clock-tree charge: every DFF's clock pin (≈ 8 fF at 1.8 V →
+        // 26 fJ) sees two edges per cycle regardless of data activity —
+        // the idle-clocking floor.
+        let clk_energy =
+            sim.cycles() as f64 * netlist.dffs().len() as f64 * CLOCK_PIN_ENERGY_FJ * 2.0 * 1e-15;
+        energy_j += clk_energy;
+
+        PowerReport {
+            clock_hz,
+            cycles: sim.cycles(),
+            dynamic_w: energy_j / sim_time_s,
+            leakage_w: library.leakage_w(netlist),
+            activity: sim.mean_activity(),
+        }
+    }
+
+    /// Estimates power the way a synthesis tool does **without** a
+    /// simulation trace: every cell toggles `alpha` times per cycle.
+    /// With `alpha = `[`DEFAULT_ACTIVITY`] this reproduces the
+    /// methodology behind Table I's "~70 nW" (the paper reports a
+    /// post-synthesis estimate, not a workload measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clock_hz` or `alpha` is not positive.
+    pub fn from_default_activity(
+        netlist: &crate::netlist::Netlist,
+        library: &CellLibrary,
+        clock_hz: f64,
+        alpha: f64,
+    ) -> Self {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        assert!(alpha > 0.0, "activity must be positive");
+        let mut energy_per_cycle_j = 0.0f64;
+        for gate in netlist.gates() {
+            energy_per_cycle_j += alpha * library.gate(gate.kind).energy_per_toggle_fj * 1e-15;
+        }
+        for dff in netlist.dffs() {
+            energy_per_cycle_j += alpha * library.dff(dff.en.is_some()).energy_per_toggle_fj * 1e-15;
+        }
+        energy_per_cycle_j += netlist.dffs().len() as f64 * CLOCK_PIN_ENERGY_FJ * 2.0 * 1e-15;
+        PowerReport {
+            clock_hz,
+            cycles: 0,
+            dynamic_w: energy_per_cycle_j * clock_hz,
+            leakage_w: library.leakage_w(netlist),
+            activity: alpha,
+        }
+    }
+
+    /// Total power (dynamic + leakage), watts.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w + self.leakage_w
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "System clock          {:.0} Hz", self.clock_hz)?;
+        writeln!(f, "Simulated cycles      {}", self.cycles)?;
+        writeln!(f, "Activity              {:.3} toggles/cell/cycle", self.activity)?;
+        writeln!(f, "Dynamic power         {:.1} nW", self.dynamic_w * 1e9)?;
+        writeln!(f, "Leakage power         {:.2} nW", self.leakage_w * 1e9)?;
+        writeln!(f, "Total power           {:.1} nW", self.total_w() * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtc_rtl::DtcRtl;
+    use datc_core::config::DatcConfig;
+
+    fn run_workload(duty_percent: u32, cycles: u32) -> (DtcRtl, PowerReport) {
+        let mut rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        for k in 0..cycles {
+            rtl.step((k % 100) < duty_percent);
+        }
+        let rep = PowerReport::from_simulation(rtl.simulator(), &CellLibrary::hv018(), 2000.0);
+        (rtl, rep)
+    }
+
+    #[test]
+    fn dtc_measured_power_is_tens_of_nanowatts() {
+        // Measured activity on a realistic workload: the DTC datapath only
+        // switches at frame boundaries, so this sits below the paper's
+        // default-activity estimate but in the same ultra-low-power class.
+        let (_, rep) = run_workload(30, 20_000);
+        let nw = rep.dynamic_w * 1e9;
+        assert!((2.0..200.0).contains(&nw), "dynamic {nw} nW");
+        assert!(rep.total_w() < 1e-6, "total must stay sub-µW");
+    }
+
+    #[test]
+    fn dtc_default_activity_estimate_matches_table_1() {
+        // The no-SAIF synthesis estimate should land near the paper's
+        // ~70 nW at 2 kHz / 1.8 V.
+        let rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        let rep = PowerReport::from_default_activity(
+            rtl.netlist(),
+            &CellLibrary::hv018(),
+            2000.0,
+            super::DEFAULT_ACTIVITY,
+        );
+        let nw = rep.dynamic_w * 1e9;
+        assert!((30.0..150.0).contains(&nw), "estimate {nw} nW vs paper ~70 nW");
+    }
+
+    #[test]
+    fn idle_workload_burns_less_than_active() {
+        let (_, idle) = run_workload(0, 10_000);
+        let (_, active) = run_workload(40, 10_000);
+        assert!(
+            active.dynamic_w > idle.dynamic_w,
+            "active {} idle {}",
+            active.dynamic_w,
+            idle.dynamic_w
+        );
+    }
+
+    #[test]
+    fn power_scales_linearly_with_clock() {
+        let (_, at2k) = run_workload(30, 10_000);
+        let mut rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        for k in 0..10_000u32 {
+            rtl.step((k % 100) < 30);
+        }
+        let at4k = PowerReport::from_simulation(rtl.simulator(), &CellLibrary::hv018(), 4000.0);
+        assert!((at4k.dynamic_w / at2k.dynamic_w - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "run the workload first")]
+    fn zero_cycles_rejected() {
+        let rtl = DtcRtl::new(DatcConfig::paper()).unwrap();
+        let _ = PowerReport::from_simulation(rtl.simulator(), &CellLibrary::hv018(), 2000.0);
+    }
+
+    #[test]
+    fn display_reports_nanowatts() {
+        let (_, rep) = run_workload(20, 5_000);
+        let s = rep.to_string();
+        assert!(s.contains("Dynamic power"));
+        assert!(s.contains("nW"));
+    }
+}

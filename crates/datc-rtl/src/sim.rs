@@ -1,0 +1,398 @@
+//! Cycle-accurate netlist simulation with switching-activity capture.
+//!
+//! Zero-delay synchronous semantics: per clock cycle the combinational
+//! network settles once (topological evaluation), pre-edge outputs are
+//! captured, then every DFF latches. Switching activity is the number of
+//! settled-value changes between consecutive cycles (a glitch-free
+//! activity model — the lower bound a power tool would report from a
+//! zero-delay VCD).
+
+use crate::netlist::{Net, Netlist};
+use std::collections::HashMap;
+
+/// The simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    netlist: Netlist,
+    /// Settled value per net (pre-edge view of the current cycle).
+    values: Vec<bool>,
+    /// Values after the most recent clock edge (post-edge view).
+    post_values: Vec<bool>,
+    /// Topological order of gate indices.
+    topo: Vec<usize>,
+    /// Cumulative output toggles per gate (same indexing as gates()).
+    gate_toggles: Vec<u64>,
+    /// Cumulative Q toggles per DFF.
+    dff_toggles: Vec<u64>,
+    /// Cycles executed.
+    cycles: u64,
+    input_index: HashMap<String, Net>,
+    output_index: HashMap<String, Net>,
+    /// Previous settled values, for toggle counting.
+    prev_settled: Vec<bool>,
+}
+
+impl Simulator {
+    /// Builds a simulator, computing the evaluation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the netlist contains a combinational cycle or fails
+    /// lint checks.
+    pub fn new(netlist: Netlist) -> Self {
+        let problems = netlist.lint();
+        assert!(problems.is_empty(), "netlist lint failed: {problems:?}");
+        let topo = topo_order(&netlist);
+        let n = netlist.net_count() as usize;
+        let mut values = vec![false; n];
+        values[1] = true; // VDD
+        // apply DFF reset values
+        for d in netlist.dffs() {
+            values[d.q.0 as usize] = d.reset_val;
+        }
+        let input_index = netlist
+            .inputs()
+            .iter()
+            .map(|(s, n)| (s.clone(), *n))
+            .collect();
+        let output_index = netlist
+            .outputs()
+            .iter()
+            .map(|(s, n)| (s.clone(), *n))
+            .collect();
+        let n_gates = netlist.gates().len();
+        let n_dffs = netlist.dffs().len();
+        Simulator {
+            post_values: values.clone(),
+            prev_settled: values.clone(),
+            values,
+            topo,
+            gate_toggles: vec![0; n_gates],
+            dff_toggles: vec![0; n_dffs],
+            cycles: 0,
+            input_index,
+            output_index,
+            netlist,
+        }
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Executes one clock cycle with the given primary-input assignments
+    /// (unlisted inputs keep their previous values).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown input name.
+    pub fn step(&mut self, inputs: &[(&str, bool)]) {
+        for (name, v) in inputs {
+            let net = *self
+                .input_index
+                .get(*name)
+                .unwrap_or_else(|| panic!("unknown input `{name}`"));
+            self.values[net.0 as usize] = *v;
+        }
+        // settle combinational network (pre-edge view)
+        self.settle();
+
+        // activity: settled-vs-previous-settled changes
+        for (gi, &idx) in self.topo.iter().enumerate() {
+            let _ = gi;
+            let out = self.netlist.gates()[idx].out.0 as usize;
+            if self.values[out] != self.prev_settled[out] {
+                self.gate_toggles[idx] += 1;
+            }
+        }
+        for (di, d) in self.netlist.dffs().iter().enumerate() {
+            let q = d.q.0 as usize;
+            if self.values[q] != self.prev_settled[q] {
+                self.dff_toggles[di] += 1;
+            }
+        }
+        self.prev_settled.copy_from_slice(&self.values);
+
+        // clock edge: latch all DFFs simultaneously
+        let next: Vec<(usize, bool)> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|d| {
+                let enabled = d.en.map(|e| self.values[e.0 as usize]).unwrap_or(true);
+                let q = d.q.0 as usize;
+                let v = if enabled {
+                    self.values[d.d.0 as usize]
+                } else {
+                    self.values[q]
+                };
+                (q, v)
+            })
+            .collect();
+        // post-edge view: commit Qs and settle again (observation only —
+        // not counted as activity; the next cycle's settle recounts).
+        self.post_values.copy_from_slice(&self.values);
+        for (q, v) in next {
+            self.values[q] = v;
+            self.post_values[q] = v;
+        }
+        {
+            // settle post-edge into post_values without disturbing
+            // values' pre-edge inputs: evaluate over post_values.
+            for &idx in &self.topo {
+                let g = &self.netlist.gates()[idx];
+                let ins: Vec<bool> = g.ins.iter().map(|n| self.post_values[n.0 as usize]).collect();
+                self.post_values[g.out.0 as usize] = g.kind.eval(&ins);
+            }
+        }
+        // carry post-edge Q values into the working state for next cycle
+        self.values.copy_from_slice(&self.post_values);
+        self.cycles += 1;
+    }
+
+    fn settle(&mut self) {
+        for &idx in &self.topo {
+            let g = &self.netlist.gates()[idx];
+            let ins: Vec<bool> = g.ins.iter().map(|n| self.values[n.0 as usize]).collect();
+            self.values[g.out.0 as usize] = g.kind.eval(&ins);
+        }
+    }
+
+    /// Pre-edge value of a named output during the last cycle (what a
+    /// tester probing mid-cycle sees).
+    pub fn get_output_pre(&self, name: &str) -> bool {
+        let net = self.output_index[name];
+        self.prev_settled[net.0 as usize]
+    }
+
+    /// Post-edge value of a named output after the last cycle.
+    pub fn get_output(&self, name: &str) -> bool {
+        let net = self.output_index[name];
+        self.post_values[net.0 as usize]
+    }
+
+    /// Reads a multi-bit output bus `name[0..width]` (post-edge).
+    pub fn get_output_bus(&self, prefix: &str, width: usize) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.get_output(&format!("{prefix}[{i}]")) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cumulative gate-output toggle counts (index-aligned with
+    /// `netlist().gates()`).
+    pub fn gate_toggles(&self) -> &[u64] {
+        &self.gate_toggles
+    }
+
+    /// Cumulative DFF Q toggle counts.
+    pub fn dff_toggles(&self) -> &[u64] {
+        &self.dff_toggles
+    }
+
+    /// Mean switching activity: toggles per cell per cycle.
+    pub fn mean_activity(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.gate_toggles.iter().chain(self.dff_toggles.iter()).sum();
+        let cells = (self.gate_toggles.len() + self.dff_toggles.len()).max(1);
+        total as f64 / (self.cycles as f64 * cells as f64)
+    }
+
+    /// Resets state (values, activity, cycle count) to power-on.
+    pub fn reset(&mut self) {
+        let n = self.netlist.net_count() as usize;
+        self.values = vec![false; n];
+        self.values[1] = true;
+        for d in self.netlist.dffs() {
+            self.values[d.q.0 as usize] = d.reset_val;
+        }
+        self.post_values = self.values.clone();
+        self.prev_settled = self.values.clone();
+        for t in &mut self.gate_toggles {
+            *t = 0;
+        }
+        for t in &mut self.dff_toggles {
+            *t = 0;
+        }
+        self.cycles = 0;
+    }
+}
+
+/// Topological order of the combinational gates (DFF Qs and inputs are
+/// sources).
+///
+/// # Panics
+///
+/// Panics on combinational cycles.
+fn topo_order(netlist: &Netlist) -> Vec<usize> {
+    let n_nets = netlist.net_count() as usize;
+    let n_gates = netlist.gates().len();
+    // net → driving gate index
+    let mut driver: Vec<Option<usize>> = vec![None; n_nets];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        driver[g.out.0 as usize] = Some(i);
+    }
+    // Kahn's algorithm over gate→gate dependencies.
+    let mut indeg = vec![0usize; n_gates];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_gates];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for inp in &g.ins {
+            if let Some(d) = driver[inp.0 as usize] {
+                indeg[i] += 1;
+                dependents[d].push(i);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n_gates).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n_gates);
+    while let Some(gi) = ready.pop() {
+        order.push(gi);
+        for &dep in &dependents[gi] {
+            indeg[dep] -= 1;
+            if indeg[dep] == 0 {
+                ready.push(dep);
+            }
+        }
+    }
+    assert!(
+        order.len() == n_gates,
+        "combinational cycle: {} of {} gates unordered",
+        n_gates - order.len(),
+        n_gates
+    );
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::{Dff, GateKind};
+
+    #[test]
+    fn combinational_chain_settles_in_one_step() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let x1 = b.not(a);
+        let x2 = b.not(x1);
+        let x3 = b.not(x2);
+        b.output("y", x3);
+        let mut sim = Simulator::new(b.finish());
+        sim.step(&[("a", true)]);
+        assert!(!sim.get_output("y"));
+        sim.step(&[("a", false)]);
+        assert!(sim.get_output("y"));
+    }
+
+    #[test]
+    fn counter_counts() {
+        // 3-bit counter from builder primitives
+        let mut b = NetlistBuilder::new();
+        let reg = b.register(3, None, 0);
+        let q = reg.qs.clone();
+        let inc = b.increment(&q);
+        let qs = b.connect_register(reg, &inc[..3].to_vec());
+        for (i, n) in qs.iter().enumerate() {
+            b.output(&format!("q[{i}]"), *n);
+        }
+        let mut sim = Simulator::new(b.finish());
+        for expected in 1..=10u64 {
+            sim.step(&[]);
+            assert_eq!(sim.get_output_bus("q", 3), expected % 8);
+        }
+    }
+
+    #[test]
+    fn dff_enable_gates_updates() {
+        let mut b = NetlistBuilder::new();
+        let en = b.input("en");
+        let d = b.input("d");
+        let q = b.netlist().net_count(); // about to be allocated
+        let _ = q;
+        let reg = b.register(1, Some(en), 0);
+        let qs = b.connect_register(reg, &[d]);
+        b.output("q", qs[0]);
+        let mut sim = Simulator::new(b.finish());
+        sim.step(&[("en", false), ("d", true)]);
+        assert!(!sim.get_output("q"), "disabled DFF must hold");
+        sim.step(&[("en", true), ("d", true)]);
+        assert!(sim.get_output("q"));
+        sim.step(&[("en", false), ("d", false)]);
+        assert!(sim.get_output("q"), "hold again");
+    }
+
+    #[test]
+    fn toggle_counting_tracks_activity() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let mut sim = Simulator::new(b.finish());
+        sim.step(&[("a", false)]); // y: false(init) -> true : 1 toggle
+        sim.step(&[("a", true)]); // y -> false : 1
+        sim.step(&[("a", true)]); // no change
+        sim.step(&[("a", false)]); // 1
+        assert_eq!(sim.gate_toggles()[0], 3);
+        assert_eq!(sim.cycles(), 4);
+    }
+
+    #[test]
+    fn pre_edge_vs_post_edge_views() {
+        // in_reg-style pipeline: q follows d one cycle later.
+        let mut b = NetlistBuilder::new();
+        let d = b.input("d");
+        let reg = b.register(1, None, 0);
+        let qs = b.connect_register(reg, &[d]);
+        b.output("q", qs[0]);
+        let mut sim = Simulator::new(b.finish());
+        sim.step(&[("d", true)]);
+        // during the cycle the register still held reset value
+        assert!(!sim.get_output_pre("q"));
+        // after the edge it latched the input
+        assert!(sim.get_output("q"));
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational cycle")]
+    fn combinational_loops_are_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.fresh_net();
+        let b = nl.fresh_net();
+        nl.push_gate(GateKind::Inv, vec![a], b);
+        nl.push_gate(GateKind::Inv, vec![b], a);
+        let _ = Simulator::new(nl);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut nl = Netlist::new();
+        let d = nl.fresh_net();
+        nl.declare_input("d", d);
+        let q = nl.fresh_net();
+        nl.push_dff(Dff {
+            d,
+            q,
+            en: None,
+            reset_val: true,
+        });
+        nl.declare_output("q", q);
+        let mut sim = Simulator::new(nl);
+        sim.step(&[("d", false)]);
+        assert!(!sim.get_output("q"));
+        sim.reset();
+        assert_eq!(sim.cycles(), 0);
+        sim.step(&[("d", true)]);
+        assert!(sim.get_output_pre("q"), "reset value visible pre-edge");
+    }
+}

@@ -1,0 +1,103 @@
+//! Synthesis-style reporting: the cell-count / port / area columns of
+//! Table I.
+
+use crate::cells::CellLibrary;
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The static (activity-independent) part of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthReport {
+    /// Supply voltage, volts.
+    pub supply_v: f64,
+    /// Total mapped cells (combinational + sequential).
+    pub cell_count: usize,
+    /// Sequential cells (flip-flops).
+    pub dff_count: usize,
+    /// Signal ports (excluding clk/rst/supplies).
+    pub signal_ports: usize,
+    /// Ports as the paper counts them (signals + clk + rst + VDD + GND
+    /// buckets; the paper lists 12 for the DTC IP).
+    pub total_ports: usize,
+    /// Core area, µm².
+    pub core_area_um2: f64,
+    /// Static leakage, watts.
+    pub leakage_w: f64,
+    /// Per-kind cell histogram.
+    pub histogram: BTreeMap<String, usize>,
+}
+
+impl SynthReport {
+    /// Analyses `netlist` against `library`.
+    pub fn analyze(netlist: &Netlist, library: &CellLibrary) -> Self {
+        SynthReport {
+            supply_v: library.vdd,
+            cell_count: netlist.cell_count(),
+            dff_count: netlist.dffs().len(),
+            signal_ports: netlist.port_count(),
+            // clk + rst + VDD + GND on top of the signal pins — matching
+            // the paper's "RST, EN, VDD and GND" enumeration.
+            total_ports: netlist.port_count() + 4,
+            core_area_um2: library.area_um2(netlist),
+            leakage_w: library.leakage_w(netlist),
+            histogram: netlist.cell_histogram(),
+        }
+    }
+}
+
+impl fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Power supply          {} V", self.supply_v)?;
+        writeln!(f, "Number of cells       {}", self.cell_count)?;
+        writeln!(f, "  of which DFF        {}", self.dff_count)?;
+        writeln!(f, "Number of ports       {}", self.total_ports)?;
+        writeln!(f, "Core area             {:.0} um^2", self.core_area_um2)?;
+        writeln!(f, "Leakage               {:.2} nW", self.leakage_w * 1e9)?;
+        for (kind, count) in &self.histogram {
+            writeln!(f, "  {kind:<8} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtc_rtl::build_dtc_netlist;
+    use datc_core::config::DatcConfig;
+
+    #[test]
+    fn dtc_report_lands_in_table_1_regime() {
+        let nl = build_dtc_netlist(&DatcConfig::paper());
+        let rep = SynthReport::analyze(&nl, &CellLibrary::hv018());
+        assert_eq!(rep.supply_v, 1.8);
+        // Table I: 512 cells / 11700 µm². Structural mapping without a
+        // commercial optimiser lands in the same decade.
+        assert!(
+            (200..3000).contains(&rep.cell_count),
+            "cells {}",
+            rep.cell_count
+        );
+        assert!(
+            (4_000.0..60_000.0).contains(&rep.core_area_um2),
+            "area {}",
+            rep.core_area_um2
+        );
+        // the DTC state: in_reg, d_prev, 2 counters (10b), n2/n1 (10b),
+        // set_vth (4b) = 46 flip-flops
+        assert_eq!(rep.dff_count, 46);
+        assert!(rep.leakage_w < 50e-9);
+    }
+
+    #[test]
+    fn display_contains_table_rows() {
+        let nl = build_dtc_netlist(&DatcConfig::paper());
+        let rep = SynthReport::analyze(&nl, &CellLibrary::hv018());
+        let s = rep.to_string();
+        assert!(s.contains("Power supply"));
+        assert!(s.contains("Number of cells"));
+        assert!(s.contains("Core area"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Envelope extraction: the "average rectified value" (ARV) reference the
+//! paper correlates reconstructions against (Fig. 3 D/E/F), plus RMS and
+//! low-pass envelopes.
+
+use crate::filter::{butter_lowpass, filtfilt, Filter, MovingAverage, MovingRms};
+use crate::signal::Signal;
+
+/// ARV envelope: full-wave rectification followed by a moving average of
+/// `window_s` seconds.
+///
+/// This is the paper's muscle-force proxy — "the average rectified value of
+/// the sEMG signals is acquired at the receiver" (Sec. II). A 250 ms window
+/// is the conventional choice for force tracking.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::{Signal, envelope::arv_envelope};
+/// let s = Signal::from_fn(1000.0, 1.0, |t| (2.0 * std::f64::consts::PI * 100.0 * t).sin());
+/// let env = arv_envelope(&s, 0.25);
+/// // ARV of a unit sine is 2/π ≈ 0.637 (coarse sampling shifts it slightly)
+/// assert!((env.samples()[900] - 2.0 / std::f64::consts::PI).abs() < 0.05);
+/// ```
+pub fn arv_envelope(signal: &Signal, window_s: f64) -> Signal {
+    let n_win = ((window_s * signal.sample_rate()).round() as usize).max(1);
+    let mut ma = MovingAverage::new(n_win);
+    let out: Vec<f64> = signal.samples().iter().map(|&x| ma.process(x.abs())).collect();
+    Signal::from_samples(out, signal.sample_rate())
+}
+
+/// RMS envelope over a sliding window of `window_s` seconds.
+pub fn rms_envelope(signal: &Signal, window_s: f64) -> Signal {
+    let n_win = ((window_s * signal.sample_rate()).round() as usize).max(1);
+    let mut mr = MovingRms::new(n_win);
+    let out: Vec<f64> = signal.samples().iter().map(|&x| mr.process(x)).collect();
+    Signal::from_samples(out, signal.sample_rate())
+}
+
+/// Linear-envelope extraction: rectification then a zero-phase 2nd-order
+/// Butterworth low-pass at `cutoff_hz` (typically 2–6 Hz for force
+/// tracking). Zero-phase filtering avoids the group-delay bias that a
+/// causal low-pass would introduce into correlation scores.
+pub fn linear_envelope(signal: &Signal, cutoff_hz: f64) -> Signal {
+    let rectified: Vec<f64> = signal.samples().iter().map(|x| x.abs()).collect();
+    let mut lp = butter_lowpass(2, cutoff_hz, signal.sample_rate())
+        .expect("cutoff validated by caller-visible panic below");
+    let out = filtfilt(&mut lp, &rectified);
+    Signal::from_samples(out, signal.sample_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::GaussianNoise;
+
+    fn am_noise(fs: f64, n: usize) -> Signal {
+        // Amplitude-modulated noise: quiet first half, loud second half.
+        let mut g = GaussianNoise::new(99);
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let a = if i < n / 2 { 0.1 } else { 1.0 };
+                a * g.standard()
+            })
+            .collect();
+        Signal::from_samples(data, fs)
+    }
+
+    #[test]
+    fn arv_tracks_amplitude_steps() {
+        let s = am_noise(1000.0, 20_000);
+        let env = arv_envelope(&s, 0.25);
+        let early = crate::stats::mean(&env.samples()[4000..9000]);
+        let late = crate::stats::mean(&env.samples()[14000..19000]);
+        assert!(late > 5.0 * early, "early {early} late {late}");
+    }
+
+    #[test]
+    fn rms_envelope_of_unit_noise_near_one() {
+        let mut g = GaussianNoise::new(5);
+        let s = Signal::from_samples(g.standard_vec(50_000), 1000.0);
+        let env = rms_envelope(&s, 0.5);
+        let tail = crate::stats::mean(&env.samples()[40_000..]);
+        assert!((tail - 1.0).abs() < 0.05, "tail rms {tail}");
+    }
+
+    #[test]
+    fn linear_envelope_is_smooth_and_positive_where_it_matters() {
+        let s = am_noise(1000.0, 20_000);
+        let env = linear_envelope(&s, 4.0);
+        // Smoothness: adjacent-sample jumps are small relative to level.
+        let d_max = env
+            .samples()
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(d_max < 0.05, "max jump {d_max}");
+    }
+
+    #[test]
+    fn envelopes_preserve_length_and_rate() {
+        let s = am_noise(2500.0, 1000);
+        for env in [
+            arv_envelope(&s, 0.25),
+            rms_envelope(&s, 0.25),
+            linear_envelope(&s, 4.0),
+        ] {
+            assert_eq!(env.len(), s.len());
+            assert_eq!(env.sample_rate(), s.sample_rate());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the signal substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by signal-processing operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalError {
+    /// A parameter was outside its valid domain (e.g. a non-positive sample
+    /// rate or a cutoff at or above Nyquist).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// Two signals that must share a length (or sample rate) did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// The operation needs more samples than were provided.
+    TooShort {
+        /// Samples required.
+        required: usize,
+        /// Samples available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SignalError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            SignalError::TooShort {
+                required,
+                available,
+            } => {
+                write!(f, "signal too short: need {required} samples, have {available}")
+            }
+        }
+    }
+}
+
+impl Error for SignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SignalError::InvalidParameter {
+            name: "cutoff_hz",
+            reason: "must be below Nyquist".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cutoff_hz"));
+        assert!(s.starts_with("invalid parameter"));
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let e: Box<dyn Error> = Box::new(SignalError::LengthMismatch { left: 3, right: 4 });
+        assert!(e.to_string().contains("3 vs 4"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SignalError>();
+    }
+}

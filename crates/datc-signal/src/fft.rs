@@ -1,0 +1,260 @@
+//! Radix-2 FFT and Welch power-spectral-density estimation.
+//!
+//! The UWB crate uses [`welch_psd`] to check transmitted pulse trains
+//! against the FCC −41.3 dBm/MHz mask; the generator tests use it to verify
+//! the synthetic sEMG occupies the 20–450 Hz band.
+
+use crate::error::SignalError;
+use crate::window::WindowKind;
+
+/// A complex number (minimal, local — no external dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds a complex number from rectangular parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`SignalError::InvalidParameter`] when the length is not a
+/// power of two (or is zero).
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), SignalError> {
+    let n = buf.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(SignalError::InvalidParameter {
+            name: "len",
+            reason: format!("FFT length must be a nonzero power of two, got {n}"),
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(w);
+                buf[i + k] = u.add(v);
+                buf[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real sequence, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum (length = padded size).
+pub fn fft_real(x: &[f64]) -> Vec<Complex> {
+    let n = x.len().next_power_of_two().max(1);
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    buf.resize(n, Complex::default());
+    fft_in_place(&mut buf).expect("padded length is a power of two");
+    buf
+}
+
+/// One-sided Welch power spectral density estimate.
+///
+/// Returns `(frequencies_hz, psd)` where `psd[k]` is in units of
+/// power-per-Hz (V²/Hz for volt-valued inputs). Segments of `seg_len`
+/// samples overlap by 50 %.
+///
+/// # Errors
+///
+/// Returns [`SignalError::InvalidParameter`] when `seg_len` is not a power
+/// of two, and [`SignalError::TooShort`] when `x` is shorter than one
+/// segment.
+pub fn welch_psd(
+    x: &[f64],
+    fs: f64,
+    seg_len: usize,
+    window: WindowKind,
+) -> Result<(Vec<f64>, Vec<f64>), SignalError> {
+    if seg_len == 0 || seg_len & (seg_len - 1) != 0 {
+        return Err(SignalError::InvalidParameter {
+            name: "seg_len",
+            reason: format!("must be a nonzero power of two, got {seg_len}"),
+        });
+    }
+    if x.len() < seg_len {
+        return Err(SignalError::TooShort {
+            required: seg_len,
+            available: x.len(),
+        });
+    }
+    let w = window.coefficients(seg_len);
+    let win_power = window.power(seg_len); // Σ w²
+    let hop = seg_len / 2;
+    let n_bins = seg_len / 2 + 1;
+    let mut acc = vec![0.0; n_bins];
+    let mut n_segs = 0usize;
+    let mut start = 0;
+    while start + seg_len <= x.len() {
+        let mut buf: Vec<Complex> = (0..seg_len)
+            .map(|i| Complex::new(x[start + i] * w[i], 0.0))
+            .collect();
+        fft_in_place(&mut buf)?;
+        for (k, a) in acc.iter_mut().enumerate() {
+            // One-sided scaling: double all bins except DC and Nyquist.
+            let scale = if k == 0 || k == seg_len / 2 { 1.0 } else { 2.0 };
+            *a += scale * buf[k].norm_sq() / (fs * win_power);
+        }
+        n_segs += 1;
+        start += hop;
+    }
+    for a in &mut acc {
+        *a /= n_segs as f64;
+    }
+    let freqs = (0..n_bins).map(|k| k as f64 * fs / seg_len as f64).collect();
+    Ok((freqs, acc))
+}
+
+/// Integrates a one-sided PSD over `[f_lo, f_hi]` returning band power.
+pub fn band_power(freqs: &[f64], psd: &[f64], f_lo: f64, f_hi: f64) -> f64 {
+    let mut p = 0.0;
+    for i in 1..freqs.len().min(psd.len()) {
+        let f = freqs[i];
+        if f >= f_lo && f <= f_hi {
+            p += psd[i] * (freqs[i] - freqs[i - 1]);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::GaussianNoise;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for c in &buf {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_tone_peaks_at_bin() {
+        let n = 256;
+        let k0 = 17;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&x);
+        let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut buf = vec![Complex::default(); 6];
+        assert!(fft_in_place(&mut buf).is_err());
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut g = GaussianNoise::new(3);
+        let x = g.standard_vec(512);
+        let spec = fft_real(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / 512.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
+    }
+
+    #[test]
+    fn welch_psd_of_white_noise_is_flat() {
+        let mut g = GaussianNoise::new(8);
+        let fs = 1000.0;
+        let x = g.standard_vec(100_000);
+        let (freqs, psd) = welch_psd(&x, fs, 256, WindowKind::Hann).unwrap();
+        // Unit-variance white noise sampled at fs has PSD = 1/fs per Hz
+        // (two-sided) → 2/fs one-sided.
+        let expected = 2.0 / fs;
+        let mid: Vec<f64> = psd[8..120].to_vec();
+        let avg = crate::stats::mean(&mid);
+        assert!(
+            (avg - expected).abs() / expected < 0.1,
+            "avg {avg} expected {expected}"
+        );
+        assert_eq!(freqs.len(), psd.len());
+    }
+
+    #[test]
+    fn welch_total_power_matches_variance() {
+        let mut g = GaussianNoise::new(21);
+        let fs = 1000.0;
+        let x = g.standard_vec(65_536);
+        let (freqs, psd) = welch_psd(&x, fs, 512, WindowKind::Hann).unwrap();
+        let total = band_power(&freqs, &psd, 0.0, fs / 2.0);
+        assert!((total - 1.0).abs() < 0.1, "total band power {total}");
+    }
+
+    #[test]
+    fn too_short_input_errors() {
+        assert!(matches!(
+            welch_psd(&[1.0; 10], 100.0, 64, WindowKind::Hann),
+            Err(SignalError::TooShort { .. })
+        ));
+    }
+}

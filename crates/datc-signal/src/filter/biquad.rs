@@ -1,0 +1,329 @@
+//! Second-order IIR sections (biquads) in Direct Form II transposed, with
+//! RBJ audio-cookbook coefficient designs.
+
+use super::Filter;
+use crate::error::SignalError;
+
+/// Normalised biquad coefficients (`a0 == 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiquadCoeffs {
+    /// Feed-forward coefficients.
+    pub b0: f64,
+    /// Feed-forward z⁻¹ coefficient.
+    pub b1: f64,
+    /// Feed-forward z⁻² coefficient.
+    pub b2: f64,
+    /// Feedback z⁻¹ coefficient.
+    pub a1: f64,
+    /// Feedback z⁻² coefficient.
+    pub a2: f64,
+}
+
+fn check_freq(f0: f64, fs: f64) -> Result<(), SignalError> {
+    if !(fs.is_finite() && fs > 0.0) {
+        return Err(SignalError::InvalidParameter {
+            name: "sample_rate",
+            reason: format!("must be positive and finite, got {fs}"),
+        });
+    }
+    if !(f0.is_finite() && f0 > 0.0 && f0 < fs / 2.0) {
+        return Err(SignalError::InvalidParameter {
+            name: "cutoff_hz",
+            reason: format!("must lie in (0, Nyquist={}), got {f0}", fs / 2.0),
+        });
+    }
+    Ok(())
+}
+
+impl BiquadCoeffs {
+    /// RBJ low-pass design at cutoff `f0` Hz, quality factor `q`, sample
+    /// rate `fs` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::InvalidParameter`] when `f0` is outside
+    /// `(0, fs/2)` or `q` is not positive.
+    pub fn lowpass(f0: f64, q: f64, fs: f64) -> Result<Self, SignalError> {
+        check_freq(f0, fs)?;
+        check_q(q)?;
+        let w0 = 2.0 * std::f64::consts::PI * f0 / fs;
+        let (sw, cw) = (w0.sin(), w0.cos());
+        let alpha = sw / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        Ok(BiquadCoeffs {
+            b0: ((1.0 - cw) / 2.0) / a0,
+            b1: (1.0 - cw) / a0,
+            b2: ((1.0 - cw) / 2.0) / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ high-pass design.
+    ///
+    /// # Errors
+    ///
+    /// Same domain rules as [`BiquadCoeffs::lowpass`].
+    pub fn highpass(f0: f64, q: f64, fs: f64) -> Result<Self, SignalError> {
+        check_freq(f0, fs)?;
+        check_q(q)?;
+        let w0 = 2.0 * std::f64::consts::PI * f0 / fs;
+        let (sw, cw) = (w0.sin(), w0.cos());
+        let alpha = sw / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        Ok(BiquadCoeffs {
+            b0: ((1.0 + cw) / 2.0) / a0,
+            b1: (-(1.0 + cw)) / a0,
+            b2: ((1.0 + cw) / 2.0) / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// RBJ notch design centred on `f0` with quality factor `q`.
+    ///
+    /// # Errors
+    ///
+    /// Same domain rules as [`BiquadCoeffs::lowpass`].
+    pub fn notch(f0: f64, q: f64, fs: f64) -> Result<Self, SignalError> {
+        check_freq(f0, fs)?;
+        check_q(q)?;
+        let w0 = 2.0 * std::f64::consts::PI * f0 / fs;
+        let (sw, cw) = (w0.sin(), w0.cos());
+        let alpha = sw / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        Ok(BiquadCoeffs {
+            b0: 1.0 / a0,
+            b1: (-2.0 * cw) / a0,
+            b2: 1.0 / a0,
+            a1: (-2.0 * cw) / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// `true` when both poles lie strictly inside the unit circle
+    /// (necessary and sufficient stability condition for a biquad:
+    /// `|a2| < 1` and `|a1| < 1 + a2`).
+    pub fn is_stable(&self) -> bool {
+        self.a2.abs() < 1.0 && self.a1.abs() < 1.0 + self.a2
+    }
+
+    /// DC gain of the section (`H(z=1)`).
+    pub fn dc_gain(&self) -> f64 {
+        (self.b0 + self.b1 + self.b2) / (1.0 + self.a1 + self.a2)
+    }
+
+    /// Magnitude response at frequency `f` Hz for sample rate `fs`.
+    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f / fs;
+        // |H(e^{jw})| via real/imaginary parts of numerator and denominator.
+        let (c1, s1) = (w.cos(), w.sin());
+        let (c2, s2) = ((2.0 * w).cos(), (2.0 * w).sin());
+        let nr = self.b0 + self.b1 * c1 + self.b2 * c2;
+        let ni = -(self.b1 * s1 + self.b2 * s2);
+        let dr = 1.0 + self.a1 * c1 + self.a2 * c2;
+        let di = -(self.a1 * s1 + self.a2 * s2);
+        ((nr * nr + ni * ni) / (dr * dr + di * di)).sqrt()
+    }
+}
+
+fn check_q(q: f64) -> Result<(), SignalError> {
+    if !(q.is_finite() && q > 0.0) {
+        return Err(SignalError::InvalidParameter {
+            name: "q",
+            reason: format!("quality factor must be positive, got {q}"),
+        });
+    }
+    Ok(())
+}
+
+/// A stateful biquad section (Direct Form II transposed).
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::filter::{Biquad, BiquadCoeffs, Filter};
+/// # fn main() -> Result<(), datc_signal::SignalError> {
+/// let mut lp = Biquad::new(BiquadCoeffs::lowpass(100.0, 0.707, 1000.0)?);
+/// let y = lp.process(1.0);
+/// assert!(y > 0.0 && y < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Biquad {
+    coeffs: BiquadCoeffs,
+    s1: f64,
+    s2: f64,
+}
+
+impl Biquad {
+    /// Wraps coefficients into a stateful section.
+    pub fn new(coeffs: BiquadCoeffs) -> Self {
+        Biquad {
+            coeffs,
+            s1: 0.0,
+            s2: 0.0,
+        }
+    }
+
+    /// The section's coefficients.
+    pub fn coeffs(&self) -> &BiquadCoeffs {
+        &self.coeffs
+    }
+}
+
+impl Filter for Biquad {
+    fn process(&mut self, x: f64) -> f64 {
+        let c = &self.coeffs;
+        let y = c.b0 * x + self.s1;
+        self.s1 = c.b1 * x - c.a1 * y + self.s2;
+        self.s2 = c.b2 * x - c.a2 * y;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+    }
+}
+
+/// First-order IIR section, used for odd-order Butterworth cascades.
+#[derive(Debug, Clone)]
+pub struct FirstOrder {
+    b0: f64,
+    b1: f64,
+    a1: f64,
+    s: f64,
+}
+
+impl FirstOrder {
+    /// First-order low-pass at cutoff `f0` (bilinear transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::InvalidParameter`] for cutoffs outside
+    /// `(0, fs/2)`.
+    pub fn lowpass(f0: f64, fs: f64) -> Result<Self, SignalError> {
+        check_freq(f0, fs)?;
+        let k = (std::f64::consts::PI * f0 / fs).tan();
+        let a0 = k + 1.0;
+        Ok(FirstOrder {
+            b0: k / a0,
+            b1: k / a0,
+            a1: (k - 1.0) / a0,
+            s: 0.0,
+        })
+    }
+
+    /// First-order high-pass at cutoff `f0` (bilinear transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::InvalidParameter`] for cutoffs outside
+    /// `(0, fs/2)`.
+    pub fn highpass(f0: f64, fs: f64) -> Result<Self, SignalError> {
+        check_freq(f0, fs)?;
+        let k = (std::f64::consts::PI * f0 / fs).tan();
+        let a0 = k + 1.0;
+        Ok(FirstOrder {
+            b0: 1.0 / a0,
+            b1: -1.0 / a0,
+            a1: (k - 1.0) / a0,
+            s: 0.0,
+        })
+    }
+}
+
+impl Filter for FirstOrder {
+    fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.s;
+        self.s = self.b1 * x - self.a1 * y;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let c = BiquadCoeffs::lowpass(100.0, 0.707, 1000.0).unwrap();
+        assert!((c.dc_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let c = BiquadCoeffs::highpass(100.0, 0.707, 1000.0).unwrap();
+        assert!(c.dc_gain().abs() < 1e-9);
+    }
+
+    #[test]
+    fn designs_are_stable() {
+        for f in [1.0, 10.0, 100.0, 400.0] {
+            for q in [0.5, 0.707, 1.3, 5.0] {
+                assert!(BiquadCoeffs::lowpass(f, q, 1000.0).unwrap().is_stable());
+                assert!(BiquadCoeffs::highpass(f, q, 1000.0).unwrap().is_stable());
+                assert!(BiquadCoeffs::notch(f, q, 1000.0).unwrap().is_stable());
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_attenuation_is_3db() {
+        let c = BiquadCoeffs::lowpass(100.0, std::f64::consts::FRAC_1_SQRT_2, 1000.0).unwrap();
+        let mag = c.magnitude_at(100.0, 1000.0);
+        assert!((20.0 * mag.log10() + 3.01).abs() < 0.1, "got {} dB", 20.0 * mag.log10());
+    }
+
+    #[test]
+    fn invalid_cutoff_rejected() {
+        assert!(BiquadCoeffs::lowpass(600.0, 0.7, 1000.0).is_err());
+        assert!(BiquadCoeffs::lowpass(0.0, 0.7, 1000.0).is_err());
+        assert!(BiquadCoeffs::lowpass(100.0, -1.0, 1000.0).is_err());
+    }
+
+    #[test]
+    fn impulse_response_decays() {
+        let mut bq = Biquad::new(BiquadCoeffs::lowpass(50.0, 0.707, 1000.0).unwrap());
+        let mut imp = vec![0.0; 4000];
+        imp[0] = 1.0;
+        let h = bq.process_slice(&imp);
+        let tail: f64 = h[3000..].iter().map(|v| v.abs()).sum();
+        assert!(tail < 1e-9);
+    }
+
+    #[test]
+    fn first_order_sections_behave() {
+        let mut lp = FirstOrder::lowpass(10.0, 1000.0).unwrap();
+        // step response converges to 1
+        let mut y = 0.0;
+        for _ in 0..5000 {
+            y = lp.process(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-6);
+
+        let mut hp = FirstOrder::highpass(10.0, 1000.0).unwrap();
+        let mut z = 1.0;
+        for _ in 0..5000 {
+            z = hp.process(1.0);
+        }
+        assert!(z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let c = BiquadCoeffs::lowpass(100.0, 0.707, 1000.0).unwrap();
+        let mut a = Biquad::new(c);
+        let mut b = Biquad::new(c);
+        a.process(1.0);
+        a.process(-1.0);
+        a.reset();
+        assert_eq!(a.process(0.5), b.process(0.5));
+    }
+}

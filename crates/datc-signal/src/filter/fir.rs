@@ -1,0 +1,186 @@
+//! Windowed-sinc FIR filters, used where linear phase matters (e.g. the
+//! receiver's reconstruction smoothing and the anti-alias stage of the
+//! resampler).
+
+use super::Filter;
+use crate::error::SignalError;
+use crate::window::WindowKind;
+use std::collections::VecDeque;
+
+/// A finite-impulse-response filter with explicit taps.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::filter::{FirFilter, Filter};
+/// # fn main() -> Result<(), datc_signal::SignalError> {
+/// let mut lp = FirFilter::lowpass(63, 200.0, 2500.0, datc_signal::window::WindowKind::Hamming)?;
+/// let y = lp.process(1.0);
+/// assert!(y.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    delay_line: VecDeque<f64>,
+}
+
+impl FirFilter {
+    /// Builds a filter from explicit taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::InvalidParameter`] when `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, SignalError> {
+        if taps.is_empty() {
+            return Err(SignalError::InvalidParameter {
+                name: "taps",
+                reason: "must not be empty".into(),
+            });
+        }
+        let n = taps.len();
+        Ok(FirFilter {
+            taps,
+            delay_line: VecDeque::from(vec![0.0; n]),
+        })
+    }
+
+    /// Windowed-sinc low-pass with `n_taps` taps (odd preferred for exact
+    /// linear phase) and cutoff `cutoff_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::InvalidParameter`] for a zero tap count or a
+    /// cutoff outside `(0, fs/2)`.
+    pub fn lowpass(
+        n_taps: usize,
+        cutoff_hz: f64,
+        fs: f64,
+        window: WindowKind,
+    ) -> Result<Self, SignalError> {
+        if n_taps == 0 {
+            return Err(SignalError::InvalidParameter {
+                name: "n_taps",
+                reason: "must be positive".into(),
+            });
+        }
+        if !(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0) {
+            return Err(SignalError::InvalidParameter {
+                name: "cutoff_hz",
+                reason: format!("must lie in (0, Nyquist={}), got {cutoff_hz}", fs / 2.0),
+            });
+        }
+        let fc = cutoff_hz / fs; // normalised (cycles/sample)
+        let mid = (n_taps as f64 - 1.0) / 2.0;
+        let w = window.coefficients(n_taps);
+        let mut taps: Vec<f64> = (0..n_taps)
+            .map(|i| {
+                let x = i as f64 - mid;
+                let sinc = if x.abs() < 1e-12 {
+                    2.0 * fc
+                } else {
+                    (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
+                };
+                sinc * w[i]
+            })
+            .collect();
+        // Normalise to unity DC gain.
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        FirFilter::from_taps(taps)
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples (`(N-1)/2` for linear-phase designs).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() as f64 - 1.0) / 2.0
+    }
+}
+
+impl Filter for FirFilter {
+    fn process(&mut self, x: f64) -> f64 {
+        self.delay_line.pop_back();
+        self.delay_line.push_front(x);
+        self.taps
+            .iter()
+            .zip(self.delay_line.iter())
+            .map(|(t, d)| t * d)
+            .sum()
+    }
+
+    fn reset(&mut self) {
+        for v in self.delay_line.iter_mut() {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::rms;
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let mut f = FirFilter::lowpass(31, 100.0, 1000.0, WindowKind::Hamming).unwrap();
+        let mut y = 0.0;
+        for _ in 0..100 {
+            y = f.process(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopband_tone_attenuated() {
+        let fs = 1000.0;
+        let mut f = FirFilter::lowpass(63, 100.0, fs, WindowKind::Hamming).unwrap();
+        let tone: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * std::f64::consts::PI * 400.0 * i as f64 / fs).sin())
+            .collect();
+        let out = f.process_slice(&tone);
+        assert!(rms(&out[100..]) < 0.01);
+    }
+
+    #[test]
+    fn passband_tone_preserved() {
+        let fs = 1000.0;
+        let mut f = FirFilter::lowpass(63, 100.0, fs, WindowKind::Hamming).unwrap();
+        let tone: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * std::f64::consts::PI * 20.0 * i as f64 / fs).sin())
+            .collect();
+        let out = f.process_slice(&tone);
+        let r = rms(&out[200..]);
+        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "rms {r}");
+    }
+
+    #[test]
+    fn empty_taps_rejected() {
+        assert!(FirFilter::from_taps(vec![]).is_err());
+        assert!(FirFilter::lowpass(0, 10.0, 100.0, WindowKind::Rect).is_err());
+    }
+
+    #[test]
+    fn group_delay_reported() {
+        let f = FirFilter::lowpass(31, 100.0, 1000.0, WindowKind::Hann).unwrap();
+        assert_eq!(f.group_delay(), 15.0);
+    }
+
+    #[test]
+    fn impulse_response_equals_taps() {
+        let taps = vec![0.25, 0.5, 0.25];
+        let mut f = FirFilter::from_taps(taps.clone()).unwrap();
+        let mut imp = vec![0.0; 3];
+        imp[0] = 1.0;
+        let h = f.process_slice(&imp);
+        for (a, b) in h.iter().zip(&taps) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

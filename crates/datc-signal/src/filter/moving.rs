@@ -1,0 +1,177 @@
+//! O(1)-per-sample moving statistics: average and RMS over a sliding
+//! window. These implement the paper's receiver-side "low-complexity
+//! windowing" used to recover force from the event stream, and the ARV
+//! envelope reference.
+
+use super::Filter;
+use std::collections::VecDeque;
+
+/// Sliding-window moving average with O(1) update.
+///
+/// Until the window fills, the average is taken over the samples seen so
+/// far (warm-up behaviour), which keeps envelope onsets causal without a
+/// startup spike.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::filter::{MovingAverage, Filter};
+/// let mut ma = MovingAverage::new(4);
+/// assert_eq!(ma.process(4.0), 4.0);
+/// assert_eq!(ma.process(0.0), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        MovingAverage {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+
+    /// Window length in samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently inside the window.
+    pub fn fill(&self) -> usize {
+        self.window.len()
+    }
+}
+
+impl Filter for MovingAverage {
+    fn process(&mut self, x: f64) -> f64 {
+        if self.window.len() == self.capacity {
+            if let Some(old) = self.window.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.window.push_back(x);
+        self.sum += x;
+        self.sum / self.window.len() as f64
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Sliding-window RMS with O(1) update (tracks the sum of squares).
+#[derive(Debug, Clone)]
+pub struct MovingRms {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum_sq: f64,
+}
+
+impl MovingRms {
+    /// Creates a moving RMS over `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        MovingRms {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Window length in samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Filter for MovingRms {
+    fn process(&mut self, x: f64) -> f64 {
+        if self.window.len() == self.capacity {
+            if let Some(old) = self.window.pop_front() {
+                self.sum_sq -= old * old;
+            }
+        }
+        self.window.push_back(x);
+        self.sum_sq += x * x;
+        // Guard against tiny negative drift from floating point cancellation.
+        (self.sum_sq.max(0.0) / self.window.len() as f64).sqrt()
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.sum_sq = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let mut ma = MovingAverage::new(8);
+        for _ in 0..32 {
+            assert!((ma.process(3.5) - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_matches_naive() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let w = 7;
+        let mut ma = MovingAverage::new(w);
+        for (i, &x) in xs.iter().enumerate() {
+            let got = ma.process(x);
+            let lo = i.saturating_sub(w - 1);
+            let naive: f64 = xs[lo..=i].iter().sum::<f64>() / (i - lo + 1) as f64;
+            assert!((got - naive).abs() < 1e-9, "sample {i}: {got} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn moving_rms_of_square_wave() {
+        let mut mr = MovingRms::new(4);
+        let mut last = 0.0;
+        for i in 0..100 {
+            last = mr.process(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_uses_partial_window() {
+        let mut ma = MovingAverage::new(100);
+        assert_eq!(ma.process(2.0), 2.0);
+        assert_eq!(ma.fill(), 1);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut ma = MovingAverage::new(4);
+        ma.process(100.0);
+        ma.reset();
+        assert_eq!(ma.process(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = MovingAverage::new(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Power-line interference notch.
+//!
+//! sEMG front-ends always carry a 50 Hz (EU) or 60 Hz (US) notch; the
+//! artifact generator injects mains pickup and this filter removes it in
+//! conditioning experiments.
+
+use super::biquad::{Biquad, BiquadCoeffs};
+use crate::error::SignalError;
+
+/// Designs a mains notch centred at `mains_hz` with the given quality
+/// factor (typical Q ≈ 30 for a narrow notch).
+///
+/// # Errors
+///
+/// Returns [`SignalError::InvalidParameter`] when the centre frequency is
+/// outside `(0, fs/2)` or the quality factor is not positive.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::filter::{notch_filter, Filter};
+/// # fn main() -> Result<(), datc_signal::SignalError> {
+/// let mut n50 = notch_filter(50.0, 30.0, 2500.0)?;
+/// let y = n50.process(0.1);
+/// assert!(y.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn notch_filter(mains_hz: f64, q: f64, fs: f64) -> Result<Biquad, SignalError> {
+    Ok(Biquad::new(BiquadCoeffs::notch(mains_hz, q, fs)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use crate::stats::rms;
+
+    #[test]
+    fn notch_kills_mains_tone() {
+        let fs = 2500.0;
+        let mut n = notch_filter(50.0, 30.0, fs).unwrap();
+        let tone: Vec<f64> = (0..25_000)
+            .map(|i| (2.0 * std::f64::consts::PI * 50.0 * i as f64 / fs).sin())
+            .collect();
+        let out = n.process_slice(&tone);
+        assert!(rms(&out[10_000..]) < 0.02);
+    }
+
+    #[test]
+    fn notch_passes_semg_band() {
+        let fs = 2500.0;
+        let mut n = notch_filter(50.0, 30.0, fs).unwrap();
+        let tone: Vec<f64> = (0..25_000)
+            .map(|i| (2.0 * std::f64::consts::PI * 150.0 * i as f64 / fs).sin())
+            .collect();
+        let out = n.process_slice(&tone);
+        let r = rms(&out[10_000..]);
+        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "rms {r}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Acquisition artifacts: mains pickup, baseline wander and motion spikes.
+//!
+//! The paper remarks that "even if we add some pulses due to the artifacts
+//! … the signal is still received with a good correlation, as artifacts
+//! effect is similar to pulse missing" (Sec. III-B). These generators let
+//! the experiments inject exactly those disturbances.
+
+use crate::noise::GaussianNoise;
+use crate::signal::Signal;
+use serde::{Deserialize, Serialize};
+
+/// Artifact mix configuration (all amplitudes in volts at the comparator
+/// input).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactConfig {
+    /// 50/60 Hz mains pickup amplitude.
+    pub mains_amplitude_v: f64,
+    /// Mains frequency in Hz (50 in the paper's lab).
+    pub mains_hz: f64,
+    /// Baseline wander amplitude (electrode drift, breathing).
+    pub wander_amplitude_v: f64,
+    /// Baseline wander frequency in Hz (typically < 1 Hz).
+    pub wander_hz: f64,
+    /// Mean rate of motion-artifact spikes (Poisson, per second).
+    pub spike_rate_hz: f64,
+    /// Peak amplitude of motion spikes.
+    pub spike_amplitude_v: f64,
+    /// Exponential decay time-constant of each spike in seconds.
+    pub spike_tau_s: f64,
+}
+
+impl Default for ArtifactConfig {
+    fn default() -> Self {
+        ArtifactConfig {
+            mains_amplitude_v: 0.005,
+            mains_hz: 50.0,
+            wander_amplitude_v: 0.01,
+            wander_hz: 0.4,
+            spike_rate_hz: 0.1,
+            spike_amplitude_v: 0.15,
+            spike_tau_s: 0.02,
+        }
+    }
+}
+
+impl ArtifactConfig {
+    /// A configuration with every artifact disabled.
+    pub fn clean() -> Self {
+        ArtifactConfig {
+            mains_amplitude_v: 0.0,
+            wander_amplitude_v: 0.0,
+            spike_rate_hz: 0.0,
+            spike_amplitude_v: 0.0,
+            ..ArtifactConfig::default()
+        }
+    }
+}
+
+/// Generates an artifact-only signal of `n` samples at `fs` Hz to be added
+/// onto clean sEMG.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::generator::{ArtifactConfig, generate_artifacts};
+/// let a = generate_artifacts(&ArtifactConfig::default(), 2500.0, 5000, 11);
+/// assert_eq!(a.len(), 5000);
+/// ```
+pub fn generate_artifacts(config: &ArtifactConfig, fs: f64, n: usize, seed: u64) -> Signal {
+    let mut g = GaussianNoise::new(seed);
+    let mut out = vec![0.0; n];
+
+    // Mains pickup with a random phase.
+    if config.mains_amplitude_v > 0.0 {
+        let phase = g.uniform(0.0, 2.0 * std::f64::consts::PI);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += config.mains_amplitude_v
+                * (2.0 * std::f64::consts::PI * config.mains_hz * i as f64 / fs + phase).sin();
+        }
+    }
+
+    // Baseline wander.
+    if config.wander_amplitude_v > 0.0 {
+        let phase = g.uniform(0.0, 2.0 * std::f64::consts::PI);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += config.wander_amplitude_v
+                * (2.0 * std::f64::consts::PI * config.wander_hz * i as f64 / fs + phase).sin();
+        }
+    }
+
+    // Motion spikes: Poisson arrivals, signed exponential decays.
+    if config.spike_rate_hz > 0.0 && config.spike_amplitude_v > 0.0 {
+        let mut t = 0.0f64;
+        let duration = n as f64 / fs;
+        loop {
+            // exponential inter-arrival
+            let u: f64 = g.uniform(f64::MIN_POSITIVE, 1.0);
+            t += -u.ln() / config.spike_rate_hz;
+            if t >= duration {
+                break;
+            }
+            let start = (t * fs) as usize;
+            let sign = if g.chance(0.5) { 1.0 } else { -1.0 };
+            let amp = sign * config.spike_amplitude_v * g.uniform(0.5, 1.0);
+            let span = (5.0 * config.spike_tau_s * fs) as usize;
+            for k in 0..span {
+                let idx = start + k;
+                if idx >= n {
+                    break;
+                }
+                out[idx] += amp * (-(k as f64 / fs) / config.spike_tau_s).exp();
+            }
+        }
+    }
+
+    Signal::from_samples(out, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{band_power, welch_psd};
+    use crate::window::WindowKind;
+
+    #[test]
+    fn clean_config_generates_silence() {
+        let a = generate_artifacts(&ArtifactConfig::clean(), 2500.0, 1000, 1);
+        assert!(a.samples().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mains_energy_is_at_mains_frequency() {
+        let cfg = ArtifactConfig {
+            mains_amplitude_v: 0.1,
+            wander_amplitude_v: 0.0,
+            spike_rate_hz: 0.0,
+            ..ArtifactConfig::default()
+        };
+        let a = generate_artifacts(&cfg, 2500.0, 50_000, 2);
+        let (freqs, psd) = welch_psd(a.samples(), 2500.0, 2048, WindowKind::Hann).unwrap();
+        let at_mains = band_power(&freqs, &psd, 45.0, 55.0);
+        let elsewhere = band_power(&freqs, &psd, 100.0, 1000.0);
+        assert!(at_mains > 100.0 * elsewhere.max(1e-15));
+    }
+
+    #[test]
+    fn spikes_appear_at_poisson_rate() {
+        let cfg = ArtifactConfig {
+            mains_amplitude_v: 0.0,
+            wander_amplitude_v: 0.0,
+            spike_rate_hz: 2.0,
+            spike_amplitude_v: 1.0,
+            ..ArtifactConfig::default()
+        };
+        let fs = 2500.0;
+        let a = generate_artifacts(&cfg, fs, 250_000, 3); // 100 s
+        // count threshold crossings of |x| over 0.3 as spike starts
+        let mut count = 0;
+        let mut above = false;
+        for &x in a.samples() {
+            let now = x.abs() > 0.3;
+            if now && !above {
+                count += 1;
+            }
+            above = now;
+        }
+        // expect ~200 spikes in 100 s at 2 Hz; loose Poisson bounds
+        assert!((120..320).contains(&count), "spike count {count}");
+    }
+
+    #[test]
+    fn artifacts_are_deterministic() {
+        let cfg = ArtifactConfig::default();
+        assert_eq!(
+            generate_artifacts(&cfg, 2500.0, 5000, 7),
+            generate_artifacts(&cfg, 2500.0, 5000, 7)
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Muscle-force trajectories (fractions of maximum voluntary contraction).
+
+use serde::{Deserialize, Serialize};
+
+/// One building block of a force profile. Force values are fractions of
+/// MVC in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForceSegment {
+    /// No contraction for `duration_s` seconds.
+    Rest {
+        /// Segment duration in seconds.
+        duration_s: f64,
+    },
+    /// Hold a constant force level.
+    Hold {
+        /// Force level (fraction of MVC).
+        level: f64,
+        /// Segment duration in seconds.
+        duration_s: f64,
+    },
+    /// Linear ramp between two levels.
+    Ramp {
+        /// Starting force level.
+        from: f64,
+        /// Ending force level.
+        to: f64,
+        /// Segment duration in seconds.
+        duration_s: f64,
+    },
+    /// Sinusoidal force tracking around a centre level.
+    Sine {
+        /// Centre force level.
+        center: f64,
+        /// Oscillation amplitude (clipped to keep force in `[0, 1]`).
+        amplitude: f64,
+        /// Oscillation frequency in Hz (use ≤ 2 Hz for realism).
+        freq_hz: f64,
+        /// Segment duration in seconds.
+        duration_s: f64,
+    },
+}
+
+impl ForceSegment {
+    fn duration(&self) -> f64 {
+        match *self {
+            ForceSegment::Rest { duration_s }
+            | ForceSegment::Hold { duration_s, .. }
+            | ForceSegment::Ramp { duration_s, .. }
+            | ForceSegment::Sine { duration_s, .. } => duration_s,
+        }
+    }
+
+    fn value_at(&self, t: f64) -> f64 {
+        match *self {
+            ForceSegment::Rest { .. } => 0.0,
+            ForceSegment::Hold { level, .. } => level,
+            ForceSegment::Ramp {
+                from,
+                to,
+                duration_s,
+            } => {
+                if duration_s <= 0.0 {
+                    to
+                } else {
+                    from + (to - from) * (t / duration_s).clamp(0.0, 1.0)
+                }
+            }
+            ForceSegment::Sine {
+                center,
+                amplitude,
+                freq_hz,
+                ..
+            } => center + amplitude * (2.0 * std::f64::consts::PI * freq_hz * t).sin(),
+        }
+    }
+}
+
+/// A force trajectory assembled from [`ForceSegment`]s.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::generator::ForceProfile;
+/// let p = ForceProfile::builder()
+///     .rest(0.5)
+///     .contraction(0.7, 1.0)
+///     .rest(0.5)
+///     .build();
+/// let f = p.samples(1000.0, p.duration());
+/// assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForceProfile {
+    segments: Vec<ForceSegment>,
+}
+
+impl ForceProfile {
+    /// Starts an empty builder.
+    pub fn builder() -> ForceProfileBuilder {
+        ForceProfileBuilder {
+            segments: Vec::new(),
+        }
+    }
+
+    /// The paper's grip protocol: contractions stepping down from 70 % MVC
+    /// to rest, each with a ramp-up, a ~1 s sustained plateau (the paper
+    /// takes the mean over 1 s of maximum contraction) and a ramp-down,
+    /// separated by rests. Total ≈ 20 s.
+    pub fn mvc_protocol() -> Self {
+        let mut b = ForceProfile::builder().rest(0.8);
+        for &level in &[0.7, 0.55, 0.4, 0.25, 0.1] {
+            b = b
+                .ramp(0.0, level, 0.45)
+                .hold(level, 1.6)
+                .ramp(level, 0.0, 0.45)
+                .rest(1.1);
+        }
+        b.rest(2.0).build()
+    }
+
+    /// A slow sinusoidal tracking task (exoskeleton-style continuous
+    /// control, Ref. [8] of the paper).
+    pub fn tracking(center: f64, amplitude: f64, freq_hz: f64, duration_s: f64) -> Self {
+        ForceProfile {
+            segments: vec![ForceSegment::Sine {
+                center,
+                amplitude,
+                freq_hz,
+                duration_s,
+            }],
+        }
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration()).sum()
+    }
+
+    /// The segments of this profile.
+    pub fn segments(&self) -> &[ForceSegment] {
+        &self.segments
+    }
+
+    /// Instantaneous force (fraction of MVC, clamped to `[0, 1]`) at time
+    /// `t` seconds. Times beyond the profile return 0.
+    pub fn value_at(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            let d = seg.duration();
+            if t < acc + d {
+                return seg.value_at(t - acc).clamp(0.0, 1.0);
+            }
+            acc += d;
+        }
+        0.0
+    }
+
+    /// Samples the profile at `fs` Hz over `duration_s` seconds.
+    pub fn samples(&self, fs: f64, duration_s: f64) -> Vec<f64> {
+        let n = (fs * duration_s).round() as usize;
+        (0..n).map(|i| self.value_at(i as f64 / fs)).collect()
+    }
+}
+
+/// Builder for [`ForceProfile`] (non-consuming chains are awkward for a
+/// plain data object, so this is a consuming builder).
+#[derive(Debug, Clone)]
+pub struct ForceProfileBuilder {
+    segments: Vec<ForceSegment>,
+}
+
+impl ForceProfileBuilder {
+    /// Appends a rest segment.
+    pub fn rest(mut self, duration_s: f64) -> Self {
+        self.segments.push(ForceSegment::Rest { duration_s });
+        self
+    }
+
+    /// Appends a constant-force hold.
+    pub fn hold(mut self, level: f64, duration_s: f64) -> Self {
+        self.segments.push(ForceSegment::Hold { level, duration_s });
+        self
+    }
+
+    /// Appends a linear ramp.
+    pub fn ramp(mut self, from: f64, to: f64, duration_s: f64) -> Self {
+        self.segments.push(ForceSegment::Ramp {
+            from,
+            to,
+            duration_s,
+        });
+        self
+    }
+
+    /// Appends a sinusoidal tracking segment.
+    pub fn sine(mut self, center: f64, amplitude: f64, freq_hz: f64, duration_s: f64) -> Self {
+        self.segments.push(ForceSegment::Sine {
+            center,
+            amplitude,
+            freq_hz,
+            duration_s,
+        });
+        self
+    }
+
+    /// Convenience: ramp up (0.3 s), hold, ramp down (0.3 s).
+    pub fn contraction(self, level: f64, hold_s: f64) -> Self {
+        self.ramp(0.0, level, 0.3).hold(level, hold_s).ramp(level, 0.0, 0.3)
+    }
+
+    /// Finishes the profile.
+    pub fn build(self) -> ForceProfile {
+        ForceProfile {
+            segments: self.segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mvc_protocol_is_about_20s_and_bounded() {
+        let p = ForceProfile::mvc_protocol();
+        let d = p.duration();
+        assert!((15.0..25.0).contains(&d), "duration {d}");
+        let f = p.samples(2500.0, d);
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let peak = f.iter().cloned().fold(0.0f64, f64::max);
+        assert!((peak - 0.7).abs() < 1e-6, "peak {peak}");
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let p = ForceProfile::builder().ramp(0.0, 1.0, 2.0).build();
+        assert!((p.value_at(1.0) - 0.5).abs() < 1e-12);
+        assert!((p.value_at(2.5) - 0.0).abs() < 1e-12); // beyond end
+    }
+
+    #[test]
+    fn sine_clamps_to_valid_force() {
+        let p = ForceProfile::tracking(0.9, 0.5, 1.0, 2.0);
+        let f = p.samples(1000.0, 2.0);
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn segments_are_concatenated_in_order() {
+        let p = ForceProfile::builder().hold(0.5, 1.0).hold(0.8, 1.0).build();
+        assert!((p.value_at(0.5) - 0.5).abs() < 1e-12);
+        assert!((p.value_at(1.5) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_count_matches_rate() {
+        let p = ForceProfile::mvc_protocol();
+        let f = p.samples(2500.0, 20.0);
+        assert_eq!(f.len(), 50_000);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic sEMG generation.
+//!
+//! The paper evaluates on 190 recorded sEMG patterns (8 healthy male
+//! subjects, cylindrical power grip, contractions from 70 % of the maximum
+//! voluntary contraction down to 0 %, 20 s / 50 000 samples each). Those
+//! recordings are not public, so this module builds the closest synthetic
+//! equivalent:
+//!
+//! * [`ForceProfile`] — parametric muscle-force trajectories, including the
+//!   paper's MVC grip protocol;
+//! * [`SemgGenerator`] with two models: the standard **modulated-noise**
+//!   model (band-limited Gaussian noise whose instantaneous amplitude is a
+//!   function of force — the textbook sEMG model) and a physiological
+//!   **MUAP-train** model (recruited motor units firing biphasic action
+//!   potentials, size-principle recruitment);
+//! * [`SubjectParams`] — inter-subject amplitude variability (skin
+//!   thickness, electrode interface, gender — the very variability D-ATC is
+//!   designed to absorb);
+//! * [`artifact`] — mains pickup, baseline wander, motion spikes.
+//!
+//! A threshold-crossing encoder interacts with the signal only through its
+//! rectified amplitude statistics and bandwidth, which both models
+//! reproduce; the substitution therefore preserves the behaviours the paper
+//! measures (see DESIGN.md §2).
+
+mod artifact;
+mod force;
+mod semg;
+mod subject;
+
+pub use artifact::{ArtifactConfig, generate_artifacts};
+pub use force::{ForceProfile, ForceSegment};
+pub use semg::{MuapTrainModel, ModulatedNoiseModel, SemgGenerator, SemgModel};
+pub use subject::{SubjectParams, SubjectPool};

@@ -1,0 +1,148 @@
+//! Inter-subject variability.
+//!
+//! The paper's central motivation: "people with different skin thickness
+//! and gender have dissimilar sEMG voltage levels, hence … the fixed
+//! threshold voltage can not be adopted but it has to be trimmed on a case
+//! by case basis" (Sec. II). This module models exactly that axis — the
+//! amplitude each subject's MVC produces at the comparator input.
+
+use crate::noise::GaussianNoise;
+use serde::{Deserialize, Serialize};
+
+/// Per-subject acquisition parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubjectParams {
+    /// Subject identifier (0-based).
+    pub id: usize,
+    /// Voltage at the comparator input produced by a full-MVC contraction
+    /// (ARV, volts). The fixed-ATC threshold of 0.3 V works well only when
+    /// this sits comfortably above 0.3 V.
+    pub mvc_gain_v: f64,
+    /// Mains (50 Hz) pickup amplitude in volts.
+    pub mains_amplitude_v: f64,
+    /// Baseline wander amplitude in volts.
+    pub wander_amplitude_v: f64,
+    /// Rate of motion-artifact spikes per second.
+    pub artifact_rate_hz: f64,
+}
+
+impl SubjectParams {
+    /// A nominal mid-range subject, useful for single-signal experiments
+    /// (the Fig. 3 reference signal uses this with `mvc_gain_v = 0.8`).
+    pub fn nominal(id: usize) -> Self {
+        SubjectParams {
+            id,
+            mvc_gain_v: 0.8,
+            mains_amplitude_v: 0.0,
+            wander_amplitude_v: 0.0,
+            artifact_rate_hz: 0.0,
+        }
+    }
+}
+
+/// A deterministic pool of subjects with physiologically plausible spread.
+///
+/// MVC gains are drawn log-uniformly over `[gain_min, gain_max]` volts —
+/// the 5–6× inter-subject spread reported for forearm sEMG after fixed
+/// preamplification. Low-gain subjects are the ones fixed-threshold ATC
+/// fails on.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::generator::SubjectPool;
+/// let pool = SubjectPool::paper_cohort(42);
+/// assert_eq!(pool.subjects().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectPool {
+    subjects: Vec<SubjectParams>,
+}
+
+impl SubjectPool {
+    /// Builds a pool of `n` subjects with gains log-uniform in
+    /// `[gain_min, gain_max]` volts, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or the gain bounds are not ordered/positive.
+    pub fn new(n: usize, gain_min: f64, gain_max: f64, seed: u64) -> Self {
+        assert!(n > 0, "pool must contain at least one subject");
+        assert!(
+            gain_min > 0.0 && gain_max > gain_min,
+            "gain bounds must satisfy 0 < min < max"
+        );
+        let mut g = GaussianNoise::new(seed);
+        let subjects = (0..n)
+            .map(|id| {
+                // Stratify gains across the range so small pools still
+                // cover it, with jitter inside each stratum.
+                let lo = (id as f64) / n as f64;
+                let hi = (id as f64 + 1.0) / n as f64;
+                let u = g.uniform(lo, hi);
+                let log_gain = gain_min.ln() + u * (gain_max.ln() - gain_min.ln());
+                SubjectParams {
+                    id,
+                    mvc_gain_v: log_gain.exp(),
+                    mains_amplitude_v: g.uniform(0.0, 0.01),
+                    wander_amplitude_v: g.uniform(0.0, 0.01),
+                    artifact_rate_hz: g.uniform(0.0, 0.2),
+                }
+            })
+            .collect();
+        SubjectPool { subjects }
+    }
+
+    /// The paper's cohort: 8 healthy male subjects. Gains span 0.10–1.0 V
+    /// so that a 0.3 V fixed threshold is good for some subjects and blind
+    /// to others — reproducing the Fig. 5 spread.
+    pub fn paper_cohort(seed: u64) -> Self {
+        SubjectPool::new(8, 0.10, 1.0, seed)
+    }
+
+    /// The subjects in the pool.
+    pub fn subjects(&self) -> &[SubjectParams] {
+        &self.subjects
+    }
+
+    /// Subject by index, wrapping around (convenient for assigning 190
+    /// patterns to 8 subjects round-robin).
+    pub fn subject_for_pattern(&self, pattern_idx: usize) -> &SubjectParams {
+        &self.subjects[pattern_idx % self.subjects.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_gains_span_the_requested_range() {
+        let pool = SubjectPool::paper_cohort(1);
+        let gains: Vec<f64> = pool.subjects().iter().map(|s| s.mvc_gain_v).collect();
+        let min = gains.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = gains.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min >= 0.10 && min < 0.3, "min gain {min}");
+        assert!(max <= 1.0 && max > 0.6, "max gain {max}");
+    }
+
+    #[test]
+    fn pool_is_deterministic() {
+        assert_eq!(SubjectPool::paper_cohort(7), SubjectPool::paper_cohort(7));
+        assert_ne!(SubjectPool::paper_cohort(7), SubjectPool::paper_cohort(8));
+    }
+
+    #[test]
+    fn round_robin_assignment_wraps() {
+        let pool = SubjectPool::paper_cohort(3);
+        assert_eq!(pool.subject_for_pattern(0).id, 0);
+        assert_eq!(pool.subject_for_pattern(8).id, 0);
+        assert_eq!(pool.subject_for_pattern(9).id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subject")]
+    fn empty_pool_panics() {
+        let _ = SubjectPool::new(0, 0.1, 1.0, 0);
+    }
+}

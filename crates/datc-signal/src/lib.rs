@@ -1,0 +1,52 @@
+//! # datc-signal — sEMG synthesis and DSP substrate
+//!
+//! This crate is the signal-processing substrate of the D-ATC reproduction
+//! (Shahshahani et al., *DATE 2015*). It provides everything the encoder and
+//! the experiment harness need to stand in for the paper's measured data:
+//!
+//! * [`Signal`] — a sampled real-valued signal with an associated sample rate;
+//! * [`filter`] — IIR biquads, Butterworth designs, notch, FIR, moving
+//!   average/RMS;
+//! * [`envelope`] — rectification and average-rectified-value (ARV) envelopes;
+//! * [`stats`] — Pearson correlation (the paper's figure of merit), RMS, SNR;
+//! * [`fft`] — radix-2 FFT and Welch power-spectral-density estimation;
+//! * [`generator`] — force profiles, synthetic sEMG (modulated-noise and
+//!   MUAP-train models), subject variability and artifacts;
+//! * [`dataset`] — the deterministic 190-pattern dataset mirroring the
+//!   paper's corpus (20 s, 50 000 samples per pattern).
+//!
+//! The paper's recordings (8 subjects, cylindrical power grip, 70 %→0 % MVC)
+//! are not public; the [`generator`] module documents how the synthetic
+//! substitution preserves the statistics that matter to threshold-crossing
+//! encoders (bandwidth and force-modulated amplitude).
+//!
+//! ## Example
+//!
+//! ```
+//! use datc_signal::generator::{ForceProfile, SemgModel, SemgGenerator};
+//! use datc_signal::envelope::arv_envelope;
+//!
+//! let force = ForceProfile::mvc_protocol().samples(2500.0, 2.0);
+//! let gen = SemgGenerator::new(SemgModel::modulated_noise(), 2500.0);
+//! let semg = gen.generate(&force, 42);
+//! let env = arv_envelope(&semg, 0.25);
+//! assert_eq!(env.len(), semg.len());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod envelope;
+pub mod error;
+pub mod fft;
+pub mod filter;
+pub mod generator;
+pub mod noise;
+pub mod resample;
+pub mod signal;
+pub mod stats;
+pub mod window;
+
+pub use error::SignalError;
+pub use signal::Signal;

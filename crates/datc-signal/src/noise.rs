@@ -1,0 +1,127 @@
+//! Seeded noise sources.
+//!
+//! The reproduction must be deterministic (the paper's dataset is fixed), so
+//! every stochastic component takes an explicit seed and uses [`rand`]'s
+//! `StdRng`. Gaussian variates are produced by the Box–Muller transform to
+//! avoid an extra dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Gaussian noise source (Box–Muller over `StdRng`).
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::noise::GaussianNoise;
+/// let mut g = GaussianNoise::new(7);
+/// let x = g.sample(0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    rng: StdRng,
+    cached: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        GaussianNoise {
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
+    }
+
+    /// Draws one `N(mean, sigma²)` variate.
+    pub fn sample(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.standard()
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn standard(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f64 = loop {
+            let u: f64 = self.rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fills a vector with `n` standard-normal variates.
+    pub fn standard_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.standard()).collect()
+    }
+
+    /// Draws a uniform variate in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Draws a uniform integer in `[lo, hi)`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = GaussianNoise::new(123);
+        let mut b = GaussianNoise::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.standard(), b.standard());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianNoise::new(1);
+        let mut b = GaussianNoise::new(2);
+        let va = a.standard_vec(32);
+        let vb = b.standard_vec(32);
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut g = GaussianNoise::new(42);
+        let v = g.standard_vec(200_000);
+        assert!(mean(&v).abs() < 0.01, "mean={}", mean(&v));
+        assert!((std_dev(&v) - 1.0).abs() < 0.01, "std={}", std_dev(&v));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut g = GaussianNoise::new(5);
+        for _ in 0..1000 {
+            let u = g.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut g = GaussianNoise::new(9);
+        assert!(!g.chance(0.0));
+        assert!(g.chance(1.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Sample-rate conversion.
+//!
+//! The paper's dataset is sampled at 2.5 kHz (50 000 samples / 20 s) while
+//! the DTC clock runs at 2 kHz; the comparator output is re-sampled by the
+//! DTC's `In_reg`. Receiver reconstructions also need to be brought to the
+//! reference rate before correlation.
+
+use crate::error::SignalError;
+use crate::filter::{butter_lowpass, Filter};
+use crate::signal::Signal;
+
+/// Linear-interpolation resampling to `target_fs` Hz.
+///
+/// Linear interpolation is adequate here because every resampled signal in
+/// this project is an envelope or comparator stream, far below Nyquist.
+/// For down-sampling by large factors use [`decimate`] which applies an
+/// anti-alias filter first.
+///
+/// # Errors
+///
+/// Returns [`SignalError::InvalidParameter`] for a non-positive target rate
+/// and [`SignalError::TooShort`] for signals with fewer than 2 samples.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::{Signal, resample::resample_linear};
+/// # fn main() -> Result<(), datc_signal::SignalError> {
+/// let s = Signal::from_fn(2500.0, 1.0, |t| t);
+/// let r = resample_linear(&s, 2000.0)?;
+/// assert_eq!(r.len(), 2000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn resample_linear(signal: &Signal, target_fs: f64) -> Result<Signal, SignalError> {
+    if !(target_fs.is_finite() && target_fs > 0.0) {
+        return Err(SignalError::InvalidParameter {
+            name: "target_fs",
+            reason: format!("must be positive and finite, got {target_fs}"),
+        });
+    }
+    let n_in = signal.len();
+    if n_in < 2 {
+        return Err(SignalError::TooShort {
+            required: 2,
+            available: n_in,
+        });
+    }
+    let ratio = signal.sample_rate() / target_fs;
+    let n_out = ((n_in as f64) / ratio).floor() as usize;
+    let x = signal.samples();
+    let mut out = Vec::with_capacity(n_out);
+    for i in 0..n_out {
+        let pos = i as f64 * ratio;
+        let i0 = pos.floor() as usize;
+        let frac = pos - i0 as f64;
+        let v = if i0 + 1 < n_in {
+            x[i0] * (1.0 - frac) + x[i0 + 1] * frac
+        } else {
+            x[n_in - 1]
+        };
+        out.push(v);
+    }
+    Ok(Signal::from_samples(out, target_fs))
+}
+
+/// Integer-factor decimation with a 6th-order Butterworth anti-alias
+/// low-pass at 40 % of the output Nyquist.
+///
+/// # Errors
+///
+/// Returns [`SignalError::InvalidParameter`] when `factor` is zero.
+pub fn decimate(signal: &Signal, factor: usize) -> Result<Signal, SignalError> {
+    if factor == 0 {
+        return Err(SignalError::InvalidParameter {
+            name: "factor",
+            reason: "decimation factor must be positive".into(),
+        });
+    }
+    if factor == 1 {
+        return Ok(signal.clone());
+    }
+    let out_fs = signal.sample_rate() / factor as f64;
+    let mut aa = butter_lowpass(6, 0.4 * out_fs, signal.sample_rate())?;
+    let filtered = aa.process_slice(signal.samples());
+    let out: Vec<f64> = filtered.iter().step_by(factor).copied().collect();
+    Ok(Signal::from_samples(out, out_fs))
+}
+
+/// Zero-order-hold upsampling of a low-rate sequence (e.g. per-frame
+/// threshold levels) onto `target_fs`, holding each value for its duration.
+pub fn hold_to_rate(values: &[f64], value_rate: f64, target_fs: f64) -> Signal {
+    let ratio = target_fs / value_rate;
+    let n_out = (values.len() as f64 * ratio).round() as usize;
+    let out: Vec<f64> = (0..n_out)
+        .map(|i| {
+            let idx = ((i as f64 / ratio).floor() as usize).min(values.len().saturating_sub(1));
+            values.get(idx).copied().unwrap_or(0.0)
+        })
+        .collect();
+    Signal::from_samples(out, target_fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_preserves_ramp() {
+        let s = Signal::from_fn(2500.0, 2.0, |t| t);
+        let r = resample_linear(&s, 2000.0).unwrap();
+        assert_eq!(r.sample_rate(), 2000.0);
+        // value at 1 s (sample index 2000 at 2 kHz) should still be ~1.0
+        let v = r.samples()[2000];
+        assert!((v - 1.0).abs() < 1e-3, "v={v}");
+    }
+
+    #[test]
+    fn resample_identity_when_rates_match() {
+        let s = Signal::from_fn(1000.0, 0.5, |t| (10.0 * t).sin());
+        let r = resample_linear(&s, 1000.0).unwrap();
+        assert_eq!(r.len(), s.len());
+        for (a, b) in r.samples().iter().zip(s.samples()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decimate_preserves_slow_tone() {
+        let fs = 8000.0;
+        let s = Signal::from_fn(fs, 1.0, |t| (2.0 * std::f64::consts::PI * 10.0 * t).sin());
+        let d = decimate(&s, 8).unwrap();
+        assert_eq!(d.sample_rate(), 1000.0);
+        // after transient, amplitude preserved
+        let peak = d.samples()[200..].iter().cloned().fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 0.02, "peak {peak}");
+    }
+
+    #[test]
+    fn hold_to_rate_expands_values() {
+        let s = hold_to_rate(&[1.0, 2.0, 3.0], 1.0, 4.0);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.samples()[0], 1.0);
+        assert_eq!(s.samples()[3], 1.0);
+        assert_eq!(s.samples()[4], 2.0);
+        assert_eq!(s.samples()[11], 3.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let s = Signal::zeros(10, 100.0);
+        assert!(resample_linear(&s, 0.0).is_err());
+        assert!(decimate(&s, 0).is_err());
+        let short = Signal::zeros(1, 100.0);
+        assert!(resample_linear(&short, 50.0).is_err());
+    }
+}

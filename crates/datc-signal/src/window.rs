@@ -1,0 +1,111 @@
+//! Tapering windows for FIR design and spectral estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// The window families used by the FIR designer and the Welch PSD
+/// estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum WindowKind {
+    /// Rectangular (no taper).
+    Rect,
+    /// Hann (raised cosine).
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the `n` window coefficients.
+    ///
+    /// For `n == 1` every window degenerates to `[1.0]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use datc_signal::window::WindowKind;
+    /// let w = WindowKind::Hann.coefficients(5);
+    /// assert_eq!(w.len(), 5);
+    /// assert!((w[2] - 1.0).abs() < 1e-12); // peak at centre
+    /// ```
+    pub fn coefficients(&self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    WindowKind::Rect => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of squared coefficients (window power), needed to normalise
+    /// Welch periodograms.
+    pub fn power(&self, n: usize) -> f64 {
+        self.coefficients(n).iter().map(|w| w * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [
+            WindowKind::Rect,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            let w = kind.coefficients(33);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = WindowKind::Hann.coefficients(17);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[16].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_is_all_ones() {
+        assert!(WindowKind::Rect.coefficients(8).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Blackman.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn power_matches_manual_sum() {
+        let n = 64;
+        let w = WindowKind::Hamming.coefficients(n);
+        let manual: f64 = w.iter().map(|x| x * x).sum();
+        assert!((WindowKind::Hamming.power(n) - manual).abs() < 1e-12);
+    }
+}

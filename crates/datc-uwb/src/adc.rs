@@ -1,0 +1,125 @@
+//! The ADC of the packet-based baseline ("considering as an example an
+//! 8-bits A/D converter … 12 bit ADC data for standard systems").
+
+use crate::error::UwbError;
+use datc_signal::Signal;
+use serde::{Deserialize, Serialize};
+
+/// A uniform mid-rise quantiser with `n_bits` resolution over
+/// `[0, vref]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    n_bits: u8,
+    vref: f64,
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UwbError::InvalidParameter`] for `n_bits` outside
+    /// `1..=24` or a non-positive `vref`.
+    pub fn new(n_bits: u8, vref: f64) -> Result<Self, UwbError> {
+        if n_bits == 0 || n_bits > 24 {
+            return Err(UwbError::InvalidParameter {
+                name: "n_bits",
+                reason: format!("must be in 1..=24, got {n_bits}"),
+            });
+        }
+        if !(vref.is_finite() && vref > 0.0) {
+            return Err(UwbError::InvalidParameter {
+                name: "vref",
+                reason: format!("must be positive and finite, got {vref}"),
+            });
+        }
+        Ok(Adc { n_bits, vref })
+    }
+
+    /// The paper's baseline converter: 12 bits over 1 V.
+    pub fn baseline_12bit() -> Self {
+        Adc::new(12, 1.0).expect("parameters are valid")
+    }
+
+    /// Resolution in bits.
+    pub fn n_bits(&self) -> u8 {
+        self.n_bits
+    }
+
+    /// Number of codes.
+    pub fn code_count(&self) -> u32 {
+        1u32 << self.n_bits
+    }
+
+    /// Quantises one sample (clamping to the input range).
+    pub fn quantize(&self, v: f64) -> u32 {
+        let x = (v / self.vref).clamp(0.0, 1.0);
+        let code = (x * f64::from(self.code_count())).floor() as u32;
+        code.min(self.code_count() - 1)
+    }
+
+    /// Reconstructs the mid-point voltage of `code`.
+    pub fn dequantize(&self, code: u32) -> f64 {
+        (f64::from(code.min(self.code_count() - 1)) + 0.5) * self.vref
+            / f64::from(self.code_count())
+    }
+
+    /// Digitises a whole signal.
+    pub fn digitize(&self, signal: &Signal) -> Vec<u32> {
+        signal.samples().iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Round-trips a signal through the converter (for SQNR studies).
+    pub fn requantize(&self, signal: &Signal) -> Signal {
+        let data = signal
+            .samples()
+            .iter()
+            .map(|&v| self.dequantize(self.quantize(v)))
+            .collect();
+        Signal::from_samples(data, signal.sample_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datc_signal::stats::snr_db;
+
+    #[test]
+    fn codes_cover_range() {
+        let adc = Adc::new(4, 1.0).unwrap();
+        assert_eq!(adc.quantize(-0.5), 0);
+        assert_eq!(adc.quantize(0.0), 0);
+        assert_eq!(adc.quantize(0.999), 15);
+        assert_eq!(adc.quantize(2.0), 15);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_lsb() {
+        let adc = Adc::baseline_12bit();
+        let lsb = 1.0 / 4096.0;
+        for i in 0..1000 {
+            let v = i as f64 / 1000.0;
+            let err = (adc.dequantize(adc.quantize(v)) - v).abs();
+            assert!(err <= lsb / 2.0 + 1e-12, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn sqnr_matches_6db_per_bit_rule() {
+        // Full-scale ramp: SQNR ≈ 6.02·n dB (ramp, not sine, so no +1.76).
+        let ramp = Signal::from_fn(10_000.0, 1.0, |t| t);
+        let adc = Adc::new(10, 1.0).unwrap();
+        let q = adc.requantize(&ramp);
+        let snr = snr_db(ramp.samples(), q.samples()).unwrap();
+        let expected = 6.02 * 10.0 + 10.0 * (3.0f64).log10(); // uniform err: +4.77dB
+        assert!((snr - expected).abs() < 1.5, "snr {snr} vs {expected}");
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(Adc::new(0, 1.0).is_err());
+        assert!(Adc::new(25, 1.0).is_err());
+        assert!(Adc::new(12, -1.0).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Address-Event Representation (AER) for multi-channel systems.
+//!
+//! Ref. [12] (and the multi-channel force system of Ref. [9]) transmit
+//! events from several sEMG channels over one link by prefixing each event
+//! with a channel address. Asynchronous sources can collide; the merger
+//! models a fixed dead time during which a second event is lost —
+//! acceptable because "artifacts effect is similar to pulse missing".
+
+use datc_core::event::{Event, EventStream};
+use serde::{Deserialize, Serialize};
+
+/// An event tagged with its source channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressedEvent {
+    /// Source channel (the AER address).
+    pub channel: u8,
+    /// The underlying threshold-crossing event.
+    pub event: Event,
+}
+
+/// Result of merging asynchronous channels onto one serial link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeReport {
+    /// Events that made it through, in time order.
+    pub merged: Vec<AddressedEvent>,
+    /// Events lost to link contention (arrived within the dead time of a
+    /// previous event).
+    pub collisions: usize,
+}
+
+/// Merges per-channel streams with a serial-link dead time.
+///
+/// `dead_time_s` models the pattern duration: while one event pattern is
+/// on air (e.g. 5 symbols × symbol period), other channels' events are
+/// dropped.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::event::{Event, EventStream};
+/// use datc_uwb::aer::merge_channels;
+///
+/// let ch0 = EventStream::new(vec![Event { tick: 0, time_s: 0.000, vth_code: None }], 2000.0, 1.0);
+/// let ch1 = EventStream::new(vec![Event { tick: 1, time_s: 0.0001, vth_code: None }], 2000.0, 1.0);
+/// let report = merge_channels(&[ch0, ch1], 0.001);
+/// assert_eq!(report.merged.len(), 1);
+/// assert_eq!(report.collisions, 1);
+/// ```
+pub fn merge_channels(streams: &[EventStream], dead_time_s: f64) -> MergeReport {
+    assert!(dead_time_s >= 0.0, "dead time must be non-negative");
+    let mut all: Vec<AddressedEvent> = Vec::new();
+    for (ch, s) in streams.iter().enumerate() {
+        for e in s {
+            all.push(AddressedEvent {
+                channel: ch as u8,
+                event: *e,
+            });
+        }
+    }
+    all.sort_by(|a, b| {
+        a.event
+            .time_s
+            .partial_cmp(&b.event.time_s)
+            .expect("event times are finite")
+    });
+
+    let mut merged = Vec::with_capacity(all.len());
+    let mut collisions = 0usize;
+    let mut link_free_at = f64::NEG_INFINITY;
+    for ae in all {
+        if ae.event.time_s < link_free_at {
+            collisions += 1;
+            continue;
+        }
+        link_free_at = ae.event.time_s + dead_time_s;
+        merged.push(ae);
+    }
+    MergeReport { merged, collisions }
+}
+
+/// Splits a merged AER stream back into per-channel [`EventStream`]s
+/// (the receiver-side demultiplexer).
+pub fn demux(
+    merged: &[AddressedEvent],
+    n_channels: usize,
+    tick_rate_hz: f64,
+    duration_s: f64,
+) -> Vec<EventStream> {
+    let mut per_channel: Vec<Vec<Event>> = vec![Vec::new(); n_channels];
+    for ae in merged {
+        if usize::from(ae.channel) < n_channels {
+            per_channel[usize::from(ae.channel)].push(ae.event);
+        }
+    }
+    per_channel
+        .into_iter()
+        .map(|evs| EventStream::new(evs, tick_rate_hz, duration_s))
+        .collect()
+}
+
+/// Number of address bits needed for `n_channels`.
+pub fn address_bits(n_channels: usize) -> u8 {
+    if n_channels <= 1 {
+        return 0;
+    }
+    (usize::BITS - (n_channels - 1).leading_zeros()) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(times: &[f64]) -> EventStream {
+        let evs: Vec<Event> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event {
+                tick: i as u64,
+                time_s: t,
+                vth_code: Some(3),
+            })
+            .collect();
+        EventStream::new(evs, 2000.0, 1.0)
+    }
+
+    #[test]
+    fn non_overlapping_channels_merge_losslessly() {
+        let a = stream(&[0.1, 0.3]);
+        let b = stream(&[0.2, 0.4]);
+        let rep = merge_channels(&[a, b], 0.01);
+        assert_eq!(rep.merged.len(), 4);
+        assert_eq!(rep.collisions, 0);
+        // strictly time ordered
+        assert!(rep
+            .merged
+            .windows(2)
+            .all(|w| w[0].event.time_s <= w[1].event.time_s));
+    }
+
+    #[test]
+    fn contention_drops_later_event() {
+        let a = stream(&[0.100]);
+        let b = stream(&[0.1001]);
+        let rep = merge_channels(&[a, b], 0.01);
+        assert_eq!(rep.merged.len(), 1);
+        assert_eq!(rep.collisions, 1);
+        assert_eq!(rep.merged[0].channel, 0);
+    }
+
+    #[test]
+    fn zero_dead_time_never_collides() {
+        let a = stream(&[0.1, 0.1, 0.1]);
+        let rep = merge_channels(&[a], 0.0);
+        assert_eq!(rep.collisions, 0);
+        assert_eq!(rep.merged.len(), 3);
+    }
+
+    #[test]
+    fn demux_restores_channels() {
+        let a = stream(&[0.1, 0.5]);
+        let b = stream(&[0.3]);
+        let rep = merge_channels(&[a, b], 0.001);
+        let back = demux(&rep.merged, 2, 2000.0, 1.0);
+        assert_eq!(back[0].len(), 2);
+        assert_eq!(back[1].len(), 1);
+    }
+
+    #[test]
+    fn address_bits_formula() {
+        assert_eq!(address_bits(1), 0);
+        assert_eq!(address_bits(2), 1);
+        assert_eq!(address_bits(3), 2);
+        assert_eq!(address_bits(8), 3);
+        assert_eq!(address_bits(9), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Cyclic redundancy checks for the packet-based baseline.
+//!
+//! Bitwise (table-free) implementations — the baseline TX the paper argues
+//! against must pay this logic in silicon, so the model keeps it explicit.
+
+/// CRC-8 with polynomial 0x07 (ATM HEC), init 0x00.
+///
+/// # Example
+///
+/// ```
+/// use datc_uwb::crc::crc8;
+/// assert_eq!(crc8(b"123456789"), 0xF4);
+/// ```
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF.
+///
+/// # Example
+///
+/// ```
+/// use datc_uwb::crc::crc16_ccitt;
+/// assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc8_check_value() {
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(&[]), 0x00);
+    }
+
+    #[test]
+    fn crc16_check_value() {
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn crc8_detects_all_single_bit_errors() {
+        let msg = [0x42u8, 0x13, 0x37, 0xA5];
+        let good = crc8(&msg);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut bad = msg;
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc8(&bad), good, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc16_detects_all_single_and_double_bit_errors_in_short_msg() {
+        let msg = [0xDEu8, 0xAD];
+        let good = crc16_ccitt(&msg);
+        let nbits = msg.len() * 8;
+        for i in 0..nbits {
+            for j in (i + 1)..nbits {
+                let mut bad = msg;
+                bad[i / 8] ^= 1 << (i % 8);
+                bad[j / 8] ^= 1 << (j % 8);
+                assert_ne!(crc16_ccitt(&bad), good, "missed flips {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc_is_order_sensitive() {
+        assert_ne!(crc8(&[1, 2]), crc8(&[2, 1]));
+        assert_ne!(crc16_ccitt(&[1, 2]), crc16_ccitt(&[2, 1]));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the UWB substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the UWB layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UwbError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: String,
+    },
+    /// A received packet failed its CRC check.
+    CrcMismatch {
+        /// CRC computed over the received payload.
+        computed: u16,
+        /// CRC carried by the packet.
+        received: u16,
+    },
+    /// Decoder ran out of symbols mid-structure.
+    Truncated {
+        /// Symbols required.
+        required: usize,
+        /// Symbols available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for UwbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UwbError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            UwbError::CrcMismatch { computed, received } => {
+                write!(f, "crc mismatch: computed {computed:#06x}, received {received:#06x}")
+            }
+            UwbError::Truncated {
+                required,
+                available,
+            } => write!(f, "truncated stream: need {required} symbols, have {available}"),
+        }
+    }
+}
+
+impl Error for UwbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = UwbError::CrcMismatch {
+            computed: 0xAB,
+            received: 0xCD,
+        };
+        assert!(e.to_string().contains("0x00ab"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UwbError>();
+    }
+}

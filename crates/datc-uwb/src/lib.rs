@@ -1,0 +1,40 @@
+//! # datc-uwb — IR-UWB physical layer and protocols
+//!
+//! The paper radiates threshold-crossing events through the all-digital
+//! IR-UWB transmitter of Crepaldi et al. ([7], [11]) using an
+//! Address-Event Representation protocol ([12]); a "standard packet-based
+//! system" with a 12-bit ADC serves as the power/complexity strawman.
+//! This crate provides all of it:
+//!
+//! * [`pulse`] — Gaussian-derivative pulse shapes on a nanosecond grid;
+//! * [`modulator`] — OOK pulse trains and the 5-symbol D-ATC event
+//!   pattern (event marker + 4 threshold bits, Fig. 2-E);
+//! * [`psd`] — pulse-train power spectral density against the FCC
+//!   −41.3 dBm/MHz indoor mask;
+//! * [`channel`] — log-distance path loss + AWGN (waveform level) and a
+//!   symbol-level pulse-error abstraction for 20-second streams;
+//! * [`receiver`] — square-and-integrate energy detection;
+//! * [`link`] — end-to-end event transport with miss/false-alarm
+//!   injection;
+//! * [`aer`] — multi-channel address-event merging with collision
+//!   handling;
+//! * [`packet`], [`crc`], [`adc`] — the packet/ADC baseline;
+//! * [`energy`] — transmitter energy accounting per scheme.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod adc;
+pub mod aer;
+pub mod channel;
+pub mod crc;
+pub mod energy;
+pub mod error;
+pub mod link;
+pub mod modulator;
+pub mod packet;
+pub mod psd;
+pub mod pulse;
+pub mod receiver;
+
+pub use error::UwbError;

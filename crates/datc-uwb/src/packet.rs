@@ -1,0 +1,188 @@
+//! The packet/ADC baseline the paper argues against (Sec. II):
+//! "a standard system would require an A-to-D converter and communication
+//! would be packet-based. Typically additional bits, e.g. header,
+//! Start-Frame-Delimiter (SFD), identifier (ID) and Cyclic Redundancy
+//! Code (CRC) are required".
+
+use crate::adc::Adc;
+use crate::crc::crc8;
+use crate::error::UwbError;
+use datc_signal::Signal;
+use serde::{Deserialize, Serialize};
+
+/// Field layout of one sample packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketFormat {
+    /// Preamble/header bits.
+    pub header_bits: u8,
+    /// Start-frame-delimiter bits.
+    pub sfd_bits: u8,
+    /// Node/channel identifier bits.
+    pub id_bits: u8,
+    /// ADC payload bits per sample.
+    pub payload_bits: u8,
+    /// CRC bits (8 → CRC-8 over the payload bytes).
+    pub crc_bits: u8,
+}
+
+impl PacketFormat {
+    /// A typical minimal WBAN packet: 8-bit header, 8-bit SFD, 8-bit ID,
+    /// 12-bit payload, CRC-8 — 44 bits/sample.
+    pub fn standard_12bit() -> Self {
+        PacketFormat {
+            header_bits: 8,
+            sfd_bits: 8,
+            id_bits: 8,
+            payload_bits: 12,
+            crc_bits: 8,
+        }
+    }
+
+    /// Bits on air per transmitted sample, including all overhead.
+    pub fn bits_per_packet(&self) -> u32 {
+        u32::from(self.header_bits)
+            + u32::from(self.sfd_bits)
+            + u32::from(self.id_bits)
+            + u32::from(self.payload_bits)
+            + u32::from(self.crc_bits)
+    }
+
+    /// Payload-only bits per sample — the paper's accounting
+    /// ("12 × 50000 = 600000 symbols") counts just these, which is the
+    /// most charitable reading for the baseline.
+    pub fn payload_bits_per_packet(&self) -> u32 {
+        u32::from(self.payload_bits)
+    }
+}
+
+/// One encoded packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Node identifier.
+    pub id: u8,
+    /// ADC code (right-aligned in `payload_bits`).
+    pub payload: u32,
+    /// CRC-8 over `[id, payload bytes]`.
+    pub crc: u8,
+}
+
+/// The packet-based transmitter model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketTx {
+    format: PacketFormat,
+    adc: Adc,
+    node_id: u8,
+}
+
+impl PacketTx {
+    /// Creates a transmitter for `node_id` with the given packet format
+    /// and converter.
+    pub fn new(format: PacketFormat, adc: Adc, node_id: u8) -> Self {
+        PacketTx {
+            format,
+            adc,
+            node_id,
+        }
+    }
+
+    /// The paper's baseline: 12-bit ADC, standard packet, node 0.
+    pub fn baseline() -> Self {
+        PacketTx::new(PacketFormat::standard_12bit(), Adc::baseline_12bit(), 0)
+    }
+
+    /// The packet format.
+    pub fn format(&self) -> &PacketFormat {
+        &self.format
+    }
+
+    /// Encodes every sample of `signal` into a packet.
+    pub fn encode(&self, signal: &Signal) -> Vec<Packet> {
+        self.adc
+            .digitize(signal)
+            .into_iter()
+            .map(|code| {
+                let bytes = [
+                    self.node_id,
+                    (code >> 8) as u8,
+                    (code & 0xFF) as u8,
+                ];
+                Packet {
+                    id: self.node_id,
+                    payload: code,
+                    crc: crc8(&bytes),
+                }
+            })
+            .collect()
+    }
+
+    /// Verifies and strips one packet back to its ADC code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UwbError::CrcMismatch`] for corrupted packets.
+    pub fn decode(&self, packet: &Packet) -> Result<u32, UwbError> {
+        let bytes = [
+            packet.id,
+            (packet.payload >> 8) as u8,
+            (packet.payload & 0xFF) as u8,
+        ];
+        let computed = crc8(&bytes);
+        if computed != packet.crc {
+            return Err(UwbError::CrcMismatch {
+                computed: u16::from(computed),
+                received: u16::from(packet.crc),
+            });
+        }
+        Ok(packet.payload)
+    }
+
+    /// On-air symbol count for transmitting `n_samples` samples:
+    /// `(payload_only, full_packet)` — the paper quotes the first.
+    pub fn symbol_counts(&self, n_samples: u64) -> (u64, u64) {
+        (
+            n_samples * u64::from(self.format.payload_bits_per_packet()),
+            n_samples * u64::from(self.format.bits_per_packet()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_symbol_count_is_600k() {
+        let tx = PacketTx::baseline();
+        let (payload, full) = tx.symbol_counts(50_000);
+        assert_eq!(payload, 600_000); // the paper's bullet
+        assert_eq!(full, 50_000 * 44);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tx = PacketTx::baseline();
+        let s = Signal::from_fn(2500.0, 0.1, |t| (t * 50.0).sin().abs());
+        let packets = tx.encode(&s);
+        assert_eq!(packets.len(), s.len());
+        for p in &packets {
+            let code = tx.decode(p).unwrap();
+            assert_eq!(code, p.payload);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let tx = PacketTx::baseline();
+        let s = Signal::from_samples(vec![0.5], 2500.0);
+        let mut p = tx.encode(&s).remove(0);
+        p.payload ^= 0x004;
+        assert!(matches!(tx.decode(&p), Err(UwbError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn format_bit_budget() {
+        let f = PacketFormat::standard_12bit();
+        assert_eq!(f.bits_per_packet(), 44);
+        assert_eq!(f.payload_bits_per_packet(), 12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Pulse-train power spectral density vs the FCC mask.
+//!
+//! Part 15 limits UWB emissions to **−41.3 dBm/MHz** EIRP in 3.1–10.6 GHz
+//! (and stricter below); the paper cites this limit as the design
+//! constraint on pulse energy and repetition rate.
+
+use crate::modulator::{OokModulator, Symbol};
+use datc_signal::fft::welch_psd;
+use datc_signal::window::WindowKind;
+use serde::{Deserialize, Serialize};
+
+/// The FCC indoor UWB emission limit in the main band.
+pub const FCC_LIMIT_DBM_PER_MHZ: f64 = -41.3;
+
+/// Result of checking a pulse train against the mask.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskReport {
+    /// Peak PSD found in the checked band, dBm/MHz (50 Ω reference).
+    pub peak_dbm_per_mhz: f64,
+    /// Frequency of the peak, Hz.
+    pub peak_freq_hz: f64,
+    /// `true` when the whole band is at or below the limit.
+    pub compliant: bool,
+    /// Margin to the limit at the peak (positive = headroom), dB.
+    pub margin_db: f64,
+}
+
+/// Estimates the PSD of an OOK symbol train rendered by `modulator` and
+/// checks the `[f_lo, f_hi]` band against the FCC limit.
+///
+/// Power is referred to a 50 Ω antenna: `P = V²/50`. The symbol pattern
+/// should be long enough (hundreds of symbols) for a stable Welch
+/// estimate; duty cycling (mostly-silent patterns) lowers the average PSD
+/// exactly as it does for the real transmitter.
+pub fn check_fcc_mask(
+    modulator: &OokModulator,
+    symbols: &[Symbol],
+    fs: f64,
+    f_lo: f64,
+    f_hi: f64,
+) -> MaskReport {
+    let w = modulator.waveform(symbols, fs);
+    let seg = 4096.min(w.len().next_power_of_two() / 2).max(64);
+    let (freqs, psd) = welch_psd(w.samples(), fs, seg, WindowKind::Hann)
+        .expect("waveform longer than one segment by construction");
+    let mut peak = f64::NEG_INFINITY;
+    let mut peak_f = 0.0;
+    for (f, p) in freqs.iter().zip(&psd) {
+        if *f < f_lo || *f > f_hi {
+            continue;
+        }
+        // V²/Hz → W/Hz (50 Ω) → mW/MHz → dBm/MHz
+        let w_per_hz = p / 50.0;
+        let mw_per_mhz = w_per_hz * 1e3 * 1e6;
+        let dbm = 10.0 * mw_per_mhz.max(1e-300).log10();
+        if dbm > peak {
+            peak = dbm;
+            peak_f = *f;
+        }
+    }
+    MaskReport {
+        peak_dbm_per_mhz: peak,
+        peak_freq_hz: peak_f,
+        compliant: peak <= FCC_LIMIT_DBM_PER_MHZ,
+        margin_db: FCC_LIMIT_DBM_PER_MHZ - peak,
+    }
+}
+
+/// The amplitude scale that brings a pulse train to a target peak PSD:
+/// returns the multiplicative factor to apply to the pulse amplitude so
+/// the measured peak hits `target_dbm_per_mhz`.
+pub fn amplitude_for_target(report: &MaskReport, target_dbm_per_mhz: f64) -> f64 {
+    // PSD scales with amplitude²: ΔdB = 20·log10(scale).
+    10f64.powf((target_dbm_per_mhz - report.peak_dbm_per_mhz) / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::GaussianPulse;
+
+    fn sparse_train(n: usize, every: usize) -> Vec<Symbol> {
+        (0..n)
+            .map(|i| {
+                if i % every == 0 {
+                    Symbol::Pulse
+                } else {
+                    Symbol::Silence
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn duty_cycling_lowers_psd() {
+        let m = OokModulator::new(GaussianPulse::paper_tx(), 10e-9);
+        let fs = 20e9;
+        let dense = check_fcc_mask(&m, &sparse_train(512, 1), fs, 1e9, 8e9);
+        let sparse = check_fcc_mask(&m, &sparse_train(512, 8), fs, 1e9, 8e9);
+        assert!(
+            sparse.peak_dbm_per_mhz < dense.peak_dbm_per_mhz - 5.0,
+            "dense {} sparse {}",
+            dense.peak_dbm_per_mhz,
+            sparse.peak_dbm_per_mhz
+        );
+    }
+
+    #[test]
+    fn amplitude_scaling_moves_psd_as_20log() {
+        let fs = 20e9;
+        let m1 = OokModulator::new(GaussianPulse::paper_tx(), 10e-9);
+        let mut p2 = GaussianPulse::paper_tx();
+        p2.amplitude_v = 0.1;
+        let m2 = OokModulator::new(p2, 10e-9);
+        let r1 = check_fcc_mask(&m1, &sparse_train(256, 2), fs, 1e9, 8e9);
+        let r2 = check_fcc_mask(&m2, &sparse_train(256, 2), fs, 1e9, 8e9);
+        assert!(
+            (r1.peak_dbm_per_mhz - r2.peak_dbm_per_mhz - 20.0).abs() < 1.0,
+            "Δ = {}",
+            r1.peak_dbm_per_mhz - r2.peak_dbm_per_mhz
+        );
+    }
+
+    #[test]
+    fn amplitude_for_target_reaches_compliance() {
+        let fs = 20e9;
+        let m = OokModulator::new(GaussianPulse::paper_tx(), 10e-9);
+        let train = sparse_train(512, 4);
+        let r = check_fcc_mask(&m, &train, fs, 1e9, 8e9);
+        let scale = amplitude_for_target(&r, FCC_LIMIT_DBM_PER_MHZ - 3.0);
+        let mut p = GaussianPulse::paper_tx();
+        p.amplitude_v *= scale;
+        let m2 = OokModulator::new(p, 10e-9);
+        let r2 = check_fcc_mask(&m2, &train, fs, 1e9, 8e9);
+        assert!(r2.compliant, "after scaling: {} dBm/MHz", r2.peak_dbm_per_mhz);
+        assert!((r2.margin_db - 3.0).abs() < 1.5, "margin {}", r2.margin_db);
+    }
+
+    #[test]
+    fn report_margin_consistent_with_peak() {
+        let m = OokModulator::new(GaussianPulse::paper_tx(), 10e-9);
+        let r = check_fcc_mask(&m, &sparse_train(256, 2), 20e9, 1e9, 8e9);
+        assert!((r.margin_db - (FCC_LIMIT_DBM_PER_MHZ - r.peak_dbm_per_mhz)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Energy-detection receiver (square → integrate → threshold), the
+//! non-coherent architecture of the companion chipset (Ref. [7]: "for
+//! energy detection receivers").
+
+use crate::modulator::Symbol;
+use datc_signal::Signal;
+use serde::{Deserialize, Serialize};
+
+/// Square-and-integrate energy detector with per-slot decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyDetector {
+    /// Symbol (integration) period, seconds.
+    pub symbol_period_s: f64,
+    /// Decision threshold on integrated energy (V²·s). Use
+    /// [`EnergyDetector::calibrate`] to set it from a training burst.
+    pub threshold: f64,
+}
+
+impl EnergyDetector {
+    /// Creates a detector with an explicit threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol period is not positive.
+    pub fn new(symbol_period_s: f64, threshold: f64) -> Self {
+        assert!(symbol_period_s > 0.0, "symbol period must be positive");
+        EnergyDetector {
+            symbol_period_s,
+            threshold,
+        }
+    }
+
+    /// Integrated energy per slot of the received waveform.
+    pub fn slot_energies(&self, rx: &Signal) -> Vec<f64> {
+        let fs = rx.sample_rate();
+        let slot = (self.symbol_period_s * fs).round() as usize;
+        if slot == 0 {
+            return Vec::new();
+        }
+        rx.samples()
+            .chunks(slot)
+            .map(|c| c.iter().map(|v| v * v).sum::<f64>() / fs)
+            .collect()
+    }
+
+    /// Decides each slot: energy above threshold → pulse.
+    pub fn detect(&self, rx: &Signal) -> Vec<Symbol> {
+        self.slot_energies(rx)
+            .into_iter()
+            .map(|e| {
+                if e > self.threshold {
+                    Symbol::Pulse
+                } else {
+                    Symbol::Silence
+                }
+            })
+            .collect()
+    }
+
+    /// Sets the threshold midway (in log domain) between the mean slot
+    /// energies observed for a known training pattern.
+    ///
+    /// Returns `None` when the training data lacks either class.
+    pub fn calibrate(
+        symbol_period_s: f64,
+        rx: &Signal,
+        training: &[Symbol],
+    ) -> Option<EnergyDetector> {
+        let det = EnergyDetector::new(symbol_period_s, 0.0);
+        let energies = det.slot_energies(rx);
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for (e, s) in energies.iter().zip(training) {
+            match s {
+                Symbol::Pulse => on.push(*e),
+                Symbol::Silence => off.push(*e),
+            }
+        }
+        if on.is_empty() || off.is_empty() {
+            return None;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (m_on, m_off) = (mean(&on).max(1e-300), mean(&off).max(1e-300));
+        if m_on <= m_off {
+            return None;
+        }
+        // geometric mean = midpoint in log-energy
+        let threshold = (m_on * m_off).sqrt();
+        Some(EnergyDetector::new(symbol_period_s, threshold))
+    }
+}
+
+/// Compares transmitted and detected symbol sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolErrorReport {
+    /// Pulses sent but not detected.
+    pub missed: usize,
+    /// Silences detected as pulses.
+    pub false_alarms: usize,
+    /// Slots compared.
+    pub total: usize,
+}
+
+impl SymbolErrorReport {
+    /// Scores `detected` against `sent` slot by slot.
+    pub fn compare(sent: &[Symbol], detected: &[Symbol]) -> Self {
+        let total = sent.len().min(detected.len());
+        let mut missed = 0;
+        let mut false_alarms = 0;
+        for i in 0..total {
+            match (sent[i], detected[i]) {
+                (Symbol::Pulse, Symbol::Silence) => missed += 1,
+                (Symbol::Silence, Symbol::Pulse) => false_alarms += 1,
+                _ => {}
+            }
+        }
+        SymbolErrorReport {
+            missed,
+            false_alarms,
+            total,
+        }
+    }
+
+    /// Overall symbol error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.missed + self.false_alarms) as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AwgnChannel;
+    use crate::modulator::OokModulator;
+    use crate::pulse::GaussianPulse;
+
+    fn pattern() -> Vec<Symbol> {
+        (0..64)
+            .map(|i| {
+                if (i * 7) % 3 == 0 {
+                    Symbol::Pulse
+                } else {
+                    Symbol::Silence
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_channel_decodes_perfectly() {
+        let fs = 20e9;
+        let period = 10e-9;
+        let m = OokModulator::new(GaussianPulse::paper_tx(), period);
+        let syms = pattern();
+        let tx = m.waveform(&syms, fs);
+        let det = EnergyDetector::calibrate(period, &tx, &syms).unwrap();
+        let decoded = det.detect(&tx);
+        let rep = SymbolErrorReport::compare(&syms, &decoded);
+        assert_eq!(rep.missed, 0);
+        assert_eq!(rep.false_alarms, 0);
+    }
+
+    #[test]
+    fn high_snr_link_is_error_free() {
+        let fs = 20e9;
+        let period = 10e-9;
+        let m = OokModulator::new(GaussianPulse::paper_tx(), period);
+        let syms = pattern();
+        let tx = m.waveform(&syms, fs);
+        let ch = AwgnChannel {
+            noise_rms_v: 1e-5,
+            ..AwgnChannel::wban()
+        };
+        let rx = ch.propagate(&tx, 1.0, 7);
+        let det = EnergyDetector::calibrate(period, &rx, &syms).unwrap();
+        let rep = SymbolErrorReport::compare(&syms, &det.detect(&rx));
+        assert_eq!(rep.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn heavy_noise_causes_errors() {
+        let fs = 20e9;
+        let period = 10e-9;
+        let m = OokModulator::new(GaussianPulse::paper_tx(), period);
+        let syms = pattern();
+        let tx = m.waveform(&syms, fs);
+        let ch = AwgnChannel {
+            noise_rms_v: 0.5, // comparable to the attenuated pulse
+            ..AwgnChannel::wban()
+        };
+        let rx = ch.propagate(&tx, 3.0, 9);
+        // calibration may fail (classes overlap); if it succeeds, errors
+        // must appear.
+        if let Some(det) = EnergyDetector::calibrate(period, &rx, &syms) {
+            let rep = SymbolErrorReport::compare(&syms, &det.detect(&rx));
+            assert!(rep.error_rate() > 0.05, "rate {}", rep.error_rate());
+        }
+    }
+
+    #[test]
+    fn calibration_requires_both_classes() {
+        let fs = 20e9;
+        let period = 10e-9;
+        let m = OokModulator::new(GaussianPulse::paper_tx(), period);
+        let all_on = vec![Symbol::Pulse; 16];
+        let tx = m.waveform(&all_on, fs);
+        assert!(EnergyDetector::calibrate(period, &tx, &all_on).is_none());
+    }
+
+    #[test]
+    fn error_report_counts() {
+        use Symbol::*;
+        let rep = SymbolErrorReport::compare(
+            &[Pulse, Pulse, Silence, Silence],
+            &[Pulse, Silence, Pulse, Silence],
+        );
+        assert_eq!(rep.missed, 1);
+        assert_eq!(rep.false_alarms, 1);
+        assert!((rep.error_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Explore the synthetic 190-pattern corpus standing in for the paper's
+//! recordings: per-subject amplitudes, band occupancy, and the Fig. 5
+//! correlation sweep summary.
+//!
+//! Run with: `cargo run --release --example dataset_explorer [n_patterns]`
+
+use datc::experiments::figures::fig5;
+use datc::signal::dataset::{Dataset, DatasetConfig};
+use datc::signal::fft::{band_power, welch_psd};
+use datc::signal::stats::arv;
+use datc::signal::window::WindowKind;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    let dataset = Dataset::new(DatasetConfig::default());
+    println!("corpus: {} patterns, {} subjects, {:.0} s each at {:.0} Hz\n",
+        dataset.len(),
+        dataset.subjects().subjects().len(),
+        dataset.config().duration(),
+        dataset.config().sample_rate,
+    );
+
+    println!("subject  MVC gain   mains    artifacts");
+    for s in dataset.subjects().subjects() {
+        println!(
+            "{:>7}  {:>6.2} V  {:>5.1} mV  {:>6.2} /s",
+            s.id,
+            s.mvc_gain_v,
+            s.mains_amplitude_v * 1e3,
+            s.artifact_rate_hz
+        );
+    }
+
+    println!("\npattern  subject  ARV(V)   in-band fraction");
+    for id in 0..n.min(dataset.len()).min(12) {
+        let p = dataset.pattern(id);
+        let (freqs, psd) = welch_psd(p.semg.samples(), 2500.0, 1024, WindowKind::Hann)
+            .expect("patterns are long enough");
+        let total = band_power(&freqs, &psd, 0.0, 1250.0).max(f64::MIN_POSITIVE);
+        let in_band = band_power(&freqs, &psd, 20.0, 450.0);
+        println!(
+            "{:>7}  {:>7}  {:>6.3}  {:>6.1} %",
+            id,
+            p.subject.id,
+            arv(p.semg.samples()),
+            100.0 * in_band / total
+        );
+    }
+
+    println!("\nrunning Fig. 5 sweep over {n} patterns…");
+    println!("{}", fig5::report(n));
+}

@@ -1,0 +1,73 @@
+//! End-to-end wireless muscle-force link: sEMG → D-ATC encoder → IR-UWB
+//! symbol link (with losses) → receiver → force estimate.
+//!
+//! Demonstrates the paper's robustness remark that "artifacts effect is
+//! similar to pulse missing": the link is degraded progressively and the
+//! correlation is re-scored.
+//!
+//! Run with: `cargo run --release --example muscle_force_link`
+
+use datc::core::{DatcConfig, DatcEncoder};
+use datc::rx::metrics::evaluate;
+use datc::rx::{HybridReconstructor, Reconstructor};
+use datc::signal::envelope::arv_envelope;
+use datc::signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+use datc::uwb::channel::{AwgnChannel, SymbolChannel};
+use datc::uwb::link::EventLink;
+use datc::uwb::modulator::{symbolize_events, OokModulator, Symbol};
+use datc::uwb::psd::{check_fcc_mask, FCC_LIMIT_DBM_PER_MHZ};
+use datc::uwb::pulse::GaussianPulse;
+
+fn main() {
+    // --- transmitter side -------------------------------------------------
+    let fs = 2500.0;
+    let force = ForceProfile::mvc_protocol().samples(fs, 20.0);
+    let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
+        .generate(&force, 7)
+        .to_scaled(0.5)
+        .to_rectified();
+    let arv = arv_envelope(&semg, 0.25);
+    let tx = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
+    let patterns = symbolize_events(&tx.events, 4);
+    println!(
+        "TX: {} events → {} symbols",
+        tx.events.len(),
+        tx.events.symbol_count(4)
+    );
+
+    // --- PHY sanity: FCC mask on a representative burst --------------------
+    let modulator = OokModulator::new(GaussianPulse::paper_tx(), 10e-9);
+    let burst: Vec<Symbol> = patterns
+        .iter()
+        .take(100)
+        .flat_map(|p| p.symbols.clone())
+        .collect();
+    let mask = check_fcc_mask(&modulator, &burst, 20e9, 1e9, 8e9);
+    println!(
+        "PSD peak {:.1} dBm/MHz at {:.2} GHz (limit {} dBm/MHz, margin {:+.1} dB)",
+        mask.peak_dbm_per_mhz,
+        mask.peak_freq_hz / 1e9,
+        FCC_LIMIT_DBM_PER_MHZ,
+        mask.margin_db
+    );
+
+    // --- link quality sweep -------------------------------------------------
+    let channel = AwgnChannel::wban();
+    println!("\nWBAN path loss: {:.1} dB at 1 m, {:.1} dB at 3 m", channel.path_loss_db(1.0), channel.path_loss_db(3.0));
+    println!("\nloss rate  delivered  corrupted  correlation");
+    for p_miss in [0.0, 0.01, 0.05, 0.1, 0.2, 0.4] {
+        let link = EventLink::new(SymbolChannel::new(p_miss, 1e-5), 4);
+        let report = link.transport(&tx.events, 99);
+        let recon = HybridReconstructor::paper().reconstruct(&report.received, 100.0);
+        let corr = evaluate(&recon, &arv, 0.3).map(|r| r.percent).unwrap_or(0.0);
+        println!(
+            "{:>8.0} %  {:>9}  {:>9}  {:>10.1} %",
+            p_miss * 100.0,
+            report.received.len(),
+            report.corrupted_codes,
+            corr
+        );
+    }
+    println!("\nevent loss degrades the estimate gracefully — the paper's");
+    println!("\"artifacts effect is similar to pulse missing\" in action.");
+}

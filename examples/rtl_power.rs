@@ -1,0 +1,41 @@
+//! Table I in action: build the gate-level DTC, verify it against the
+//! behavioural model in lockstep, run the reference workload, and print
+//! synthesis + power reports.
+//!
+//! Run with: `cargo run --release --example rtl_power`
+
+use datc::core::DatcConfig;
+use datc::experiments::figures::table1;
+use datc::rtl::dtc_rtl::build_dtc_netlist;
+use datc::rtl::verify::lockstep;
+use datc::rtl::verilog::to_verilog;
+
+fn main() {
+    // 1. "Verilog matches Matlab": lockstep the gate-level netlist
+    //    against the behavioural DTC on a pseudo-random bit stream.
+    let stim: Vec<bool> = (0..10_000u32)
+        .map(|k| (k.wrapping_mul(2654435761) >> 13) % 100 < 27)
+        .collect();
+    match lockstep(DatcConfig::paper(), stim).expect("paper config is valid") {
+        None => println!("lockstep RTL vs behavioural: MATCH over 10000 cycles"),
+        Some(m) => panic!("RTL diverged: {m:?}"),
+    }
+
+    // 2. Export the netlist as synthesisable Verilog (the reverse of the
+    //    paper's Modelsim/Synopsys path).
+    let verilog = to_verilog(&build_dtc_netlist(&DatcConfig::paper()), "dtc");
+    let path = std::env::temp_dir().join("dtc.v");
+    std::fs::write(&path, &verilog).expect("temp dir is writable");
+    println!(
+        "wrote {} lines of Verilog to {}",
+        verilog.lines().count(),
+        path.display()
+    );
+
+    // 3. The Table I flow on the full 20 s reference recording.
+    println!("\n{}", table1::report());
+    println!("Note: cell count/area come from the structural mapping (no");
+    println!("commercial optimiser); the estimated power column uses the");
+    println!("default-activity methodology the paper's ~70 nW figure implies,");
+    println!("while the measured column uses real switching activity.");
+}

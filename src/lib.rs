@@ -1,0 +1,41 @@
+//! # datc — Dynamic Average Threshold Crossing, reproduced
+//!
+//! A full Rust reproduction of *"An all-digital spike-based
+//! ultra-low-power IR-UWB dynamic average threshold crossing scheme for
+//! muscle force wireless transmission"* (Shahshahani et al., DATE 2015).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`signal`] — sEMG synthesis, DSP, and the 190-pattern corpus;
+//! * [`core`] — the ATC and D-ATC encoders with the cycle-accurate DTC;
+//! * [`uwb`] — IR-UWB pulses, OOK event patterns, channel, AER, and the
+//!   packet/ADC baseline;
+//! * [`rx`] — receiver-side reconstruction and the correlation metric;
+//! * [`rtl`] — the gate-level DTC, cell library, synthesis and power
+//!   reports (Table I);
+//! * [`experiments`] — runners regenerating every figure and table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datc::core::{DatcConfig, DatcEncoder};
+//! use datc::signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+//!
+//! // synthesise 2 s of sEMG following a grip contraction
+//! let fs = 2500.0;
+//! let force = ForceProfile::mvc_protocol().samples(fs, 2.0);
+//! let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
+//!     .generate(&force, 42)
+//!     .to_rectified();
+//!
+//! // encode it with the paper's D-ATC configuration
+//! let out = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
+//! println!("{} events, {} symbols", out.events.len(), out.events.symbol_count(4));
+//! ```
+
+pub use datc_core as core;
+pub use datc_experiments as experiments;
+pub use datc_rtl as rtl;
+pub use datc_rx as rx;
+pub use datc_signal as signal;
+pub use datc_uwb as uwb;

@@ -1,0 +1,47 @@
+//! The paper's headline claims, asserted end to end through the
+//! experiment runners (shape criteria — see EXPERIMENTS.md for the
+//! paper-vs-measured numbers).
+
+use datc::experiments::figures::{fig3, fig5, fig6, symbols, table1};
+
+#[test]
+fn fig3_datc_beats_atc_in_correlation() {
+    let r = fig3::run();
+    assert!(r.datc_correlation > r.atc_correlation);
+    assert!(r.datc_correlation > 92.0, "D-ATC {:.1}", r.datc_correlation);
+    // paper: 3183 / 3724 events — ours must be thousands, D-ATC above ATC
+    assert!(r.datc_events > r.atc_events);
+}
+
+#[test]
+fn fig5_datc_is_robust_across_the_corpus() {
+    // 24 patterns (3 per subject) span the gain range
+    let r = fig5::run(24);
+    assert!(r.datc_summary.min > r.atc_summary.min + 5.0);
+    assert!(r.atc_summary.spread() > 2.0 * r.datc_summary.spread());
+    assert!(r.datc_summary.min > 80.0, "D-ATC floor {:.1}", r.datc_summary.min);
+}
+
+#[test]
+fn fig6_matched_correlation_costs_events() {
+    let r = fig6::run();
+    assert!((r.atc_low_correlation - r.datc_correlation).abs() < 6.0);
+    assert!(r.atc_low_events as f64 > 1.15 * r.datc_events as f64);
+}
+
+#[test]
+fn symbol_economy_ordering() {
+    let r = symbols::run();
+    assert_eq!(r.packet_symbols, 600_000);
+    assert!(r.packet_symbols > 10 * r.datc_symbols);
+    assert!(r.datc_symbols > r.atc_high_symbols);
+}
+
+#[test]
+fn table1_stays_in_the_ultra_low_power_class() {
+    let r = table1::run(4_000);
+    assert!(r.synth.cell_count < 3_000);
+    assert!(r.synth.core_area_um2 < 60_000.0);
+    assert!(r.power_estimated.total_w() < 1e-6);
+    assert!(r.power_measured.total_w() < 1e-6);
+}

@@ -1,0 +1,148 @@
+//! Workspace-level property tests: invariants that must hold for
+//! arbitrary signals, event streams and bit streams.
+
+use datc::core::atc::AtcEncoder;
+use datc::core::config::{Arithmetic, DatcConfig, FrameSize};
+use datc::core::dtc::Dtc;
+use datc::core::{DatcEncoder, Event, EventStream};
+use datc::rtl::verify::lockstep;
+use datc::rx::{HybridReconstructor, RateReconstructor, Reconstructor};
+use datc::signal::Signal;
+use proptest::prelude::*;
+
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    // piecewise-amplitude noise bursts, 0.5–2 s at 2.5 kHz
+    (
+        proptest::collection::vec(0.0f64..1.0, 2..6),
+        any::<u64>(),
+        1250usize..5000,
+    )
+        .prop_map(|(amps, seed, n)| {
+            let mut g = datc::signal::noise::GaussianNoise::new(seed);
+            let seg = n / amps.len().max(1);
+            let data: Vec<f64> = (0..n)
+                .map(|i| {
+                    let a = amps[(i / seg.max(1)).min(amps.len() - 1)];
+                    (a * g.standard()).abs()
+                })
+                .collect();
+            Signal::from_samples(data, 2500.0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn datc_codes_always_within_dac_range(signal in arb_signal()) {
+        let out = DatcEncoder::new(DatcConfig::paper()).encode(&signal);
+        prop_assert!(out.vth_code_trace.iter().all(|&c| (1..=15).contains(&c)));
+        let codes_ok = out
+            .events
+            .iter()
+            .all(|e| e.vth_code.map(|c| (1..=15).contains(&c)).unwrap_or(false));
+        prop_assert!(codes_ok);
+    }
+
+    #[test]
+    fn datc_events_are_strictly_ordered(signal in arb_signal()) {
+        let out = DatcEncoder::new(DatcConfig::paper()).encode(&signal);
+        let evs = out.events.events();
+        prop_assert!(evs.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+
+    #[test]
+    fn atc_event_count_bounded_by_half_samples(signal in arb_signal()) {
+        // a rising edge needs at least one below-sample between events
+        let ev = AtcEncoder::new(0.3).encode(&signal);
+        prop_assert!(ev.len() <= signal.len() / 2 + 1);
+    }
+
+    #[test]
+    fn atc_decays_in_the_threshold_tail(signal in arb_signal()) {
+        // Crossing counts peak near v ≈ σ and decay Rice-style beyond it:
+        // in the tail (thresholds above the loudest segment's RMS) higher
+        // thresholds must fire less, and a threshold above the peak fires
+        // never.
+        let peak = signal.samples().iter().cloned().fold(0.0f64, f64::max);
+        let sigma_max = datc_signal::stats::rms(signal.samples()).max(1e-6);
+        let mid = AtcEncoder::new(1.5 * sigma_max).encode(&signal).len();
+        let far = AtcEncoder::new(3.0 * sigma_max).encode(&signal).len();
+        prop_assert!(mid + 5 >= far, "tail decay violated: {mid} vs {far}");
+        let above = AtcEncoder::new(peak + 1e-9).encode(&signal).len();
+        prop_assert_eq!(above, 0);
+    }
+
+    #[test]
+    fn fixed_and_float_dtc_stay_within_one_code(
+        bits in proptest::collection::vec(any::<bool>(), 500..3000),
+        frame in prop_oneof![
+            Just(FrameSize::F100),
+            Just(FrameSize::F200),
+            Just(FrameSize::F400),
+            Just(FrameSize::F800),
+        ],
+    ) {
+        let mut fx = Dtc::new(DatcConfig::paper().with_frame_size(frame)).unwrap();
+        let mut fl = Dtc::new(
+            DatcConfig::paper()
+                .with_frame_size(frame)
+                .with_arithmetic(Arithmetic::Float),
+        )
+        .unwrap();
+        for &b in &bits {
+            let a = fx.step(b);
+            let c = fl.step(b);
+            prop_assert!(
+                (i16::from(a.set_vth) - i16::from(c.set_vth)).abs() <= 1,
+                "codes diverged: {} vs {}", a.set_vth, c.set_vth
+            );
+        }
+    }
+
+    #[test]
+    fn rtl_matches_behavioural_on_random_streams(
+        bits in proptest::collection::vec(any::<bool>(), 200..1200),
+    ) {
+        let mismatch = lockstep(DatcConfig::paper(), bits).unwrap();
+        prop_assert_eq!(mismatch, None);
+    }
+
+    #[test]
+    fn reconstructions_cover_the_observation_window(
+        times in proptest::collection::vec(0.0f64..10.0, 0..200),
+    ) {
+        let mut sorted = times;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let events: Vec<Event> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event {
+                tick: (t * 2000.0) as u64 + i as u64, // keep ticks ordered
+                time_s: t,
+                vth_code: Some((i % 15 + 1) as u8),
+            })
+            .collect();
+        let stream = EventStream::new(events, 2000.0, 10.0);
+        for recon in [
+            RateReconstructor::default().reconstruct(&stream, 50.0),
+            HybridReconstructor::paper().reconstruct(&stream, 50.0),
+        ] {
+            prop_assert_eq!(recon.len(), 500);
+            prop_assert!(recon.samples().iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn crc8_detects_any_single_bit_flip(
+        msg in proptest::collection::vec(any::<u8>(), 1..32),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let good = datc::uwb::crc::crc8(&msg);
+        let mut bad = msg.clone();
+        let idx = byte_idx.index(bad.len());
+        bad[idx] ^= 1 << bit;
+        prop_assert_ne!(datc::uwb::crc::crc8(&bad), good);
+    }
+}
