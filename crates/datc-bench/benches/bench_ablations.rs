@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("frame_size_sweep", |b| {
         b.iter(|| ablations::frame_size_sweep(&case))
     });
-    g.bench_function("dac_bits_sweep", |b| b.iter(|| ablations::dac_bits_sweep(&case)));
+    g.bench_function("dac_bits_sweep", |b| {
+        b.iter(|| ablations::dac_bits_sweep(&case))
+    });
     g.finish();
 }
 

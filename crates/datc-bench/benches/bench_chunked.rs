@@ -1,0 +1,68 @@
+//! Chunked vs per-tick encoder throughput: the `push_chunk` fast path
+//! against one `tick()` call per sample, plus the cost of full trace
+//! capture vs events-only.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datc_core::config::DatcConfig;
+use datc_core::datc::DatcEncoder;
+use datc_core::encoder::{CountingSink, SpikeEncoder, TraceLevel};
+use datc_core::stream::DatcStream;
+use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+use datc_signal::resample::ZohResampler;
+
+fn bench(c: &mut Criterion) {
+    let fs = 2500.0;
+    let force = ForceProfile::mvc_protocol().samples(fs, 20.0);
+    let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
+        .generate(&force, 42)
+        .to_scaled(0.4)
+        .to_rectified();
+    let config = DatcConfig::paper();
+
+    // pre-resample once: both paths then consume identical clock-rate input
+    let zoh = ZohResampler::new(fs, config.clock_hz);
+    let n_ticks = zoh.ticks_for_len(semg.len());
+    let last = semg.len() - 1;
+    let clocked: Vec<f64> = (0..n_ticks)
+        .map(|k| semg.samples()[zoh.index(k).min(last)])
+        .collect();
+
+    let mut g = c.benchmark_group("chunked");
+    g.throughput(Throughput::Elements(clocked.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("per_tick_tick_40k", |b| {
+        b.iter(|| {
+            let mut stream = DatcStream::new(config).unwrap();
+            let mut events = 0u64;
+            for &x in &clocked {
+                events += u64::from(stream.tick(x).event.is_some());
+            }
+            events
+        })
+    });
+
+    g.bench_function("push_chunk_40k", |b| {
+        b.iter(|| {
+            let mut stream = DatcStream::new(config).unwrap();
+            let mut sink = CountingSink::default();
+            stream.push_chunk(&clocked, &mut sink);
+            sink.events
+        })
+    });
+
+    g.bench_function("batch_encode_full_trace_40k", |b| {
+        let enc = DatcEncoder::new(config.with_trace_level(TraceLevel::Full));
+        b.iter(|| enc.encode(&semg).events.len())
+    });
+
+    g.bench_function("batch_encode_events_only_40k", |b| {
+        let enc = DatcEncoder::new(config.with_trace_level(TraceLevel::Events));
+        b.iter(|| enc.encode(&semg).events.len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

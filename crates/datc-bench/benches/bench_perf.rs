@@ -6,6 +6,7 @@ use datc_core::atc::AtcEncoder;
 use datc_core::config::DatcConfig;
 use datc_core::datc::DatcEncoder;
 use datc_core::dtc::Dtc;
+use datc_core::encoder::SpikeEncoder;
 use datc_rtl::DtcRtl;
 use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
 

@@ -10,7 +10,11 @@ use datc_experiments::figures::table1;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", table1::report());
-    let timed_ticks = if datc_bench::full_scale() { 40_000 } else { 2_000 };
+    let timed_ticks = if datc_bench::full_scale() {
+        40_000
+    } else {
+        2_000
+    };
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function(format!("rtl_workload_{timed_ticks}_ticks"), |b| {

@@ -8,5 +8,7 @@
 /// well; default keeps timed loops on reduced workloads so
 /// `cargo bench --workspace` completes in minutes.
 pub fn full_scale() -> bool {
-    std::env::var("DATC_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("DATC_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

@@ -1,5 +1,6 @@
 //! Encoder configuration.
 
+use crate::encoder::TraceLevel;
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,7 @@ impl FrameSize {
     ];
 
     /// Frame length in clock periods.
+    #[allow(clippy::len_without_is_empty)] // a duration, not a container
     pub fn len(&self) -> u32 {
         match self {
             FrameSize::F100 => 100,
@@ -105,6 +107,10 @@ pub struct DatcConfig {
     pub initial_code: u8,
     /// Arithmetic implementation.
     pub arithmetic: Arithmetic,
+    /// How much per-tick trace data batch encoding materialises
+    /// ([`TraceLevel::Full`] reproduces the paper's figures; hot paths
+    /// use [`TraceLevel::Events`] to keep the tick loop allocation-free).
+    pub trace: TraceLevel,
 }
 
 impl DatcConfig {
@@ -121,6 +127,7 @@ impl DatcConfig {
             interval_step: 0.03,
             initial_code: 1,
             arithmetic: Arithmetic::Fixed,
+            trace: TraceLevel::Full,
         }
     }
 
@@ -155,6 +162,12 @@ impl DatcConfig {
         self
     }
 
+    /// Replaces the trace-capture level.
+    pub fn with_trace_level(mut self, trace: TraceLevel) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Maximum threshold code (`2^dac_bits - 1`).
     pub fn max_code(&self) -> u8 {
         ((1u16 << self.dac_bits) - 1) as u8
@@ -186,11 +199,19 @@ impl DatcConfig {
             });
         }
         let (w3, w2, w1) = self.weights;
-        if !(w3 > 0.0 && w2 >= 0.0 && w1 >= 0.0 && w3.is_finite() && w2.is_finite() && w1.is_finite())
+        if !(w3 > 0.0
+            && w2 >= 0.0
+            && w1 >= 0.0
+            && w3.is_finite()
+            && w2.is_finite()
+            && w1.is_finite())
         {
             return Err(CoreError::InvalidConfig {
                 field: "weights",
-                reason: format!("newest weight must be positive, all finite; got {:?}", self.weights),
+                reason: format!(
+                    "newest weight must be positive, all finite; got {:?}",
+                    self.weights
+                ),
             });
         }
         if !(self.interval_step > 0.0 && self.interval_step.is_finite()) {
@@ -249,10 +270,7 @@ mod tests {
 
     #[test]
     fn frame_lengths_match_paper() {
-        assert_eq!(
-            FrameSize::ALL.map(|f| f.len()),
-            [100, 200, 400, 800]
-        );
+        assert_eq!(FrameSize::ALL.map(|f| f.len()), [100, 200, 400, 800]);
     }
 
     #[test]
@@ -260,7 +278,10 @@ mod tests {
         assert!(DatcConfig::paper().with_clock_hz(0.0).validate().is_err());
         assert!(DatcConfig::paper().with_dac_bits(0).validate().is_err());
         assert!(DatcConfig::paper().with_dac_bits(9).validate().is_err());
-        assert!(DatcConfig::paper().with_weights(-1.0, 0.5, 0.5).validate().is_err());
+        assert!(DatcConfig::paper()
+            .with_weights(-1.0, 0.5, 0.5)
+            .validate()
+            .is_err());
         let mut c = DatcConfig::paper();
         c.interval_step = 0.0;
         assert!(c.validate().is_err());

@@ -155,7 +155,10 @@ mod tests {
         let dac = Dac::paper();
         assert!(matches!(
             dac.voltage(16),
-            Err(CoreError::CodeOutOfRange { code: 16, n_bits: 4 })
+            Err(CoreError::CodeOutOfRange {
+                code: 16,
+                n_bits: 4
+            })
         ));
     }
 

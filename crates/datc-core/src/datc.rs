@@ -1,16 +1,28 @@
 //! The complete D-ATC transmitter pipeline (Fig. 1): comparator + DAC +
 //! DTC, producing the event stream (with threshold side information) that
 //! the IR-UWB modulator radiates.
+//!
+//! [`DatcEncoder`] is the batch entry point of the unified
+//! [`SpikeEncoder`] API; it is a thin driver over the streaming kernel in
+//! [`stream`](crate::stream) — there is exactly one tick loop in this
+//! crate.
 
 use crate::comparator::Comparator;
 use crate::config::DatcConfig;
 use crate::dac::Dac;
-use crate::dtc::Dtc;
+use crate::encoder::{DatcOutputBuilder, EncodedOutput, SpikeEncoder};
 use crate::error::CoreError;
-use crate::event::{Event, EventStream};
+use crate::event::EventStream;
+use crate::stream::DatcStream;
 use datc_signal::Signal;
 
 /// Everything the D-ATC encoder produces for one input signal.
+///
+/// Which trace fields are populated is governed by the configuration's
+/// [`TraceLevel`](crate::encoder::TraceLevel): at `Events` only the
+/// event stream and the scalar counters are kept, at `Frames` the
+/// per-frame codes come back, at `Full` (the default) every per-tick
+/// trace the hardware exposes is materialised.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatcOutput {
     /// Threshold-crossing events, each tagged with the 4-bit code in force
@@ -18,36 +30,60 @@ pub struct DatcOutput {
     pub events: EventStream,
     /// The threshold code at every DTC clock tick (for plotting the
     /// dynamic threshold of Fig. 3-A and for receiver-side evaluation).
+    /// Empty below [`TraceLevel::Full`](crate::encoder::TraceLevel).
     pub vth_code_trace: Vec<u8>,
     /// The threshold voltage at every tick (code through the DAC).
+    /// Empty below [`TraceLevel::Full`](crate::encoder::TraceLevel).
     pub vth_volt_trace: Vec<f64>,
     /// The synchronised comparator bit at every tick (`D_out`).
+    /// Empty below [`TraceLevel::Full`](crate::encoder::TraceLevel).
     pub d_out: Vec<bool>,
-    /// The code decided at each frame boundary.
+    /// The code decided at each frame boundary. Empty at
+    /// [`TraceLevel::Events`](crate::encoder::TraceLevel).
     pub frame_codes: Vec<u8>,
+    /// Ticks executed — always populated, at every trace level.
+    pub ticks: u64,
+    /// Ticks with `D_out = 1` — always populated, at every trace level.
+    pub ones: u64,
 }
 
 impl DatcOutput {
     /// Fraction of ticks with `D_out = 1` (comparator duty cycle) — the
-    /// quantity the DTC regulates toward the interval band.
+    /// quantity the DTC regulates toward the interval band. Computed from
+    /// the scalar counters, so it is exact at every trace level.
     pub fn duty_cycle(&self) -> f64 {
-        if self.d_out.is_empty() {
+        if self.ticks == 0 {
             return 0.0;
         }
-        self.d_out.iter().filter(|&&b| b).count() as f64 / self.d_out.len() as f64
+        self.ones as f64 / self.ticks as f64
+    }
+}
+
+impl EncodedOutput for DatcOutput {
+    fn events(&self) -> &EventStream {
+        &self.events
+    }
+
+    fn into_events(self) -> EventStream {
+        self.events
+    }
+
+    fn duty_cycle(&self) -> f64 {
+        DatcOutput::duty_cycle(self)
     }
 }
 
 /// The D-ATC encoder.
 ///
-/// Drives the cycle-accurate [`Dtc`] at its system clock, re-sampling the
-/// input signal (zero-order hold) at each tick exactly as the hardware's
-/// comparator + `In_reg` pair does.
+/// Drives the cycle-accurate streaming kernel
+/// ([`DatcStream`](crate::stream::DatcStream)) at its system clock,
+/// re-sampling the input signal (zero-order hold, exact rational step) at
+/// each tick exactly as the hardware's comparator + `In_reg` pair does.
 ///
 /// # Example
 ///
 /// ```
-/// use datc_core::{DatcEncoder, DatcConfig};
+/// use datc_core::{DatcConfig, DatcEncoder, SpikeEncoder};
 /// use datc_signal::Signal;
 ///
 /// let semg = Signal::from_fn(2500.0, 2.0, |t| ((300.0 * t).sin() * (2.0 * t).sin()).abs());
@@ -99,64 +135,39 @@ impl DatcEncoder {
         &self.config
     }
 
+    /// A fresh streaming kernel with this encoder's configuration and
+    /// comparator model — the engine [`encode`](SpikeEncoder::encode)
+    /// drives, exposed for real-time consumers.
+    pub fn streaming(&self) -> DatcStream {
+        DatcStream::new(self.config)
+            .expect("validated in constructor")
+            .with_comparator(self.comparator.clone())
+    }
+}
+
+impl SpikeEncoder for DatcEncoder {
+    type Output = DatcOutput;
+
     /// Encodes a rectified, amplified sEMG signal.
     ///
-    /// The signal may be at any sample rate; the encoder samples it with a
+    /// The signal may be at any sample rate; the kernel samples it with a
     /// zero-order hold at each DTC clock tick (the analog comparator sees
     /// a continuous waveform; ZOH at ≥ the signal rate is the faithful
     /// discrete stand-in).
-    pub fn encode(&self, rectified: &Signal) -> DatcOutput {
-        let dac = Dac::new(self.config.dac_bits, self.config.vref)
-            .expect("validated in constructor");
-        let mut dtc = Dtc::new(self.config).expect("validated in constructor");
-        let mut comp = self.comparator.clone();
+    fn encode(&self, rectified: &Signal) -> DatcOutput {
+        let mut stream = self.streaming();
+        let expected = (rectified.duration() * self.config.clock_hz) as usize;
+        let mut sink = DatcOutputBuilder::new(&self.config, expected);
+        stream.push_signal(rectified, &mut sink);
+        sink.finish(rectified.duration())
+    }
 
-        let fs = rectified.sample_rate();
-        let n = rectified.len();
-        let clock = self.config.clock_hz;
-        let n_ticks = (rectified.duration() * clock).floor() as u64;
+    fn vth_bits(&self) -> u8 {
+        self.config.dac_bits
+    }
 
-        let mut events = Vec::new();
-        let mut vth_code_trace = Vec::with_capacity(n_ticks as usize);
-        let mut vth_volt_trace = Vec::with_capacity(n_ticks as usize);
-        let mut d_out = Vec::with_capacity(n_ticks as usize);
-        let mut frame_codes = Vec::new();
-
-        for k in 0..n_ticks {
-            let t = k as f64 / clock;
-            let idx = ((t * fs) as usize).min(n.saturating_sub(1));
-            let x = rectified.samples()[idx];
-            let vth = dac
-                .voltage(u16::from(dtc.vth_code()))
-                .expect("DTC codes are bounded by max_code");
-            let d_in = comp.compare(x, vth);
-            let step = dtc.step(d_in);
-
-            if step.event {
-                events.push(Event {
-                    tick: k,
-                    time_s: t,
-                    vth_code: Some(step.sampled_code),
-                });
-            }
-            if step.end_of_frame {
-                frame_codes.push(step.set_vth);
-            }
-            vth_code_trace.push(step.set_vth);
-            vth_volt_trace.push(
-                dac.voltage(u16::from(step.set_vth))
-                    .expect("DTC codes are bounded by max_code"),
-            );
-            d_out.push(step.d_out);
-        }
-
-        DatcOutput {
-            events: EventStream::new(events, clock, rectified.duration().max(f64::MIN_POSITIVE)),
-            vth_code_trace,
-            vth_volt_trace,
-            d_out,
-            frame_codes,
-        }
+    fn scheme(&self) -> &'static str {
+        "d-atc"
     }
 }
 
@@ -206,7 +217,13 @@ mod tests {
             .collect();
         let atc_counts: Vec<f64> = gains
             .iter()
-            .map(|&g| AtcEncoder::new(0.3).encode(&test_semg(g, 7)).len().max(1) as f64)
+            .map(|&g| {
+                AtcEncoder::new(0.3)
+                    .encode(&test_semg(g, 7))
+                    .events
+                    .len()
+                    .max(1) as f64
+            })
             .collect();
         let spread = |v: &[f64]| {
             v.iter().cloned().fold(f64::MIN, f64::max) / v.iter().cloned().fold(f64::MAX, f64::min)
@@ -239,6 +256,7 @@ mod tests {
         assert_eq!(out.vth_code_trace.len(), 40_000); // 20 s × 2 kHz
         assert_eq!(out.d_out.len(), 40_000);
         assert_eq!(out.frame_codes.len(), 400); // 40 000 / 100
+        assert_eq!(out.ticks, 40_000);
     }
 
     #[test]
@@ -255,12 +273,19 @@ mod tests {
     }
 
     #[test]
+    fn duty_cycle_counters_match_the_trace() {
+        let out = DatcEncoder::new(DatcConfig::paper()).encode(&test_semg(0.6, 15));
+        let from_trace = out.d_out.iter().filter(|&&b| b).count() as f64 / out.d_out.len() as f64;
+        assert!((out.duty_cycle() - from_trace).abs() < 1e-15);
+    }
+
+    #[test]
     fn frame_size_trades_reactivity() {
         let semg = test_semg(0.8, 13);
-        let fast = DatcEncoder::new(DatcConfig::paper().with_frame_size(FrameSize::F100))
-            .encode(&semg);
-        let slow = DatcEncoder::new(DatcConfig::paper().with_frame_size(FrameSize::F800))
-            .encode(&semg);
+        let fast =
+            DatcEncoder::new(DatcConfig::paper().with_frame_size(FrameSize::F100)).encode(&semg);
+        let slow =
+            DatcEncoder::new(DatcConfig::paper().with_frame_size(FrameSize::F800)).encode(&semg);
         // Count threshold changes: the fast frame must re-decide more often.
         let changes = |codes: &[u8]| codes.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(changes(&fast.frame_codes) > changes(&slow.frame_codes));
@@ -287,5 +312,12 @@ mod tests {
         let mut cfg = DatcConfig::paper();
         cfg.dac_bits = 0;
         assert!(DatcEncoder::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn scheme_metadata() {
+        let enc = DatcEncoder::new(DatcConfig::paper());
+        assert_eq!(enc.scheme(), "d-atc");
+        assert_eq!(enc.vth_bits(), 4);
     }
 }

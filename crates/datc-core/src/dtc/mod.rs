@@ -17,7 +17,9 @@ pub mod intervals;
 
 use crate::config::{Arithmetic, DatcConfig};
 use crate::error::CoreError;
-use fixed_point::{avr_float, avr_scaled, predict_code_fixed, predict_code_float, quantize_weights};
+use fixed_point::{
+    avr_float, avr_scaled, predict_code_fixed, predict_code_float, quantize_weights,
+};
 use intervals::IntervalTable;
 
 /// Everything the DTC drives during one clock cycle.

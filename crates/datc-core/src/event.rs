@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn stream_symbol_count_sums() {
         let s = EventStream::new(
-            vec![ev(0, 0.0, Some(1)), ev(1, 0.001, Some(2)), ev(2, 0.002, Some(3))],
+            vec![
+                ev(0, 0.0, Some(1)),
+                ev(1, 0.001, Some(2)),
+                ev(2, 0.002, Some(3)),
+            ],
             2000.0,
             1.0,
         );

@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn bipolar_saturates_symmetrically() {
-        let fe = AnalogFrontEnd::unity().with_rectification(false).with_gain(10.0);
+        let fe = AnalogFrontEnd::unity()
+            .with_rectification(false)
+            .with_gain(10.0);
         let s = Signal::from_samples(vec![-1.0, 1.0], 100.0);
         assert_eq!(fe.condition(&s).samples(), &[-1.8, 1.8]);
     }

@@ -4,9 +4,29 @@
 //! *DATE 2015*: **Dynamic Average Threshold Crossing (D-ATC)**, an
 //! all-digital spike-based encoding of sEMG for IR-UWB muscle-force
 //! transmission, together with the fixed-threshold **ATC** baseline it is
-//! compared against.
+//! compared against — both behind the unified [`SpikeEncoder`] trait.
 //!
-//! The architecture mirrors the paper's Fig. 1/Fig. 4:
+//! ## The unified encoder API
+//!
+//! Every encoding scheme implements [`SpikeEncoder`]: rectified sEMG in,
+//! an [`EncodedOutput`] (events + duty cycle + scheme-specific traces)
+//! out. One cycle-accurate kernel ([`stream::DatcStream`]) backs every
+//! D-ATC entry point:
+//!
+//! * batch [`DatcEncoder::encode`](encoder::SpikeEncoder::encode) — a
+//!   thin driver over the kernel, with trace capture governed by
+//!   [`TraceLevel`] in the [`DatcConfig`];
+//! * per-tick [`stream::DatcStream::tick`] — the silicon-shaped
+//!   real-time interface;
+//! * chunked [`stream::DatcStream::push_chunk`] — clock-rate slices into
+//!   a [`TickSink`](encoder::TickSink), the zero-per-tick-allocation
+//!   fast path.
+//!
+//! Multi-channel systems fan out through an [`EncoderBank`] into the AER
+//! merger of `datc-uwb`, and whole transmit→receive chains compose with
+//! the `Link` builder in `datc-rx`.
+//!
+//! The hardware blocks mirror the paper's Fig. 1/Fig. 4:
 //!
 //! * [`frontend::AnalogFrontEnd`] — preamplifier gain, saturation and
 //!   full-wave rectification;
@@ -19,15 +39,12 @@
 //!   `AVR = (1.0·N₃ + 0.65·N₂ + 0.35·N₁)/2`, interval LUT
 //!   `level_k = 0.03·(k+1)·frame_size` (Eqn. 2) and the threshold
 //!   predictor (Listing 1) — in both floating-point reference and
-//!   bit-accurate fixed-point (hardware) arithmetic;
-//! * [`atc::AtcEncoder`] / [`datc::DatcEncoder`] — end-to-end encoders
-//!   producing [`event::EventStream`]s ready for the UWB modulator.
+//!   bit-accurate fixed-point (hardware) arithmetic.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use datc_core::datc::DatcEncoder;
-//! use datc_core::config::DatcConfig;
+//! use datc_core::{DatcConfig, DatcEncoder, SpikeEncoder};
 //! use datc_signal::Signal;
 //!
 //! let signal = Signal::from_fn(2500.0, 1.0, |t| (t * 40.0).sin().abs() * 0.5);
@@ -45,6 +62,7 @@ pub mod config;
 pub mod dac;
 pub mod datc;
 pub mod dtc;
+pub mod encoder;
 pub mod error;
 pub mod event;
 pub mod frontend;
@@ -52,5 +70,6 @@ pub mod stream;
 
 pub use config::{DatcConfig, FrameSize};
 pub use datc::{DatcEncoder, DatcOutput};
+pub use encoder::{EncodedOutput, EncoderBank, SpikeEncoder, TraceLevel};
 pub use error::CoreError;
 pub use event::{Event, EventStream};

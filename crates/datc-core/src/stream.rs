@@ -1,17 +1,29 @@
-//! Real-time streaming D-ATC encoder.
+//! The streaming D-ATC kernel — the **single** cycle-accurate tick loop
+//! every other entry point drives.
 //!
-//! [`DatcEncoder`](crate::datc::DatcEncoder) consumes a whole recorded
-//! [`Signal`](datc_signal::Signal); embedded and real-time users instead
-//! feed one analog sample per DTC clock tick through [`DatcStream`] —
-//! exactly the interface the silicon presents (comparator input in,
-//! event strobe + threshold code out).
+//! [`DatcStream`] presents exactly the interface the silicon does
+//! (comparator input in, event strobe + threshold code out) and is the
+//! one place the comparator→DTC→DAC cycle is written down:
+//!
+//! * [`DatcStream::tick`] — one sample per call, for real-time /
+//!   embedded-style consumers;
+//! * [`DatcStream::push_chunk`] — a clock-rate sample slice into a
+//!   [`TickSink`], the zero-per-tick-allocation fast path;
+//! * [`DatcStream::push_signal`] — an arbitrary-rate
+//!   [`Signal`](datc_signal::Signal) re-sampled through the exact
+//!   rational [`ZohResampler`](datc_signal::resample::ZohResampler);
+//!   batch [`DatcEncoder::encode`](crate::datc::DatcEncoder) is a thin
+//!   driver over this.
 
 use crate::comparator::Comparator;
 use crate::config::DatcConfig;
 use crate::dac::Dac;
-use crate::dtc::Dtc;
+use crate::dtc::{Dtc, DtcStep};
+use crate::encoder::TickSink;
 use crate::error::CoreError;
 use crate::event::Event;
+use datc_signal::resample::ZohResampler;
+use datc_signal::Signal;
 
 /// What one clock tick of the streaming encoder produced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,8 +39,8 @@ pub struct StreamTick {
     pub end_of_frame: bool,
 }
 
-/// Streaming D-ATC encoder: push one comparator-input sample per system
-/// clock tick.
+/// Streaming D-ATC encoder: push comparator-input samples at the system
+/// clock rate.
 ///
 /// # Example
 ///
@@ -94,19 +106,31 @@ impl DatcStream {
         self.tick
     }
 
+    /// The shared kernel: one comparator + DTC cycle on input `x_volts`.
+    /// Returns the tick index the cycle ran at and the raw DTC step.
+    #[inline]
+    fn step_core(&mut self, x_volts: f64) -> (u64, DtcStep) {
+        let vth = self
+            .dac
+            .voltage(u16::from(self.dtc.vth_code()))
+            .expect("DTC codes are bounded");
+        let d_in = self.comparator.compare(x_volts, vth);
+        let step = self.dtc.step(d_in);
+        let k = self.tick;
+        self.tick += 1;
+        (k, step)
+    }
+
     /// Processes one system-clock tick with the instantaneous rectified
     /// input voltage `x_volts`.
     pub fn tick(&mut self, x_volts: f64) -> StreamTick {
-        let vth = self.vth_volts();
-        let d_in = self.comparator.compare(x_volts, vth);
-        let step = self.dtc.step(d_in);
         let clock = self.dtc.config().clock_hz;
+        let (k, step) = self.step_core(x_volts);
         let event = step.event.then(|| Event {
-            tick: self.tick,
-            time_s: self.tick as f64 / clock,
+            tick: k,
+            time_s: k as f64 / clock,
             vth_code: Some(step.sampled_code),
         });
-        self.tick += 1;
         StreamTick {
             event,
             set_vth: step.set_vth,
@@ -116,6 +140,43 @@ impl DatcStream {
                 .expect("DTC codes are bounded"),
             end_of_frame: step.end_of_frame,
         }
+    }
+
+    /// Runs one kernel cycle per sample of `chunk` (already at the system
+    /// clock rate), reporting each tick to `sink`.
+    ///
+    /// This is the hot path: per tick it performs the comparator + DTC
+    /// work and one `sink.on_tick` call — no `StreamTick`, no `Option`,
+    /// no allocation. Chunks may be any length; state carries across
+    /// calls exactly as across [`tick`](DatcStream::tick) calls.
+    pub fn push_chunk<S: TickSink>(&mut self, chunk: &[f64], sink: &mut S) {
+        for &x in chunk {
+            let (k, step) = self.step_core(x);
+            sink.on_tick(k, &step);
+        }
+    }
+
+    /// Drives the kernel over a whole [`Signal`] of any sample rate,
+    /// zero-order-holding it onto the system clock through the exact
+    /// rational [`ZohResampler`], reporting each tick to `sink`.
+    ///
+    /// Returns the number of ticks executed. Batch
+    /// [`DatcEncoder::encode`](crate::datc::DatcEncoder::encode) is this
+    /// plus a [`DatcOutputBuilder`](crate::encoder::DatcOutputBuilder)
+    /// sink.
+    pub fn push_signal<S: TickSink>(&mut self, signal: &Signal, sink: &mut S) -> u64 {
+        let clock = self.dtc.config().clock_hz;
+        let zoh = ZohResampler::new(signal.sample_rate(), clock);
+        let n = signal.len();
+        let n_ticks = zoh.ticks_for_len(n);
+        let samples = signal.samples();
+        let last = n.saturating_sub(1);
+        for k in 0..n_ticks {
+            let x = samples[zoh.index(k).min(last)];
+            let (tick, step) = self.step_core(x);
+            sink.on_tick(tick, &step);
+        }
+        n_ticks
     }
 
     /// Resets the encoder to power-on state.
@@ -130,27 +191,31 @@ impl DatcStream {
 mod tests {
     use super::*;
     use crate::datc::DatcEncoder;
+    use crate::encoder::{EventSink, SpikeEncoder, TraceLevel};
     use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+
+    fn test_semg(seconds: f64) -> Signal {
+        let fs = 2500.0;
+        let force = ForceProfile::mvc_protocol().samples(fs, seconds);
+        SemgGenerator::new(SemgModel::modulated_noise(), fs)
+            .generate(&force, 33)
+            .to_scaled(0.5)
+            .to_rectified()
+    }
 
     #[test]
     fn stream_matches_batch_encoder_exactly() {
-        let fs = 2500.0;
-        let force = ForceProfile::mvc_protocol().samples(fs, 5.0);
-        let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
-            .generate(&force, 33)
-            .to_scaled(0.5)
-            .to_rectified();
-
+        let semg = test_semg(5.0);
         let config = DatcConfig::paper();
         let batch = DatcEncoder::new(config).encode(&semg);
 
         let mut stream = DatcStream::new(config).unwrap();
-        let n_ticks = (semg.duration() * config.clock_hz).floor() as u64;
+        let zoh = ZohResampler::new(semg.sample_rate(), config.clock_hz);
+        let n_ticks = zoh.ticks_for_len(semg.len());
         let mut events = Vec::new();
         let mut vth_trace = Vec::new();
         for k in 0..n_ticks {
-            let t = k as f64 / config.clock_hz;
-            let idx = ((t * fs) as usize).min(semg.len() - 1);
+            let idx = zoh.index(k).min(semg.len() - 1);
             let out = stream.tick(semg.samples()[idx]);
             if let Some(e) = out.event {
                 events.push(e);
@@ -159,6 +224,44 @@ mod tests {
         }
         assert_eq!(events, batch.events.events());
         assert_eq!(vth_trace, batch.vth_code_trace);
+    }
+
+    #[test]
+    fn push_chunk_matches_per_tick_calls() {
+        let config = DatcConfig::paper();
+        let samples: Vec<f64> = (0..5000)
+            .map(|k| 0.5 * ((k as f64) * 0.07).sin().abs())
+            .collect();
+
+        let mut by_tick = DatcStream::new(config).unwrap();
+        let mut tick_events = Vec::new();
+        for &x in &samples {
+            if let Some(e) = by_tick.tick(x).event {
+                tick_events.push(e);
+            }
+        }
+
+        let mut by_chunk = DatcStream::new(config).unwrap();
+        let mut sink = EventSink::new(config.clock_hz);
+        // uneven chunk boundaries must not matter
+        for chunk in samples.chunks(333) {
+            by_chunk.push_chunk(chunk, &mut sink);
+        }
+        assert_eq!(sink.events(), tick_events.as_slice());
+        assert_eq!(by_chunk.ticks(), by_tick.ticks());
+    }
+
+    #[test]
+    fn push_signal_matches_batch_events() {
+        let semg = test_semg(3.0);
+        let config = DatcConfig::paper().with_trace_level(TraceLevel::Events);
+        let batch = DatcEncoder::new(config).encode(&semg);
+
+        let mut stream = DatcStream::new(config).unwrap();
+        let mut sink = EventSink::new(config.clock_hz);
+        let n_ticks = stream.push_signal(&semg, &mut sink);
+        assert_eq!(n_ticks, stream.ticks());
+        assert_eq!(sink.events(), batch.events.events());
     }
 
     #[test]

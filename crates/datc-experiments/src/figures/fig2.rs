@@ -9,6 +9,7 @@ use crate::report::{comparison_table, Row};
 use datc_core::atc::AtcEncoder;
 use datc_core::config::DatcConfig;
 use datc_core::datc::DatcEncoder;
+use datc_core::encoder::SpikeEncoder;
 use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
 use datc_uwb::modulator::symbolize_events;
 use serde::Serialize;
@@ -72,8 +73,8 @@ pub fn run() -> Fig2Result {
             .collect()
     };
 
-    let atc_high = AtcEncoder::new(0.35).encode(&semg);
-    let atc_low = AtcEncoder::new(0.06).encode(&semg);
+    let atc_high = AtcEncoder::new(0.35).encode(&semg).events;
+    let atc_low = AtcEncoder::new(0.06).encode(&semg).events;
     let datc = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
     let patterns = symbolize_events(&datc.events, 4);
     let symbols_per_event = patterns.first().map(|p| p.len()).unwrap_or(0);
@@ -98,8 +99,16 @@ pub fn report() -> String {
     comparison_table(
         "Fig. 2 — constant vs dynamic thresholding (events per frame)",
         &[
-            Row::new("ATC high Vth (B)", "misses weak frames", fmt(&r.atc_high_per_frame)),
-            Row::new("ATC low Vth (C)", "floods strong frames", fmt(&r.atc_low_per_frame)),
+            Row::new(
+                "ATC high Vth (B)",
+                "misses weak frames",
+                fmt(&r.atc_high_per_frame),
+            ),
+            Row::new(
+                "ATC low Vth (C)",
+                "floods strong frames",
+                fmt(&r.atc_low_per_frame),
+            ),
             Row::new("D-ATC (D)", "balanced", fmt(&r.datc_per_frame)),
             Row::new("symbols/event (E)", "5", r.symbols_per_event.to_string()),
         ],

@@ -72,7 +72,10 @@ pub fn report() -> String {
             ),
         ],
     );
-    out.push_str(&format!("dynamic Vth trace: {}\n", sparkline(&r.vth_trace_v)));
+    out.push_str(&format!(
+        "dynamic Vth trace: {}\n",
+        sparkline(&r.vth_trace_v)
+    ));
     out
 }
 
@@ -107,7 +110,11 @@ mod tests {
     fn event_counts_are_thousands_over_20s() {
         let r = run();
         assert!((500..8000).contains(&r.atc_events), "atc {}", r.atc_events);
-        assert!((500..8000).contains(&r.datc_events), "datc {}", r.datc_events);
+        assert!(
+            (500..8000).contains(&r.datc_events),
+            "datc {}",
+            r.datc_events
+        );
     }
 
     #[test]

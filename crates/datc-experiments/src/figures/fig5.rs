@@ -87,7 +87,10 @@ pub fn report(n_patterns: usize) -> String {
             Row::new(
                 "D-ATC mean ± std",
                 "—",
-                format!("{:.1} ± {:.1} %", r.datc_summary.mean, r.datc_summary.std_dev),
+                format!(
+                    "{:.1} ± {:.1} %",
+                    r.datc_summary.mean, r.datc_summary.std_dev
+                ),
             ),
             Row::new(
                 "spread ratio (ATC/D-ATC)",
@@ -130,7 +133,11 @@ mod tests {
     fn datc_floor_is_high() {
         // paper floor: 85 %; shape criterion ≥ 75 % on the synthetic corpus
         let r = run(N);
-        assert!(r.datc_summary.min > 75.0, "D-ATC floor {:.1}", r.datc_summary.min);
+        assert!(
+            r.datc_summary.min > 75.0,
+            "D-ATC floor {:.1}",
+            r.datc_summary.min
+        );
     }
 
     #[test]
@@ -151,11 +158,13 @@ mod tests {
         let r = run(N);
         // on weak-gain subjects D-ATC should win on average, and never
         // lose badly
-        let weak: Vec<&PatternScore> =
-            r.scores.iter().filter(|s| s.mvc_gain_v < 0.25).collect();
+        let weak: Vec<&PatternScore> = r.scores.iter().filter(|s| s.mvc_gain_v < 0.25).collect();
         assert!(!weak.is_empty());
         let mean_gap = weak.iter().map(|s| s.datc - s.atc).sum::<f64>() / weak.len() as f64;
-        assert!(mean_gap > 0.0, "mean D-ATC advantage {mean_gap:.1} on weak subjects");
+        assert!(
+            mean_gap > 0.0,
+            "mean D-ATC advantage {mean_gap:.1} on weak subjects"
+        );
         for s in weak {
             assert!(
                 s.datc > s.atc - 3.0,

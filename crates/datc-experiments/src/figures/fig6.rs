@@ -38,8 +38,7 @@ pub fn run() -> Fig6Result {
         atc_high_events: atc_high.len(),
         datc_events: datc.events.len(),
         datc_correlation: datc_corr,
-        atc_low_surplus_pct: (atc_low.len() as f64 / datc.events.len().max(1) as f64 - 1.0)
-            * 100.0,
+        atc_low_surplus_pct: (atc_low.len() as f64 / datc.events.len().max(1) as f64 - 1.0) * 100.0,
     }
 }
 

@@ -159,8 +159,7 @@ mod tests {
             }
             // end-to-end the decay must be strong
             assert!(
-                p.atc_curve.last().unwrap().events
-                    < p.atc_curve.first().unwrap().events.max(1),
+                p.atc_curve.last().unwrap().events < p.atc_curve.first().unwrap().events.max(1),
                 "pattern {}: no overall decay",
                 p.id
             );

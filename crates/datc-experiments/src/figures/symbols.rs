@@ -81,7 +81,11 @@ pub fn report() -> String {
     comparison_table(
         "Sec. III-B — on-air symbols per 20 s recording",
         &[
-            Row::new("packet (12-bit ADC)", "600000", r.packet_symbols.to_string()),
+            Row::new(
+                "packet (12-bit ADC)",
+                "600000",
+                r.packet_symbols.to_string(),
+            ),
             Row::new(
                 "packet w/ overhead",
                 "—",

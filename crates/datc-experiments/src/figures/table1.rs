@@ -69,8 +69,7 @@ pub fn run(workload_ticks: usize) -> Table1Result {
             rtl_events += 1;
         }
     }
-    let power_measured =
-        PowerReport::from_simulation(rtl.simulator(), &library, config.clock_hz);
+    let power_measured = PowerReport::from_simulation(rtl.simulator(), &library, config.clock_hz);
 
     Table1Result {
         synth,
@@ -105,11 +104,7 @@ pub fn report() -> String {
                 "—",
                 format!("{:.1} nW", r.power_measured.dynamic_w * 1e9),
             ),
-            Row::new(
-                "leakage",
-                "—",
-                format!("{:.2} nW", r.synth.leakage_w * 1e9),
-            ),
+            Row::new("leakage", "—", format!("{:.2} nW", r.synth.leakage_w * 1e9)),
         ],
     )
 }
@@ -121,7 +116,7 @@ mod tests {
     #[test]
     fn table1_shape_holds() {
         let r = run(4_000); // 2 s workload keeps the test quick
-        // cells: same decade as 512
+                            // cells: same decade as 512
         assert!((200..3000).contains(&r.synth.cell_count));
         // ports: near 12
         assert!((8..=20).contains(&r.synth.total_ports));
@@ -145,7 +140,10 @@ mod tests {
         // tiny workload for speed
         let r = run(500);
         assert!(r.synth.cell_count > 0);
-        let s = comparison_table("t", &[Row::new("cells", "512", r.synth.cell_count.to_string())]);
+        let s = comparison_table(
+            "t",
+            &[Row::new("cells", "512", r.synth.cell_count.to_string())],
+        );
         assert!(s.contains("cells"));
     }
 }

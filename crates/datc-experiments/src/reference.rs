@@ -5,8 +5,8 @@ use datc_core::atc::AtcEncoder;
 use datc_core::config::DatcConfig;
 use datc_core::datc::{DatcEncoder, DatcOutput};
 use datc_core::event::EventStream;
-use datc_rx::metrics::evaluate;
-use datc_rx::reconstruct::{HybridReconstructor, RateReconstructor, Reconstructor};
+use datc_rx::pipeline::Link;
+use datc_rx::reconstruct::{HybridReconstructor, RateReconstructor};
 use datc_signal::envelope::arv_envelope;
 use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
 use datc_signal::Signal;
@@ -54,25 +54,30 @@ impl ReferenceCase {
         ReferenceCase::from_rectified(semg)
     }
 
-    /// Runs fixed-threshold ATC and scores it: `(events, correlation %)`.
+    /// Runs fixed-threshold ATC through the standard
+    /// [`Link`] pipeline (ideal channel, windowed-rate receiver) and
+    /// scores it: `(events, correlation %)`.
     pub fn run_atc(&self, vth: f64) -> (EventStream, f64) {
-        let events = AtcEncoder::new(vth).encode(&self.rectified);
-        let recon = RateReconstructor::default().reconstruct(&events, RECON_FS);
-        let pct = evaluate(&recon, &self.arv, MAX_LAG_S)
-            .map(|r| r.percent)
-            .unwrap_or(0.0);
-        (events, pct)
+        let link = Link::builder()
+            .encoder(AtcEncoder::new(vth))
+            .reconstructor(RateReconstructor::default())
+            .output_fs(RECON_FS)
+            .build();
+        let (run, pct) = link.run_scored(&self.rectified, &self.arv, MAX_LAG_S);
+        (run.transmission.encoded.events, pct)
     }
 
-    /// Runs D-ATC (paper configuration) and scores the hybrid
-    /// reconstruction: `(full output, correlation %)`.
+    /// Runs D-ATC (paper configuration) through the standard [`Link`]
+    /// pipeline (ideal channel, hybrid receiver) and scores it:
+    /// `(full output, correlation %)`.
     pub fn run_datc(&self) -> (DatcOutput, f64) {
-        let out = DatcEncoder::new(DatcConfig::paper()).encode(&self.rectified);
-        let recon = HybridReconstructor::paper().reconstruct(&out.events, RECON_FS);
-        let pct = evaluate(&recon, &self.arv, MAX_LAG_S)
-            .map(|r| r.percent)
-            .unwrap_or(0.0);
-        (out, pct)
+        let link = Link::builder()
+            .encoder(DatcEncoder::new(DatcConfig::paper()))
+            .reconstructor(HybridReconstructor::paper())
+            .output_fs(RECON_FS)
+            .build();
+        let (run, pct) = link.run_scored(&self.rectified, &self.arv, MAX_LAG_S);
+        (run.transmission.encoded, pct)
     }
 }
 

@@ -40,7 +40,11 @@ pub fn comparison_table(title: &str, rows: &[Row]) -> String {
         "quantity", "paper"
     );
     for r in rows {
-        let _ = writeln!(out, "{:<w_label$}  {:>w_paper$}  {}", r.label, r.paper, r.measured);
+        let _ = writeln!(
+            out,
+            "{:<w_label$}  {:>w_paper$}  {}",
+            r.label, r.paper, r.measured
+        );
     }
     out
 }
@@ -73,7 +77,9 @@ pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
             let lo = (i as f64 * bucket) as usize;
-            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len()).max(lo + 1);
+            let hi = (((i + 1) as f64 * bucket) as usize)
+                .min(values.len())
+                .max(lo + 1);
             values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect()

@@ -89,7 +89,16 @@ mod tests {
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["fig2", "fig3", "fig5", "fig6", "symbols", "fig7", "table1", "ablations"]
+            vec![
+                "fig2",
+                "fig3",
+                "fig5",
+                "fig6",
+                "symbols",
+                "fig7",
+                "table1",
+                "ablations"
+            ]
         );
         for r in &reports {
             assert!(!r.text.is_empty(), "{} report empty", r.id);

@@ -276,11 +276,7 @@ impl NetlistBuilder {
     /// [`NetlistBuilder::connect_register`].
     pub fn register(&mut self, width: usize, en: Option<Net>, reset_val: u64) -> RegisterHandle {
         let qs: Vec<Net> = (0..width).map(|_| self.nl.fresh_net()).collect();
-        RegisterHandle {
-            qs,
-            en,
-            reset_val,
-        }
+        RegisterHandle { qs, en, reset_val }
     }
 
     /// Connects a register's D inputs, committing the DFF cells.
@@ -394,6 +390,7 @@ mod tests {
             b.output(&format!("y{i}"), *o);
         }
         let mut sim = Simulator::new(b.finish());
+        #[allow(clippy::needless_range_loop)] // `sel` is also the selector value
         for sel in 0..4usize {
             sim.step(&[("s0", sel & 1 == 1), ("s1", sel >> 1 & 1 == 1)]);
             let mut got = 0u64;

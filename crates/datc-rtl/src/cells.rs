@@ -207,7 +207,10 @@ mod tests {
             (GateKind::Maj3, 5),
             (GateKind::Xor3, 5),
         ];
-        let total: f64 = mix.iter().map(|(k, n)| lib.gate(*k).area_um2 * *n as f64).sum();
+        let total: f64 = mix
+            .iter()
+            .map(|(k, n)| lib.gate(*k).area_um2 * *n as f64)
+            .sum();
         let count: usize = mix.iter().map(|(_, n)| n).sum();
         let avg = total / count as f64;
         assert!((15.0..30.0).contains(&avg), "avg comb cell {avg} µm²");

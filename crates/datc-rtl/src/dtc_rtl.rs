@@ -205,7 +205,10 @@ pub fn build_dtc_netlist(config: &DatcConfig) -> Netlist {
             .iter()
             .map(|t| b.ge_const(&s, t.level_scaled(k)))
             .collect();
-        let ge = b.mux4(fsel, [per_frame[0], per_frame[1], per_frame[2], per_frame[3]]);
+        let ge = b.mux4(
+            fsel,
+            [per_frame[0], per_frame[1], per_frame[2], per_frame[3]],
+        );
         ge_bits.push(ge);
     }
 
@@ -217,7 +220,7 @@ pub fn build_dtc_netlist(config: &DatcConfig) -> Netlist {
     let initial = u64::from(config.initial_code);
     let vth_reg = b.register(4, Some(end_of_frame), initial);
     let vth_q = vth_reg.qs.clone();
-    b.connect_register(vth_reg, &code_next[..4].to_vec());
+    b.connect_register(vth_reg, &code_next[..4]);
 
     // ---- primary outputs ---------------------------------------------------
     b.output("d_out", d);
@@ -336,8 +339,7 @@ mod tests {
 
     #[test]
     fn frame_selector_changes_frame_length() {
-        let mut rtl =
-            DtcRtl::new(DatcConfig::paper().with_frame_size(FrameSize::F200)).unwrap();
+        let mut rtl = DtcRtl::new(DatcConfig::paper().with_frame_size(FrameSize::F200)).unwrap();
         let mut eof_at = Vec::new();
         for k in 0..600u32 {
             if rtl.step(false).end_of_frame {

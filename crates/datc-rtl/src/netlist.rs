@@ -81,6 +81,7 @@ impl GateKind {
                 }
             }
             GateKind::Xor3 => ins[0] ^ ins[1] ^ ins[2],
+            #[allow(clippy::nonminimal_bool)] // textbook majority-of-3 form
             GateKind::Maj3 => (ins[0] && ins[1]) || (ins[1] && ins[2]) || (ins[0] && ins[2]),
             GateKind::And3 => ins[0] && ins[1] && ins[2],
             GateKind::Or3 => ins[0] || ins[1] || ins[2],
@@ -198,12 +199,18 @@ impl Netlist {
 
     /// Primary input net by name.
     pub fn input(&self, name: &str) -> Option<Net> {
-        self.inputs.iter().find(|(n, _)| n == name).map(|&(_, net)| net)
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, net)| net)
     }
 
     /// Primary output net by name.
     pub fn output(&self, name: &str) -> Option<Net> {
-        self.outputs.iter().find(|(n, _)| n == name).map(|&(_, net)| net)
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, net)| net)
     }
 
     /// Total cell count (gates + flip-flops) — Table I's "Number of
@@ -252,7 +259,10 @@ impl Netlist {
         }
         for g in &self.gates {
             if driven[g.out.0 as usize] > 0 {
-                problems.push(format!("net {:?} multiply driven (gate {:?})", g.out, g.kind));
+                problems.push(format!(
+                    "net {:?} multiply driven (gate {:?})",
+                    g.out, g.kind
+                ));
             }
             driven[g.out.0 as usize] += 1;
         }

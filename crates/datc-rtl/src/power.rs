@@ -51,7 +51,8 @@ impl PowerReport {
             energy_j += *toggles as f64 * library.gate(gate.kind).energy_per_toggle_fj * 1e-15;
         }
         for (dff, toggles) in netlist.dffs().iter().zip(sim.dff_toggles()) {
-            energy_j += *toggles as f64 * library.dff(dff.en.is_some()).energy_per_toggle_fj * 1e-15;
+            energy_j +=
+                *toggles as f64 * library.dff(dff.en.is_some()).energy_per_toggle_fj * 1e-15;
         }
         // Clock-tree charge: every DFF's clock pin (≈ 8 fF at 1.8 V →
         // 26 fJ) sees two edges per cycle regardless of data activity —
@@ -91,7 +92,8 @@ impl PowerReport {
             energy_per_cycle_j += alpha * library.gate(gate.kind).energy_per_toggle_fj * 1e-15;
         }
         for dff in netlist.dffs() {
-            energy_per_cycle_j += alpha * library.dff(dff.en.is_some()).energy_per_toggle_fj * 1e-15;
+            energy_per_cycle_j +=
+                alpha * library.dff(dff.en.is_some()).energy_per_toggle_fj * 1e-15;
         }
         energy_per_cycle_j += netlist.dffs().len() as f64 * CLOCK_PIN_ENERGY_FJ * 2.0 * 1e-15;
         PowerReport {
@@ -113,7 +115,11 @@ impl fmt::Display for PowerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "System clock          {:.0} Hz", self.clock_hz)?;
         writeln!(f, "Simulated cycles      {}", self.cycles)?;
-        writeln!(f, "Activity              {:.3} toggles/cell/cycle", self.activity)?;
+        writeln!(
+            f,
+            "Activity              {:.3} toggles/cell/cycle",
+            self.activity
+        )?;
         writeln!(f, "Dynamic power         {:.1} nW", self.dynamic_w * 1e9)?;
         writeln!(f, "Leakage power         {:.2} nW", self.leakage_w * 1e9)?;
         writeln!(f, "Total power           {:.1} nW", self.total_w() * 1e9)
@@ -158,7 +164,10 @@ mod tests {
             super::DEFAULT_ACTIVITY,
         );
         let nw = rep.dynamic_w * 1e9;
-        assert!((30.0..150.0).contains(&nw), "estimate {nw} nW vs paper ~70 nW");
+        assert!(
+            (30.0..150.0).contains(&nw),
+            "estimate {nw} nW vs paper ~70 nW"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl Simulator {
         let n = netlist.net_count() as usize;
         let mut values = vec![false; n];
         values[1] = true; // VDD
-        // apply DFF reset values
+                          // apply DFF reset values
         for d in netlist.dffs() {
             values[d.q.0 as usize] = d.reset_val;
         }
@@ -142,7 +142,11 @@ impl Simulator {
             // values' pre-edge inputs: evaluate over post_values.
             for &idx in &self.topo {
                 let g = &self.netlist.gates()[idx];
-                let ins: Vec<bool> = g.ins.iter().map(|n| self.post_values[n.0 as usize]).collect();
+                let ins: Vec<bool> = g
+                    .ins
+                    .iter()
+                    .map(|n| self.post_values[n.0 as usize])
+                    .collect();
                 self.post_values[g.out.0 as usize] = g.kind.eval(&ins);
             }
         }
@@ -204,7 +208,11 @@ impl Simulator {
         if self.cycles == 0 {
             return 0.0;
         }
-        let total: u64 = self.gate_toggles.iter().chain(self.dff_toggles.iter()).sum();
+        let total: u64 = self
+            .gate_toggles
+            .iter()
+            .chain(self.dff_toggles.iter())
+            .sum();
         let cells = (self.gate_toggles.len() + self.dff_toggles.len()).max(1);
         total as f64 / (self.cycles as f64 * cells as f64)
     }
@@ -302,7 +310,7 @@ mod tests {
         let reg = b.register(3, None, 0);
         let q = reg.qs.clone();
         let inc = b.increment(&q);
-        let qs = b.connect_register(reg, &inc[..3].to_vec());
+        let qs = b.connect_register(reg, &inc[..3]);
         for (i, n) in qs.iter().enumerate() {
             b.output(&format!("q[{i}]"), *n);
         }

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn constant_streams_match() {
         for bit in [false, true] {
-            let mism = lockstep(DatcConfig::paper(), std::iter::repeat(bit).take(2500)).unwrap();
+            let mism = lockstep(DatcConfig::paper(), std::iter::repeat_n(bit, 2500)).unwrap();
             assert_eq!(mism, None, "bit={bit}");
         }
     }
@@ -136,9 +136,7 @@ mod tests {
         let config = DatcConfig::paper();
         // duty ramp 0 → 99 % over the run: sweeps the threshold code
         // through all 15 levels so the whole comparator tree is exercised
-        let stim: Vec<bool> = (0..8000u32)
-            .map(|k| (k * 7919) % 100 < k / 80)
-            .collect();
+        let stim: Vec<bool> = (0..8000u32).map(|k| (k * 7919) % 100 < k / 80).collect();
 
         let mut caught = 0;
         let mut trials = 0;

@@ -12,16 +12,21 @@
 //!   the default for the experiments) and a statistical **Rice-inversion**
 //!   estimator that inverts the level-crossing-rate formula;
 //! * [`metrics`] — correlation/RMSE evaluation against the ground-truth
-//!   ARV envelope, with lag alignment.
+//!   ARV envelope, with lag alignment;
+//! * [`pipeline`] — the composable [`Link`] builder assembling any
+//!   [`SpikeEncoder`](datc_core::SpikeEncoder) + channel + reconstructor
+//!   into one encoder-to-force-estimate pipeline.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod metrics;
+pub mod pipeline;
 pub mod reconstruct;
 pub mod windowing;
 
 pub use metrics::{evaluate, CorrelationReport};
+pub use pipeline::{Link, LinkBuilder, LinkRun};
 pub use reconstruct::{
     HybridReconstructor, RateReconstructor, Reconstructor, RiceInversionReconstructor,
     ThresholdTrackReconstructor,

@@ -115,10 +115,7 @@ impl ThresholdTrackReconstructor {
             let t = k as f64 / output_fs;
             while idx < evs.len() && evs[idx].time_s <= t {
                 if let Some(code) = evs[idx].vth_code {
-                    current = self
-                        .dac
-                        .voltage(u16::from(code))
-                        .unwrap_or(current);
+                    current = self.dac.voltage(u16::from(code)).unwrap_or(current);
                 }
                 idx += 1;
             }
@@ -156,7 +153,11 @@ pub struct HybridReconstructor {
 impl HybridReconstructor {
     /// Combines the two estimators with rate-refinement weight `alpha`
     /// (in DAC-LSB units; 1.0 is a good default).
-    pub fn new(threshold: ThresholdTrackReconstructor, rate: RateReconstructor, alpha: f64) -> Self {
+    pub fn new(
+        threshold: ThresholdTrackReconstructor,
+        rate: RateReconstructor,
+        alpha: f64,
+    ) -> Self {
         HybridReconstructor {
             threshold,
             rate,
@@ -249,10 +250,8 @@ impl Reconstructor for RiceInversionReconstructor {
         // Threshold trajectory at the same rate.
         let vth_track: Vec<f64> = match self.fixed_vth {
             Some(v) => vec![v; rate.len()],
-            None => {
-                ThresholdTrackReconstructor::new(self.dac.clone(), 1.0 / output_fs)
-                    .code_track(events, output_fs)
-            }
+            None => ThresholdTrackReconstructor::new(self.dac.clone(), 1.0 / output_fs)
+                .code_track(events, output_fs),
         };
         let data: Vec<f64> = rate
             .samples()
@@ -277,6 +276,7 @@ mod tests {
     use datc_core::atc::AtcEncoder;
     use datc_core::config::DatcConfig;
     use datc_core::datc::DatcEncoder;
+    use datc_core::encoder::SpikeEncoder;
     use datc_signal::envelope::arv_envelope;
     use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
     use datc_signal::resample::resample_linear;
@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn rate_reconstruction_tracks_strong_signal() {
         let (semg, arv) = reference_case(0.8);
-        let events = AtcEncoder::new(0.3).encode(&semg);
+        let events = AtcEncoder::new(0.3).encode(&semg).events;
         let recon = RateReconstructor::default().reconstruct(&events, 100.0);
         let r = corr_at(&recon, &arv);
         assert!(r > 0.80, "ATC rate correlation {r}");
@@ -315,7 +315,7 @@ mod tests {
         // partially informative until the signal is well under Vth, so the
         // collapse is probed at the weakest subject gain.)
         let (semg, arv) = reference_case(0.12);
-        let events = AtcEncoder::new(0.3).encode(&semg);
+        let events = AtcEncoder::new(0.3).encode(&semg).events;
         let recon = RateReconstructor::default().reconstruct(&events, 100.0);
         let r = corr_at(&recon, &arv);
         assert!(r < 0.75, "ATC on weak signal unexpectedly good: {r}");
@@ -350,8 +350,8 @@ mod tests {
         let (semg, arv) = reference_case(0.8);
         let out = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
         let nu0 = RiceInversionReconstructor::nu0_for_band(20.0, 450.0);
-        let recon =
-            RiceInversionReconstructor::new(Dac::paper(), nu0, 0.25).reconstruct(&out.events, 100.0);
+        let recon = RiceInversionReconstructor::new(Dac::paper(), nu0, 0.25)
+            .reconstruct(&out.events, 100.0);
         let r = corr_at(&recon, &arv);
         assert!(r > 0.7, "rice correlation {r}");
         // amplitude sanity at the strongest contraction

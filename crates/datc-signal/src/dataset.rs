@@ -166,7 +166,10 @@ impl Dataset {
         assert!(id < self.config.n_patterns, "pattern {id} out of range");
         let cfg = &self.config;
         let subject = *self.pool.subject_for_pattern(id);
-        let pattern_seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id as u64);
+        let pattern_seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id as u64);
         let mut meta_rng = GaussianNoise::new(pattern_seed);
 
         // Protocol selection: the paper's corpus is grip-protocol only;
@@ -205,7 +208,9 @@ impl Dataset {
             SemgModel::modulated_noise()
         };
         let gen = SemgGenerator::new(model, cfg.sample_rate);
-        let mut semg = gen.generate(&force, pattern_seed ^ 0x5EED).to_scaled(subject.mvc_gain_v);
+        let mut semg = gen
+            .generate(&force, pattern_seed ^ 0x5EED)
+            .to_scaled(subject.mvc_gain_v);
 
         if cfg.with_artifacts {
             let art_cfg = ArtifactConfig {
@@ -214,8 +219,10 @@ impl Dataset {
                 spike_rate_hz: subject.artifact_rate_hz,
                 ..ArtifactConfig::default()
             };
-            let art = generate_artifacts(&art_cfg, cfg.sample_rate, semg.len(), pattern_seed ^ 0xA57);
-            semg.add(&art).expect("artifact length matches by construction");
+            let art =
+                generate_artifacts(&art_cfg, cfg.sample_rate, semg.len(), pattern_seed ^ 0xA57);
+            semg.add(&art)
+                .expect("artifact length matches by construction");
         }
 
         let mut force = force;
@@ -267,7 +274,10 @@ mod tests {
             let p = ds.pattern(id);
             let peak_arv = arv(p.semg.samples());
             // ARV over whole pattern is bounded by gain (force ≤ 0.7 mostly)
-            assert!(peak_arv <= p.subject.mvc_gain_v * 1.2 + 0.02, "pattern {id}");
+            assert!(
+                peak_arv <= p.subject.mvc_gain_v * 1.2 + 0.02,
+                "pattern {id}"
+            );
         }
     }
 

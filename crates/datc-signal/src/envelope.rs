@@ -24,7 +24,11 @@ use crate::signal::Signal;
 pub fn arv_envelope(signal: &Signal, window_s: f64) -> Signal {
     let n_win = ((window_s * signal.sample_rate()).round() as usize).max(1);
     let mut ma = MovingAverage::new(n_win);
-    let out: Vec<f64> = signal.samples().iter().map(|&x| ma.process(x.abs())).collect();
+    let out: Vec<f64> = signal
+        .samples()
+        .iter()
+        .map(|&x| ma.process(x.abs()))
+        .collect();
     Signal::from_samples(out, signal.sample_rate())
 }
 

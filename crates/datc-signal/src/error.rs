@@ -43,7 +43,10 @@ impl fmt::Display for SignalError {
                 required,
                 available,
             } => {
-                write!(f, "signal too short: need {required} samples, have {available}")
+                write!(
+                    f,
+                    "signal too short: need {required} samples, have {available}"
+                )
             }
         }
     }

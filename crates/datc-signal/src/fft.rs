@@ -156,7 +156,9 @@ pub fn welch_psd(
     for a in &mut acc {
         *a /= n_segs as f64;
     }
-    let freqs = (0..n_bins).map(|k| k as f64 * fs / seg_len as f64).collect();
+    let freqs = (0..n_bins)
+        .map(|k| k as f64 * fs / seg_len as f64)
+        .collect();
     Ok((freqs, acc))
 }
 

@@ -278,7 +278,11 @@ mod tests {
     fn cutoff_attenuation_is_3db() {
         let c = BiquadCoeffs::lowpass(100.0, std::f64::consts::FRAC_1_SQRT_2, 1000.0).unwrap();
         let mag = c.magnitude_at(100.0, 1000.0);
-        assert!((20.0 * mag.log10() + 3.01).abs() < 0.1, "got {} dB", 20.0 * mag.log10());
+        assert!(
+            (20.0 * mag.log10() + 3.01).abs() < 0.1,
+            "got {} dB",
+            20.0 * mag.log10()
+        );
     }
 
     #[test]

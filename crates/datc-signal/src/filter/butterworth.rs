@@ -123,7 +123,11 @@ fn check_order(order: usize) -> Result<(), SignalError> {
 ///
 /// Returns [`SignalError::InvalidParameter`] when the order is outside
 /// `1..=16` or the cutoff is outside `(0, fs/2)`.
-pub fn butter_lowpass(order: usize, cutoff_hz: f64, fs: f64) -> Result<ButterworthFilter, SignalError> {
+pub fn butter_lowpass(
+    order: usize,
+    cutoff_hz: f64,
+    fs: f64,
+) -> Result<ButterworthFilter, SignalError> {
     check_order(order)?;
     let mut biquads = Vec::new();
     for q in butterworth_qs(order) {
@@ -133,7 +137,11 @@ pub fn butter_lowpass(order: usize, cutoff_hz: f64, fs: f64) -> Result<Butterwor
     if order % 2 == 1 {
         first_orders.push(FirstOrder::lowpass(cutoff_hz, fs)?);
     }
-    Ok(ButterworthFilter::from_sections(biquads, first_orders, order))
+    Ok(ButterworthFilter::from_sections(
+        biquads,
+        first_orders,
+        order,
+    ))
 }
 
 /// Designs an order-`order` Butterworth high-pass at `cutoff_hz`.
@@ -141,7 +149,11 @@ pub fn butter_lowpass(order: usize, cutoff_hz: f64, fs: f64) -> Result<Butterwor
 /// # Errors
 ///
 /// Same domain rules as [`butter_lowpass`].
-pub fn butter_highpass(order: usize, cutoff_hz: f64, fs: f64) -> Result<ButterworthFilter, SignalError> {
+pub fn butter_highpass(
+    order: usize,
+    cutoff_hz: f64,
+    fs: f64,
+) -> Result<ButterworthFilter, SignalError> {
     check_order(order)?;
     let mut biquads = Vec::new();
     for q in butterworth_qs(order) {
@@ -151,7 +163,11 @@ pub fn butter_highpass(order: usize, cutoff_hz: f64, fs: f64) -> Result<Butterwo
     if order % 2 == 1 {
         first_orders.push(FirstOrder::highpass(cutoff_hz, fs)?);
     }
-    Ok(ButterworthFilter::from_sections(biquads, first_orders, order))
+    Ok(ButterworthFilter::from_sections(
+        biquads,
+        first_orders,
+        order,
+    ))
 }
 
 /// Designs a band-pass as a high-pass at `low_hz` cascaded with a low-pass
@@ -227,7 +243,10 @@ mod tests {
         assert!((m_c + 3.01).abs() < 0.2, "cutoff at {m_c} dB");
         // order-4 rolloff: -24 dB/octave → at 2·fc expect ≈ -24 dB
         let m_2c = 20.0 * f.magnitude_at(200.0, 1000.0).log10();
-        assert!(m_2c < -22.0 && m_2c > -28.0, "octave above cutoff at {m_2c} dB");
+        assert!(
+            m_2c < -22.0 && m_2c > -28.0,
+            "octave above cutoff at {m_2c} dB"
+        );
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
             .collect();
         let out = f.process_slice(&tone);
         let r = rms(&out[200..]);
-        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "rms {r}");
+        assert!(
+            (r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "rms {r}"
+        );
     }
 
     #[test]

@@ -56,6 +56,9 @@ mod tests {
             .collect();
         let out = n.process_slice(&tone);
         let r = rms(&out[10_000..]);
-        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "rms {r}");
+        assert!(
+            (r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05,
+            "rms {r}"
+        );
     }
 }

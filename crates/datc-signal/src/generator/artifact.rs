@@ -154,7 +154,7 @@ mod tests {
         };
         let fs = 2500.0;
         let a = generate_artifacts(&cfg, fs, 250_000, 3); // 100 s
-        // count threshold crossings of |x| over 0.3 as spike starts
+                                                          // count threshold crossings of |x| over 0.3 as spike starts
         let mut count = 0;
         let mut above = false;
         for &x in a.samples() {

@@ -205,7 +205,9 @@ impl ForceProfileBuilder {
 
     /// Convenience: ramp up (0.3 s), hold, ramp down (0.3 s).
     pub fn contraction(self, level: f64, hold_s: f64) -> Self {
-        self.ramp(0.0, level, 0.3).hold(level, hold_s).ramp(level, 0.0, 0.3)
+        self.ramp(0.0, level, 0.3)
+            .hold(level, hold_s)
+            .ramp(level, 0.0, 0.3)
     }
 
     /// Finishes the profile.
@@ -247,7 +249,10 @@ mod tests {
 
     #[test]
     fn segments_are_concatenated_in_order() {
-        let p = ForceProfile::builder().hold(0.5, 1.0).hold(0.8, 1.0).build();
+        let p = ForceProfile::builder()
+            .hold(0.5, 1.0)
+            .hold(0.8, 1.0)
+            .build();
         assert!((p.value_at(0.5) - 0.5).abs() < 1e-12);
         assert!((p.value_at(1.5) - 0.8).abs() < 1e-12);
     }

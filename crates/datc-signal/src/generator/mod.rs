@@ -28,7 +28,7 @@ mod force;
 mod semg;
 mod subject;
 
-pub use artifact::{ArtifactConfig, generate_artifacts};
+pub use artifact::{generate_artifacts, ArtifactConfig};
 pub use force::{ForceProfile, ForceSegment};
-pub use semg::{MuapTrainModel, ModulatedNoiseModel, SemgGenerator, SemgModel};
+pub use semg::{ModulatedNoiseModel, MuapTrainModel, SemgGenerator, SemgModel};
 pub use subject::{SubjectParams, SubjectPool};

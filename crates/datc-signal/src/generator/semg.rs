@@ -160,8 +160,13 @@ impl SemgGenerator {
         let mut g = GaussianNoise::new(seed);
         let n = force.len();
         let white = g.standard_vec(n);
-        let mut bp = butter_bandpass(m.filter_order, m.band_low_hz, m.band_high_hz, self.sample_rate)
-            .expect("band validated in constructor");
+        let mut bp = butter_bandpass(
+            m.filter_order,
+            m.band_low_hz,
+            m.band_high_hz,
+            self.sample_rate,
+        )
+        .expect("band validated in constructor");
         let carrier = bp.process_slice(&white);
         // Normalise the carrier so its ARV is 1.0 — then multiplying by the
         // force envelope makes ARV track force exactly by construction.
@@ -328,7 +333,11 @@ mod tests {
         let in_band = band_power(&freqs, &psd, 20.0, 450.0);
         let below = band_power(&freqs, &psd, 0.0, 10.0);
         let above = band_power(&freqs, &psd, 600.0, 1250.0);
-        assert!(in_band > 20.0 * (below + above), "in {in_band}, out {}", below + above);
+        assert!(
+            in_band > 20.0 * (below + above),
+            "in {in_band}, out {}",
+            below + above
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod tests {
         let gains: Vec<f64> = pool.subjects().iter().map(|s| s.mvc_gain_v).collect();
         let min = gains.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = gains.iter().cloned().fold(0.0f64, f64::max);
-        assert!(min >= 0.10 && min < 0.3, "min gain {min}");
+        assert!((0.10..0.3).contains(&min), "min gain {min}");
         assert!(max <= 1.0 && max > 0.6, "max gain {max}");
     }
 

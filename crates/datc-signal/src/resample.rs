@@ -101,6 +101,94 @@ pub fn hold_to_rate(values: &[f64], value_rate: f64, target_fs: f64) -> Signal {
     Signal::from_samples(out, target_fs)
 }
 
+/// Exact zero-order-hold index mapping from an encoder tick grid onto a
+/// source sample grid.
+///
+/// The encoders re-sample their input with a zero-order hold at each
+/// system-clock tick. Computing the source index as `(tick / clock * fs)`
+/// in floating point accumulates representation error and can drift by a
+/// sample on long recordings; this maps ticks through the *rational* rate
+/// ratio with integer arithmetic instead, so `index(k) = ⌊k·fs/clock⌋`
+/// exactly, for any recording length.
+///
+/// Rates are rationalised at micro-hertz resolution, which is exact for
+/// every physically configurable clock in this workspace.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::resample::ZohResampler;
+/// let zoh = ZohResampler::new(2500.0, 2000.0); // 2.5 kHz signal, 2 kHz clock
+/// assert_eq!(zoh.index(0), 0);
+/// assert_eq!(zoh.index(4), 5);                 // 4 ticks = 5 source samples
+/// assert_eq!(zoh.ticks_for_len(50_000), 40_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZohResampler {
+    /// Source samples per `den` ticks (reduced numerator of `fs / clock`).
+    num: u64,
+    /// Ticks per `num` source samples (reduced denominator of `fs / clock`).
+    den: u64,
+}
+
+impl ZohResampler {
+    /// Builds the mapping for a source at `source_fs` Hz consumed by a
+    /// clock at `tick_hz` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rate is non-positive, non-finite, or too large
+    /// to rationalise (≳ 9·10¹² Hz).
+    pub fn new(source_fs: f64, tick_hz: f64) -> Self {
+        assert!(
+            source_fs.is_finite() && source_fs > 0.0,
+            "source rate must be positive, got {source_fs}"
+        );
+        assert!(
+            tick_hz.is_finite() && tick_hz > 0.0,
+            "tick rate must be positive, got {tick_hz}"
+        );
+        const SCALE: f64 = 1e6; // micro-hertz resolution
+        let num = (source_fs * SCALE).round();
+        let den = (tick_hz * SCALE).round();
+        assert!(
+            num >= 1.0 && den >= 1.0 && num < 9.2e18 && den < 9.2e18,
+            "rates out of rationalisable range: {source_fs} / {tick_hz}"
+        );
+        let (num, den) = (num as u64, den as u64);
+        let g = gcd(num, den);
+        ZohResampler {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// The source-sample index held at tick `k`: `⌊k·fs/clock⌋`, exactly.
+    #[inline]
+    pub fn index(&self, tick: u64) -> usize {
+        ((u128::from(tick) * u128::from(self.num)) / u128::from(self.den)) as usize
+    }
+
+    /// How many whole ticks a source of `len` samples covers
+    /// (`⌊len·clock/fs⌋` — every returned tick indexes inside the source).
+    #[inline]
+    pub fn ticks_for_len(&self, len: usize) -> u64 {
+        ((len as u128 * u128::from(self.den)) / u128::from(self.num)) as u64
+    }
+
+    /// The exact rate ratio `fs / clock` as a reduced fraction.
+    pub fn ratio(&self) -> (u64, u64) {
+        (self.num, self.den)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +241,71 @@ mod tests {
         assert!(decimate(&s, 0).is_err());
         let short = Signal::zeros(1, 100.0);
         assert!(resample_linear(&short, 50.0).is_err());
+    }
+
+    #[test]
+    fn zoh_matches_paper_rates() {
+        let zoh = ZohResampler::new(2500.0, 2000.0);
+        assert_eq!(zoh.ratio(), (5, 4));
+        assert_eq!(zoh.ticks_for_len(50_000), 40_000);
+        // spot-check the exact floor mapping
+        for k in [0u64, 1, 2, 3, 4, 39_999] {
+            assert_eq!(zoh.index(k), (k as usize * 5) / 4);
+        }
+    }
+
+    #[test]
+    fn zoh_identity_when_rates_match() {
+        let zoh = ZohResampler::new(2000.0, 2000.0);
+        assert_eq!(zoh.ratio(), (1, 1));
+        assert_eq!(zoh.index(123_456), 123_456);
+        assert_eq!(zoh.ticks_for_len(777), 777);
+    }
+
+    #[test]
+    fn zoh_never_drifts_where_float_truncation_does() {
+        // 44.1 kHz → 48 kHz: k·fs/clock is an exact integer whenever k is
+        // a multiple of 160, but the float path k/clock·fs lands just
+        // below it for some k and truncates one sample early.
+        let zoh = ZohResampler::new(44_100.0, 48_000.0);
+        let mut float_disagreed = false;
+        for k in 0..480_000u64 {
+            let exact = zoh.index(k);
+            let float_idx = (k as f64 / 48_000.0 * 44_100.0) as usize;
+            assert_eq!(exact as u128, (u128::from(k) * 147) / 160);
+            if float_idx != exact {
+                float_disagreed = true;
+            }
+        }
+        assert!(
+            float_disagreed,
+            "expected the float path to exhibit truncation drift on this ratio"
+        );
+    }
+
+    #[test]
+    fn zoh_last_tick_indexes_inside_source() {
+        for (fs, clock, n) in [
+            (2500.0, 2000.0, 50_000usize),
+            (2000.0, 2500.0, 2_000),
+            (1000.0, 333.0, 12_345),
+            (44_100.0, 48_000.0, 44_100),
+        ] {
+            let zoh = ZohResampler::new(fs, clock);
+            let ticks = zoh.ticks_for_len(n);
+            assert!(ticks > 0);
+            assert!(
+                zoh.index(ticks - 1) < n,
+                "fs {fs} clock {clock}: tick {} indexes {} ≥ {n}",
+                ticks - 1,
+                zoh.index(ticks - 1)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zoh_rejects_zero_rate() {
+        let _ = ZohResampler::new(0.0, 2000.0);
     }
 }

@@ -284,9 +284,7 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
         let mut y = vec![0.0; n];
         // y is x delayed by 5 samples
-        for i in 5..n {
-            y[i] = x[i - 5];
-        }
+        y[5..n].copy_from_slice(&x[..n - 5]);
         let (lag, r) = best_alignment(&x, &y, 10).unwrap();
         assert_eq!(lag, -5);
         assert!(r > 0.99);

@@ -36,12 +36,18 @@ impl fmt::Display for UwbError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             UwbError::CrcMismatch { computed, received } => {
-                write!(f, "crc mismatch: computed {computed:#06x}, received {received:#06x}")
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#06x}, received {received:#06x}"
+                )
             }
             UwbError::Truncated {
                 required,
                 available,
-            } => write!(f, "truncated stream: need {required} symbols, have {available}"),
+            } => write!(
+                f,
+                "truncated stream: need {required} symbols, have {available}"
+            ),
         }
     }
 }

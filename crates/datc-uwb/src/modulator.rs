@@ -168,7 +168,12 @@ mod tests {
         assert_eq!(p.symbols[0], Symbol::Pulse); // marker
         assert_eq!(
             &p.symbols[1..],
-            &[Symbol::Pulse, Symbol::Silence, Symbol::Pulse, Symbol::Silence]
+            &[
+                Symbol::Pulse,
+                Symbol::Silence,
+                Symbol::Pulse,
+                Symbol::Silence
+            ]
         );
     }
 

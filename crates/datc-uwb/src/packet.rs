@@ -7,6 +7,8 @@
 use crate::adc::Adc;
 use crate::crc::crc8;
 use crate::error::UwbError;
+use datc_core::encoder::{EncodedOutput, SpikeEncoder};
+use datc_core::event::{Event, EventStream};
 use datc_signal::Signal;
 use serde::{Deserialize, Serialize};
 
@@ -96,16 +98,12 @@ impl PacketTx {
     }
 
     /// Encodes every sample of `signal` into a packet.
-    pub fn encode(&self, signal: &Signal) -> Vec<Packet> {
+    pub fn packets(&self, signal: &Signal) -> Vec<Packet> {
         self.adc
             .digitize(signal)
             .into_iter()
             .map(|code| {
-                let bytes = [
-                    self.node_id,
-                    (code >> 8) as u8,
-                    (code & 0xFF) as u8,
-                ];
+                let bytes = [self.node_id, (code >> 8) as u8, (code & 0xFF) as u8];
                 Packet {
                     id: self.node_id,
                     payload: code,
@@ -146,6 +144,79 @@ impl PacketTx {
     }
 }
 
+/// Everything the packet baseline produces for one input signal: the
+/// packets themselves, plus the uniform-API view of them (one "event"
+/// per transmitted sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketOutput {
+    /// One packet per input sample.
+    pub packets: Vec<Packet>,
+    /// Uniform-API view: one bare event per packet slot.
+    pub events: EventStream,
+}
+
+impl EncodedOutput for PacketOutput {
+    fn events(&self) -> &EventStream {
+        &self.events
+    }
+
+    fn into_events(self) -> EventStream {
+        self.events
+    }
+
+    /// Every sample slot transmits — the always-on strawman.
+    fn duty_cycle(&self) -> f64 {
+        1.0
+    }
+}
+
+impl SpikeEncoder for PacketTx {
+    type Output = PacketOutput;
+
+    /// Packetises every sample. The uniform event view carries no
+    /// threshold codes (the payload rides in
+    /// [`PacketOutput::packets`]); channel transport treats each packet
+    /// slot as one markable unit.
+    fn encode(&self, rectified: &Signal) -> PacketOutput {
+        let fs = rectified.sample_rate();
+        let packets = self.packets(rectified);
+        let events: Vec<Event> = (0..packets.len())
+            .map(|i| Event {
+                tick: i as u64,
+                time_s: i as f64 / fs,
+                vth_code: None,
+            })
+            .collect();
+        PacketOutput {
+            packets,
+            events: EventStream::new(events, fs, rectified.duration().max(f64::MIN_POSITIVE)),
+        }
+    }
+
+    fn vth_bits(&self) -> u8 {
+        0
+    }
+
+    fn scheme(&self) -> &'static str {
+        "packet"
+    }
+
+    /// Payload-only bits on air — the paper's charitable
+    /// "12 × 50000 = 600000 symbols" accounting.
+    fn symbols_on_air(&self, output: &Self::Output) -> u64 {
+        self.symbol_counts(output.packets.len() as u64).0
+    }
+
+    /// Exact OOK pulse count: one pulse per `1` bit of each payload.
+    fn pulses_on_air(&self, output: &Self::Output) -> u64 {
+        output
+            .packets
+            .iter()
+            .map(|p| u64::from(p.payload.count_ones()))
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,7 +233,7 @@ mod tests {
     fn encode_decode_roundtrip() {
         let tx = PacketTx::baseline();
         let s = Signal::from_fn(2500.0, 0.1, |t| (t * 50.0).sin().abs());
-        let packets = tx.encode(&s);
+        let packets = tx.packets(&s);
         assert_eq!(packets.len(), s.len());
         for p in &packets {
             let code = tx.decode(p).unwrap();
@@ -174,9 +245,28 @@ mod tests {
     fn corruption_is_detected() {
         let tx = PacketTx::baseline();
         let s = Signal::from_samples(vec![0.5], 2500.0);
-        let mut p = tx.encode(&s).remove(0);
+        let mut p = tx.packets(&s).remove(0);
         p.payload ^= 0x004;
         assert!(matches!(tx.decode(&p), Err(UwbError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn spike_encoder_view_matches_paper_accounting() {
+        let tx = PacketTx::baseline();
+        let s = Signal::from_fn(2500.0, 0.2, |t| (t * 50.0).sin().abs());
+        let out = tx.encode(&s);
+        assert_eq!(out.packets.len(), s.len());
+        assert_eq!(out.events.len(), s.len());
+        assert_eq!(tx.symbols_on_air(&out), s.len() as u64 * 12);
+        assert_eq!(out.duty_cycle(), 1.0);
+        assert_eq!(tx.scheme(), "packet");
+        // pulses = total set payload bits
+        let ones: u64 = out
+            .packets
+            .iter()
+            .map(|p| u64::from(p.payload.count_ones()))
+            .sum();
+        assert_eq!(tx.pulses_on_air(&out), ones);
     }
 
     #[test]

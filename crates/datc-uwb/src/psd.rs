@@ -132,7 +132,11 @@ mod tests {
         p.amplitude_v *= scale;
         let m2 = OokModulator::new(p, 10e-9);
         let r2 = check_fcc_mask(&m2, &train, fs, 1e9, 8e9);
-        assert!(r2.compliant, "after scaling: {} dBm/MHz", r2.peak_dbm_per_mhz);
+        assert!(
+            r2.compliant,
+            "after scaling: {} dBm/MHz",
+            r2.peak_dbm_per_mhz
+        );
         assert!((r2.margin_db - 3.0).abs() < 1.5, "margin {}", r2.margin_db);
     }
 

@@ -42,7 +42,11 @@ impl GaussianPulse {
     pub fn value_at(&self, t: f64) -> f64 {
         let u = t / self.sigma_s;
         let h = hermite_phys(self.order, u / std::f64::consts::SQRT_2);
-        let sign = if self.order % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if self.order.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         let raw = sign * h * (-u * u / 2.0).exp();
         self.amplitude_v * raw / self.peak_abs()
     }
@@ -143,7 +147,11 @@ mod tests {
                 amplitude_v: 0.7,
             };
             let w = p.waveform(FS, 6.0);
-            let peak = w.samples().iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+            let peak = w
+                .samples()
+                .iter()
+                .cloned()
+                .fold(0.0f64, |a, b| a.max(b.abs()));
             assert!((peak - 0.7).abs() < 0.02, "order {order}: peak {peak}");
         }
     }

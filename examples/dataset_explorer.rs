@@ -17,7 +17,8 @@ fn main() {
         .unwrap_or(24);
 
     let dataset = Dataset::new(DatasetConfig::default());
-    println!("corpus: {} patterns, {} subjects, {:.0} s each at {:.0} Hz\n",
+    println!(
+        "corpus: {} patterns, {} subjects, {:.0} s each at {:.0} Hz\n",
         dataset.len(),
         dataset.subjects().subjects().len(),
         dataset.config().duration(),

@@ -9,11 +9,11 @@
 //!
 //! Run with: `cargo run --release --example exoskeleton_control`
 
-use datc::core::{DatcConfig, DatcEncoder};
+use datc::core::{DatcConfig, DatcEncoder, EncoderBank, TraceLevel};
 use datc::rx::{HybridReconstructor, Reconstructor};
 use datc::signal::generator::{ForceProfile, SemgGenerator, SemgModel};
 use datc::signal::stats::pearson;
-use datc::uwb::aer::{address_bits, demux, merge_channels};
+use datc::uwb::aer::{address_bits, demux, merge_encoder_bank};
 
 fn main() {
     let fs = 2500.0;
@@ -34,32 +34,34 @@ fn main() {
     let release: Vec<f64> = cmd.iter().map(|f| 0.4 * (1.0 - f)).collect();
 
     let gen = SemgGenerator::new(SemgModel::modulated_noise(), fs);
-    let channels: Vec<_> = [
+    let electrodes: Vec<_> = [
         (&cmd, 0.55, 11u64),
         (&cmd, 0.35, 12),
         (&release, 0.50, 13),
         (&release, 0.30, 14),
     ]
     .iter()
-    .map(|(force, gain, seed)| {
-        let semg = gen.generate(force, *seed).to_scaled(*gain).to_rectified();
-        DatcEncoder::new(DatcConfig::paper()).encode(&semg).events
-    })
+    .map(|(force, gain, seed)| gen.generate(force, *seed).to_scaled(*gain).to_rectified())
     .collect();
 
-    // --- AER merge over one serial IR-UWB link ------------------------------
-    // dead time = 5 symbols × 1 µs symbol slot
-    let merge = merge_channels(&channels, 5e-6);
+    // --- encoder bank + AER merge over one serial IR-UWB link ---------------
+    // One D-ATC encoder per electrode (events-only trace: hot path), then
+    // dead time = 5 symbols × 1 µs symbol slot on the shared link.
+    let bank = EncoderBank::replicate(
+        DatcEncoder::new(DatcConfig::paper().with_trace_level(TraceLevel::Events)),
+        electrodes.len(),
+    );
+    let merge = merge_encoder_bank(&bank, &electrodes, 5e-6);
     println!(
         "AER: {} channels ({} address bits), {} events merged, {} collisions",
-        channels.len(),
-        address_bits(channels.len()),
+        bank.channels(),
+        address_bits(bank.channels()),
         merge.merged.len(),
         merge.collisions
     );
 
     // --- receiver: demux, reconstruct, drive the actuator -------------------
-    let streams = demux(&merge.merged, channels.len(), 2000.0, duration);
+    let streams = demux(&merge.merged, bank.channels(), 2000.0, duration);
     let recon = HybridReconstructor::paper();
     let estimates: Vec<_> = streams
         .iter()

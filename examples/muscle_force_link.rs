@@ -1,5 +1,6 @@
 //! End-to-end wireless muscle-force link: sEMG → D-ATC encoder → IR-UWB
-//! symbol link (with losses) → receiver → force estimate.
+//! symbol link (with losses) → receiver → force estimate, assembled with
+//! the composable `Link` builder.
 //!
 //! Demonstrates the paper's robustness remark that "artifacts effect is
 //! similar to pulse missing": the link is degraded progressively and the
@@ -7,13 +8,13 @@
 //!
 //! Run with: `cargo run --release --example muscle_force_link`
 
-use datc::core::{DatcConfig, DatcEncoder};
-use datc::rx::metrics::evaluate;
-use datc::rx::{HybridReconstructor, Reconstructor};
+use datc::core::{DatcConfig, DatcEncoder, SpikeEncoder, TraceLevel};
+use datc::rx::pipeline::Link;
+use datc::rx::HybridReconstructor;
 use datc::signal::envelope::arv_envelope;
 use datc::signal::generator::{ForceProfile, SemgGenerator, SemgModel};
 use datc::uwb::channel::{AwgnChannel, SymbolChannel};
-use datc::uwb::link::EventLink;
+use datc::uwb::energy::TxEnergyModel;
 use datc::uwb::modulator::{symbolize_events, OokModulator, Symbol};
 use datc::uwb::psd::{check_fcc_mask, FCC_LIMIT_DBM_PER_MHZ};
 use datc::uwb::pulse::GaussianPulse;
@@ -27,7 +28,10 @@ fn main() {
         .to_scaled(0.5)
         .to_rectified();
     let arv = arv_envelope(&semg, 0.25);
-    let tx = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
+
+    // encode once at the events-only trace level (link hot path)
+    let encoder = DatcEncoder::new(DatcConfig::paper().with_trace_level(TraceLevel::Events));
+    let tx = encoder.encode(&semg);
     let patterns = symbolize_events(&tx.events, 4);
     println!(
         "TX: {} events → {} symbols",
@@ -51,20 +55,34 @@ fn main() {
         mask.margin_db
     );
 
-    // --- link quality sweep -------------------------------------------------
+    // --- link quality sweep: one Link per operating point -------------------
     let channel = AwgnChannel::wban();
-    println!("\nWBAN path loss: {:.1} dB at 1 m, {:.1} dB at 3 m", channel.path_loss_db(1.0), channel.path_loss_db(3.0));
-    println!("\nloss rate  delivered  corrupted  correlation");
+    println!(
+        "\nWBAN path loss: {:.1} dB at 1 m, {:.1} dB at 3 m",
+        channel.path_loss_db(1.0),
+        channel.path_loss_db(3.0)
+    );
+    println!("\nloss rate  delivered  corrupted  TX power  correlation");
     for p_miss in [0.0, 0.01, 0.05, 0.1, 0.2, 0.4] {
-        let link = EventLink::new(SymbolChannel::new(p_miss, 1e-5), 4);
-        let report = link.transport(&tx.events, 99);
-        let recon = HybridReconstructor::paper().reconstruct(&report.received, 100.0);
-        let corr = evaluate(&recon, &arv, 0.3).map(|r| r.percent).unwrap_or(0.0);
+        let link = Link::builder()
+            .encoder(encoder.clone())
+            .channel(SymbolChannel::new(p_miss, 1e-5))
+            .energy_model(TxEnergyModel::paper_class())
+            .seed(99)
+            .reconstructor(HybridReconstructor::paper())
+            .build();
+        // the event stream is deterministic — encode once, sweep the channel
+        let run = link.run_encoded(tx.clone());
+        let corr = run.score(&arv, 0.3).map(|r| r.percent).unwrap_or(0.0);
         println!(
-            "{:>8.0} %  {:>9}  {:>9}  {:>10.1} %",
+            "{:>8.0} %  {:>9}  {:>9}  {:>6.0} nW  {:>10.1} %",
             p_miss * 100.0,
-            report.received.len(),
-            report.corrupted_codes,
+            run.transmission.received().len(),
+            run.transmission.transport.corrupted_codes,
+            run.transmission
+                .energy
+                .map(|e| e.average_power_w * 1e9)
+                .unwrap_or(0.0),
             corr
         );
     }

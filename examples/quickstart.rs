@@ -1,13 +1,12 @@
-//! Quickstart: synthesise an sEMG recording, encode it with ATC and
-//! D-ATC, reconstruct muscle force at the receiver and print the paper's
-//! headline comparison.
+//! Quickstart: synthesise an sEMG recording, run it through ATC and
+//! D-ATC `Link` pipelines, and print the paper's headline comparison.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use datc::core::atc::AtcEncoder;
 use datc::core::{DatcConfig, DatcEncoder};
-use datc::rx::metrics::evaluate;
-use datc::rx::{HybridReconstructor, RateReconstructor, Reconstructor};
+use datc::rx::pipeline::Link;
+use datc::rx::{HybridReconstructor, RateReconstructor};
 use datc::signal::envelope::arv_envelope;
 use datc::signal::generator::{ForceProfile, SemgGenerator, SemgModel};
 
@@ -26,37 +25,46 @@ fn main() {
         semg.duration()
     );
 
-    // 2. Fixed-threshold ATC at the paper's 0.3 V.
-    let atc_events = AtcEncoder::new(0.3).encode(&semg);
-    let atc_recon = RateReconstructor::default().reconstruct(&atc_events, 100.0);
-    let atc_corr = evaluate(&atc_recon, &arv, 0.3).expect("signals are long enough");
+    // 2. Two pipelines from the same builder, differing only in the
+    //    encoder and reconstructor slots: fixed-threshold ATC at the
+    //    paper's 0.3 V vs D-ATC at the paper's operating point.
+    let atc_link = Link::builder()
+        .encoder(AtcEncoder::new(0.3))
+        .reconstructor(RateReconstructor::default())
+        .build();
+    let datc_link = Link::builder()
+        .encoder(DatcEncoder::new(DatcConfig::paper()))
+        .reconstructor(HybridReconstructor::paper())
+        .build();
 
-    // 3. D-ATC with the paper's configuration (2 kHz clock, frame 100,
-    //    4-bit DAC, weights 1/0.65/0.35).
-    let datc = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
-    let datc_recon = HybridReconstructor::paper().reconstruct(&datc.events, 100.0);
-    let datc_corr = evaluate(&datc_recon, &arv, 0.3).expect("signals are long enough");
+    let (atc_run, atc_pct) = atc_link.run_scored(&semg, &arv, 0.3);
+    let (datc_run, datc_pct) = datc_link.run_scored(&semg, &arv, 0.3);
 
     println!("\n              events  symbols  correlation");
     println!(
         "ATC  @0.3 V   {:>6}  {:>7}  {:>10.1} %",
-        atc_events.len(),
-        atc_events.symbol_count(4),
-        atc_corr.percent
+        atc_run.transmission.encoded.events.len(),
+        atc_run.transmission.symbols_on_air,
+        atc_pct
     );
     println!(
         "D-ATC         {:>6}  {:>7}  {:>10.1} %",
-        datc.events.len(),
-        datc.events.symbol_count(4),
-        datc_corr.percent
+        datc_run.transmission.encoded.events.len(),
+        datc_run.transmission.symbols_on_air,
+        datc_pct
     );
+
+    // 3. The D-ATC output still carries the full threshold trace
+    //    (TraceLevel::Full is the default) for figure-style inspection.
+    let datc = &datc_run.transmission.encoded;
     println!(
-        "\nD-ATC adapts its threshold over {} DAC codes (min {} / max {})",
+        "\nD-ATC adapts its threshold over {} DAC codes (min {} / max {}), duty {:.1} %",
         datc.vth_code_trace
             .iter()
             .collect::<std::collections::BTreeSet<_>>()
             .len(),
         datc.vth_code_trace.iter().min().unwrap(),
         datc.vth_code_trace.iter().max().unwrap(),
+        datc.duty_cycle() * 100.0,
     );
 }

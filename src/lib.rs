@@ -7,31 +7,98 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`signal`] — sEMG synthesis, DSP, and the 190-pattern corpus;
-//! * [`core`] — the ATC and D-ATC encoders with the cycle-accurate DTC;
-//! * [`uwb`] — IR-UWB pulses, OOK event patterns, channel, AER, and the
-//!   packet/ADC baseline;
-//! * [`rx`] — receiver-side reconstruction and the correlation metric;
+//! * [`core`] — the unified [`SpikeEncoder`](core::SpikeEncoder) API:
+//!   D-ATC and ATC encoders over one cycle-accurate streaming kernel,
+//!   opt-in trace capture ([`TraceLevel`](core::TraceLevel)), and the
+//!   multi-channel [`EncoderBank`](core::EncoderBank);
+//! * [`uwb`] — IR-UWB pulses, OOK event patterns, channel, AER merging,
+//!   and the packet/ADC baseline (also a
+//!   [`SpikeEncoder`](core::SpikeEncoder));
+//! * [`rx`] — receiver-side reconstruction, the correlation metric, and
+//!   the composable [`Link`](rx::pipeline::Link) pipeline builder;
 //! * [`rtl`] — the gate-level DTC, cell library, synthesis and power
 //!   reports (Table I);
 //! * [`experiments`] — runners regenerating every figure and table.
 //!
-//! ## Quickstart
+//! ## Quickstart: one pipeline, end to end
+//!
+//! Everything between the electrode and the force estimate composes with
+//! [`Link::builder`](rx::pipeline::Link::builder) — pick an encoder, a
+//! channel, a reconstructor, and run:
 //!
 //! ```
 //! use datc::core::{DatcConfig, DatcEncoder};
+//! use datc::rx::pipeline::Link;
+//! use datc::rx::HybridReconstructor;
+//! use datc::signal::envelope::arv_envelope;
 //! use datc::signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+//! use datc::uwb::channel::SymbolChannel;
 //!
-//! // synthesise 2 s of sEMG following a grip contraction
+//! // synthesise 5 s of sEMG following a grip contraction
 //! let fs = 2500.0;
-//! let force = ForceProfile::mvc_protocol().samples(fs, 2.0);
+//! let force = ForceProfile::mvc_protocol().samples(fs, 5.0);
 //! let semg = SemgGenerator::new(SemgModel::modulated_noise(), fs)
 //!     .generate(&force, 42)
+//!     .to_scaled(0.4)
 //!     .to_rectified();
+//! let arv = arv_envelope(&semg, 0.25);
 //!
-//! // encode it with the paper's D-ATC configuration
-//! let out = DatcEncoder::new(DatcConfig::paper()).encode(&semg);
-//! println!("{} events, {} symbols", out.events.len(), out.events.symbol_count(4));
+//! // D-ATC encoder → lossy IR-UWB symbol link → hybrid receiver
+//! let link = Link::builder()
+//!     .encoder(DatcEncoder::new(DatcConfig::paper()))
+//!     .channel(SymbolChannel::new(0.01, 0.0))
+//!     .reconstructor(HybridReconstructor::paper())
+//!     .build();
+//! let (run, correlation) = link.run_scored(&semg, &arv, 0.3);
+//! println!(
+//!     "{} events, {} symbols on air, correlation {correlation:.1} %",
+//!     run.transmission.encoded.events.len(),
+//!     run.transmission.symbols_on_air,
+//! );
+//! assert!(correlation > 80.0);
 //! ```
+//!
+//! ## Encoding only
+//!
+//! Encoders stand alone behind the [`SpikeEncoder`](core::SpikeEncoder)
+//! trait; swap [`DatcEncoder`](core::DatcEncoder) for
+//! [`AtcEncoder`](core::atc::AtcEncoder) or the packet baseline without
+//! touching the call site:
+//!
+//! ```
+//! use datc::core::{DatcConfig, DatcEncoder, SpikeEncoder, TraceLevel};
+//! use datc::signal::Signal;
+//!
+//! let semg = Signal::from_fn(2500.0, 2.0, |t| ((300.0 * t).sin() * (2.0 * t).sin()).abs());
+//! // events-only trace level: the zero-per-tick-allocation hot path
+//! let cfg = DatcConfig::paper().with_trace_level(TraceLevel::Events);
+//! let out = DatcEncoder::new(cfg).encode(&semg);
+//! println!("{} events at duty {:.1} %", out.events.len(), out.duty_cycle() * 100.0);
+//! ```
+//!
+//! ## Multi-channel: an encoder bank into one AER link
+//!
+//! N electrodes share one serial IR-UWB link through the
+//! Address-Event-Representation merger:
+//!
+//! ```
+//! use datc::core::{DatcConfig, DatcEncoder, EncoderBank, TraceLevel};
+//! use datc::signal::Signal;
+//! use datc::uwb::aer::{demux, merge_encoder_bank};
+//!
+//! let cfg = DatcConfig::paper().with_trace_level(TraceLevel::Events);
+//! let bank = EncoderBank::replicate(DatcEncoder::new(cfg), 4);
+//! let electrodes: Vec<Signal> = (0..4)
+//!     .map(|c| Signal::from_fn(2500.0, 1.0, move |t| (t * (40.0 + c as f64)).sin().abs() * 0.5))
+//!     .collect();
+//! let merged = merge_encoder_bank(&bank, &electrodes, 5e-6);
+//! let per_channel = demux(&merged.merged, 4, 2000.0, 1.0);
+//! assert_eq!(per_channel.len(), 4);
+//! ```
+//!
+//! Real-time consumers drive the streaming kernel directly — see
+//! [`core::stream::DatcStream`] (`tick` for one sample at a time,
+//! `push_chunk` for allocation-free chunked encoding).
 
 pub use datc_core as core;
 pub use datc_experiments as experiments;
@@ -39,3 +106,18 @@ pub use datc_rtl as rtl;
 pub use datc_rx as rx;
 pub use datc_signal as signal;
 pub use datc_uwb as uwb;
+
+/// Everything a typical consumer needs in scope.
+pub mod prelude {
+    pub use datc_core::{
+        DatcConfig, DatcEncoder, DatcOutput, EncodedOutput, EncoderBank, Event, EventStream,
+        FrameSize, SpikeEncoder, TraceLevel,
+    };
+    pub use datc_rx::pipeline::{Link, LinkBuilder, LinkRun};
+    pub use datc_rx::{
+        HybridReconstructor, RateReconstructor, Reconstructor, ThresholdTrackReconstructor,
+    };
+    pub use datc_signal::Signal;
+    pub use datc_uwb::channel::SymbolChannel;
+    pub use datc_uwb::link::{Transmission, UwbTx};
+}

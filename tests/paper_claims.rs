@@ -19,7 +19,11 @@ fn fig5_datc_is_robust_across_the_corpus() {
     let r = fig5::run(24);
     assert!(r.datc_summary.min > r.atc_summary.min + 5.0);
     assert!(r.atc_summary.spread() > 2.0 * r.datc_summary.spread());
-    assert!(r.datc_summary.min > 80.0, "D-ATC floor {:.1}", r.datc_summary.min);
+    assert!(
+        r.datc_summary.min > 80.0,
+        "D-ATC floor {:.1}",
+        r.datc_summary.min
+    );
 }
 
 #[test]

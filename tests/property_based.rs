@@ -4,11 +4,41 @@
 use datc::core::atc::AtcEncoder;
 use datc::core::config::{Arithmetic, DatcConfig, FrameSize};
 use datc::core::dtc::Dtc;
+use datc::core::encoder::{EventSink, SpikeEncoder, TraceLevel};
+use datc::core::stream::DatcStream;
 use datc::core::{DatcEncoder, Event, EventStream};
 use datc::rtl::verify::lockstep;
 use datc::rx::{HybridReconstructor, RateReconstructor, Reconstructor};
+use datc::signal::resample::ZohResampler;
 use datc::signal::Signal;
 use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = DatcConfig> {
+    (
+        prop_oneof![
+            Just(FrameSize::F100),
+            Just(FrameSize::F200),
+            Just(FrameSize::F400),
+            Just(FrameSize::F800),
+        ],
+        2u8..=6, // DAC resolution
+        prop_oneof![Just(1000.0f64), Just(2000.0), Just(2500.0), Just(4000.0)],
+        prop_oneof![Just(Arithmetic::Fixed), Just(Arithmetic::Float)],
+        prop_oneof![
+            Just(TraceLevel::Events),
+            Just(TraceLevel::Frames),
+            Just(TraceLevel::Full),
+        ],
+    )
+        .prop_map(|(frame, bits, clock, arith, trace)| {
+            DatcConfig::paper()
+                .with_frame_size(frame)
+                .with_dac_bits(bits)
+                .with_clock_hz(clock)
+                .with_arithmetic(arith)
+                .with_trace_level(trace)
+        })
+}
 
 fn arb_signal() -> impl Strategy<Value = Signal> {
     // piecewise-amplitude noise bursts, 0.5–2 s at 2.5 kHz
@@ -34,6 +64,49 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
+    fn batch_tick_and_chunk_encodings_are_identical(
+        config in arb_config(),
+        signal in arb_signal(),
+    ) {
+        // The trait-level contract of the unified kernel: batch
+        // `SpikeEncoder::encode`, per-tick `DatcStream::tick` and chunked
+        // `DatcStream::push_chunk` see the same resampled input and
+        // produce identical events, traces and duty counters.
+        let batch = DatcEncoder::new(config).encode(&signal);
+
+        // per-tick drive through the public resampler
+        let zoh = ZohResampler::new(signal.sample_rate(), config.clock_hz);
+        let n_ticks = zoh.ticks_for_len(signal.len());
+        let last = signal.len() - 1;
+        let mut by_tick = DatcStream::new(config).unwrap();
+        let mut tick_events = Vec::new();
+        let mut tick_codes = Vec::new();
+        for k in 0..n_ticks {
+            let out = by_tick.tick(signal.samples()[zoh.index(k).min(last)]);
+            if let Some(e) = out.event {
+                tick_events.push(e);
+            }
+            tick_codes.push(out.set_vth);
+        }
+        prop_assert_eq!(&tick_events[..], batch.events.events());
+        if config.trace == TraceLevel::Full {
+            prop_assert_eq!(&tick_codes[..], &batch.vth_code_trace[..]);
+        }
+
+        // chunked drive: resample explicitly, split at awkward boundaries
+        let resampled: Vec<f64> = (0..n_ticks)
+            .map(|k| signal.samples()[zoh.index(k).min(last)])
+            .collect();
+        let mut by_chunk = DatcStream::new(config).unwrap();
+        let mut sink = EventSink::new(config.clock_hz);
+        for chunk in resampled.chunks(257) {
+            by_chunk.push_chunk(chunk, &mut sink);
+        }
+        prop_assert_eq!(sink.events(), batch.events.events());
+        prop_assert_eq!(by_chunk.ticks(), batch.ticks);
+    }
+
+    #[test]
     fn datc_codes_always_within_dac_range(signal in arb_signal()) {
         let out = DatcEncoder::new(DatcConfig::paper()).encode(&signal);
         prop_assert!(out.vth_code_trace.iter().all(|&c| (1..=15).contains(&c)));
@@ -54,7 +127,7 @@ proptest! {
     #[test]
     fn atc_event_count_bounded_by_half_samples(signal in arb_signal()) {
         // a rising edge needs at least one below-sample between events
-        let ev = AtcEncoder::new(0.3).encode(&signal);
+        let ev = AtcEncoder::new(0.3).encode(&signal).events;
         prop_assert!(ev.len() <= signal.len() / 2 + 1);
     }
 
@@ -65,11 +138,11 @@ proptest! {
         // thresholds must fire less, and a threshold above the peak fires
         // never.
         let peak = signal.samples().iter().cloned().fold(0.0f64, f64::max);
-        let sigma_max = datc_signal::stats::rms(signal.samples()).max(1e-6);
-        let mid = AtcEncoder::new(1.5 * sigma_max).encode(&signal).len();
-        let far = AtcEncoder::new(3.0 * sigma_max).encode(&signal).len();
+        let sigma_max = datc::signal::stats::rms(signal.samples()).max(1e-6);
+        let mid = AtcEncoder::new(1.5 * sigma_max).encode(&signal).events.len();
+        let far = AtcEncoder::new(3.0 * sigma_max).encode(&signal).events.len();
         prop_assert!(mid + 5 >= far, "tail decay violated: {mid} vs {far}");
-        let above = AtcEncoder::new(peak + 1e-9).encode(&signal).len();
+        let above = AtcEncoder::new(peak + 1e-9).encode(&signal).events.len();
         prop_assert_eq!(above, 0);
     }
 

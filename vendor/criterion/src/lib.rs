@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`, covering the API surface the
+//! workspace benches use: `criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with throughput and
+//! sample-size knobs, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then a fixed
+//! number of timed samples with median reporting — but it is a *real*
+//! harness: every bench runs and prints wall-clock numbers, including
+//! throughput in elements/second when configured.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the batch size chosen by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrates how many iterations fit in roughly `target` per sample.
+fn calibrate<F: FnMut(&mut Bencher)>(routine: &mut F, target: Duration) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= target || iters >= 1 << 20 {
+            return iters.max(1);
+        }
+        let grown = if b.elapsed.is_zero() {
+            iters * 16
+        } else {
+            ((iters as f64 * target.as_secs_f64() / b.elapsed.as_secs_f64()) as u64).max(iters + 1)
+        };
+        iters = grown.min(1 << 20);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    let iters = calibrate(&mut routine, Duration::from_millis(20));
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {id:<44} {} [{} .. {}]{rate}",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:8.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:8.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:8.3} µs", secs * 1e6)
+    } else {
+        format!("{:8.1} ns", secs * 1e9)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        routine: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), 10, None, routine);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        routine: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            self.throughput,
+            routine,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

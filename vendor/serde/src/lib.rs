@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container has no crates.io access, so the real serde cannot be
+//! vendored. The workspace only uses `#[derive(Serialize, Deserialize)]`
+//! as documentation of wire-format intent — nothing serialises at
+//! runtime — so the traits are empty markers and the derives (re-exported
+//! from the sibling `serde_derive` stub) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
