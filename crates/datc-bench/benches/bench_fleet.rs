@@ -1,0 +1,275 @@
+//! Fleet-scale encoder throughput: the sharded multi-threaded
+//! `FleetRunner` (SoA bank kernel) against N serial `DatcEncoder::encode`
+//! calls, swept over channels × threads.
+//!
+//! Hand-rolled harness (plain `main`, `harness = false`) because the
+//! results feed a machine-readable perf trajectory: every run rewrites
+//! `BENCH_fleet.json` at the workspace root with aggregate
+//! channels·samples/s for each operating point.
+//!
+//! Modes:
+//! * full (default): 20 s recordings, channels {1, 4, 16, 64} × threads
+//!   {1, 2, 4};
+//! * `--quick` (CI smoke): 4 s recordings, 16 channels × threads {1, 4},
+//!   and the JSON is written next to the full one (same schema, flagged
+//!   `"quick": true`) without clobbering a committed full baseline —
+//!   quick runs write `BENCH_fleet.quick.json` instead.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use datc_core::config::DatcConfig;
+use datc_core::datc::DatcEncoder;
+use datc_core::encoder::{CountingSink, SpikeEncoder, TraceLevel};
+use datc_core::stream::DatcStream;
+use datc_engine::FleetRunner;
+use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+use datc_signal::resample::ZohResampler;
+use datc_signal::Signal;
+
+/// Times `f` with best-of-`samples` after calibrating an inner iteration
+/// count to ≥ `target_ms` per sample. Returns seconds per call.
+fn measure<F: FnMut() -> u64>(mut f: F, samples: u32, target_ms: u64) -> f64 {
+    let target = std::time::Duration::from_millis(target_ms);
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= 1 << 16 {
+            break;
+        }
+        iters = if elapsed.is_zero() {
+            iters * 8
+        } else {
+            ((iters as f64 * target.as_secs_f64() / elapsed.as_secs_f64()) as u64)
+                .clamp(iters + 1, 1 << 16)
+        };
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn fleet_signals(n: usize, seconds: f64) -> Vec<Signal> {
+    let fs = 2500.0;
+    let force = ForceProfile::mvc_protocol().samples(fs, seconds);
+    (0..n)
+        .map(|c| {
+            SemgGenerator::new(SemgModel::modulated_noise(), fs)
+                .generate(&force, 100 + c as u64)
+                .to_scaled(0.3 + 0.3 * (c as f64 / n.max(1) as f64))
+                .to_rectified()
+        })
+        .collect()
+}
+
+struct FleetPoint {
+    channels: usize,
+    threads: usize,
+    samples_per_s: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (seconds, samples, target_ms) = if quick { (4.0, 2, 30) } else { (20.0, 5, 60) };
+    let config = DatcConfig::paper().with_trace_level(TraceLevel::Events);
+
+    let channel_sweep: &[usize] = if quick { &[16] } else { &[1, 4, 16, 64] };
+    let thread_sweep: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    let max_channels = *channel_sweep.iter().max().unwrap();
+
+    eprintln!("generating {max_channels} x {seconds} s sEMG channels...");
+    let signals = fleet_signals(max_channels, seconds);
+    let zoh = ZohResampler::new(signals[0].sample_rate(), config.clock_hz);
+    let ticks_per_channel = zoh.ticks_for_len(signals[0].len());
+
+    // --- single-channel chunked hot path (non-regression vs bench_chunked)
+    let clocked: Vec<f64> = (0..ticks_per_channel)
+        .map(|k| signals[0].samples()[zoh.index(k)])
+        .collect();
+    let single_chunk = measure(
+        || {
+            let mut stream = DatcStream::new(config).unwrap();
+            let mut sink = CountingSink::default();
+            stream.push_chunk(&clocked, &mut sink);
+            sink.events
+        },
+        samples,
+        target_ms,
+    );
+    let single_chunk_rate = ticks_per_channel as f64 / single_chunk;
+    println!(
+        "single-channel push_chunk            {:>12.0} samples/s",
+        single_chunk_rate
+    );
+
+    // --- serial baselines: 16 independent DatcEncoder::encode calls,
+    // once with the out-of-the-box configuration (full trace capture,
+    // the default) and once trimmed to events-only like the fleet.
+    let serial_channels = 16.min(max_channels);
+    let serial_signals = &signals[..serial_channels];
+    let encoder_default = DatcEncoder::new(DatcConfig::paper());
+    let serial_default = measure(
+        || {
+            let mut events = 0u64;
+            for s in serial_signals {
+                events += encoder_default.encode(s).events.len() as u64;
+            }
+            events
+        },
+        samples,
+        target_ms,
+    );
+    let serial_default_rate = (serial_channels as u64 * ticks_per_channel) as f64 / serial_default;
+    println!(
+        "serial encode x{serial_channels:<2} (default, full)    {:>12.0} ch*samples/s",
+        serial_default_rate
+    );
+    let encoder = DatcEncoder::new(config);
+    let serial = measure(
+        || {
+            let mut events = 0u64;
+            for s in serial_signals {
+                events += encoder.encode(s).events.len() as u64;
+            }
+            events
+        },
+        samples,
+        target_ms,
+    );
+    let serial_rate = (serial_channels as u64 * ticks_per_channel) as f64 / serial;
+    println!(
+        "serial encode x{serial_channels:<2} (events only)      {:>12.0} ch*samples/s",
+        serial_rate
+    );
+
+    // --- fleet sweep: channels x threads
+    let mut points: Vec<FleetPoint> = Vec::new();
+    for &n in channel_sweep {
+        let subset = &signals[..n];
+        for &threads in thread_sweep {
+            if threads > n {
+                continue;
+            }
+            let runner = FleetRunner::new(config, n).unwrap().with_threads(threads);
+            let secs = measure(
+                || runner.encode(subset).total_events() as u64,
+                samples,
+                target_ms,
+            );
+            let rate = (n as u64 * ticks_per_channel) as f64 / secs;
+            println!(
+                "fleet {n:>3} ch x {threads} threads            {:>12.0} ch*samples/s  ({:.2}x serial)",
+                rate,
+                rate / serial_rate
+            );
+            points.push(FleetPoint {
+                channels: n,
+                threads,
+                samples_per_s: rate,
+            });
+        }
+    }
+
+    // --- headline ratio, interleaved ------------------------------------
+    // Shared-tenancy hosts drift by tens of percent between measurements,
+    // which poisons a ratio of two independently-timed quantities. The
+    // acceptance ratio is therefore measured in back-to-back rounds —
+    // serial then fleet inside each round, median of per-round ratios —
+    // so frequency drift cancels.
+    let fleet_16_4 = FleetRunner::new(config, serial_channels)
+        .unwrap()
+        .with_threads(4);
+    let rounds = if quick { 3 } else { 9 };
+    let mut ratios_default: Vec<f64> = Vec::with_capacity(rounds);
+    let mut ratios_events: Vec<f64> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let mut events = 0u64;
+        for s in serial_signals {
+            events += encoder_default.encode(s).events.len() as u64;
+        }
+        black_box(events);
+        let serial_default_t = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let mut events = 0u64;
+        for s in serial_signals {
+            events += encoder.encode(s).events.len() as u64;
+        }
+        black_box(events);
+        let serial_events_t = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        black_box(fleet_16_4.encode(serial_signals).total_events());
+        let fleet_t = t2.elapsed().as_secs_f64();
+        ratios_default.push(serial_default_t / fleet_t);
+        ratios_events.push(serial_events_t / fleet_t);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let speedup_16_4 = median(&mut ratios_default);
+    let speedup_16_4_events = median(&mut ratios_events);
+    println!(
+        "fleet {serial_channels} ch / 4 threads vs serial (interleaved medians): \
+         {speedup_16_4:.2}x vs default encode, {speedup_16_4_events:.2}x vs events-only encode"
+    );
+
+    // --- machine-readable trajectory
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_fleet\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"ticks_per_channel\": {ticks_per_channel},\n"));
+    json.push_str(&format!(
+        "  \"single_channel_push_chunk_samples_per_s\": {:.0},\n",
+        single_chunk_rate
+    ));
+    json.push_str(&format!(
+        "  \"serial_encode_channels\": {serial_channels},\n"
+    ));
+    json.push_str(&format!(
+        "  \"serial_encode_default_full_trace_samples_per_s\": {:.0},\n",
+        serial_default_rate
+    ));
+    json.push_str(&format!(
+        "  \"serial_encode_events_only_samples_per_s\": {:.0},\n",
+        serial_rate
+    ));
+    json.push_str(&format!(
+        "  \"fleet_{serial_channels}ch_4t_speedup_vs_serial\": {speedup_16_4:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"fleet_{serial_channels}ch_4t_speedup_vs_serial_events_only\": {speedup_16_4_events:.3},\n"
+    ));
+    json.push_str("  \"fleet\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"channels\": {}, \"threads\": {}, \"samples_per_s\": {:.0}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            p.channels,
+            p.threads,
+            p.samples_per_s,
+            p.samples_per_s / serial_rate,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let name = if quick {
+        "BENCH_fleet.quick.json"
+    } else {
+        "BENCH_fleet.json"
+    };
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("wrote {path}");
+}

@@ -1,5 +1,5 @@
 //! Fixed-threshold Average Threshold Crossing (ATC) — the baseline scheme
-//! of Crepaldi et al. (BioCAS 2012, Ref. [10]) that D-ATC is compared
+//! of Crepaldi et al. (BioCAS 2012, Ref. \[10\]) that D-ATC is compared
 //! against.
 //!
 //! ATC radiates one bare IR-UWB pulse on every positive crossing of a
@@ -12,7 +12,7 @@
 //! [`SpikeEncoder`] and returns an [`AtcOutput`] shaped like
 //! [`DatcOutput`](crate::datc::DatcOutput) (events + duty cycle + opt-in
 //! comparator trace) instead of the old bare
-//! [`EventStream`](crate::event::EventStream).
+//! [`EventStream`].
 
 use crate::comparator::Comparator;
 use crate::encoder::{EncodedOutput, SpikeEncoder, TraceLevel};

@@ -1,0 +1,918 @@
+//! The struct-of-arrays multi-channel D-ATC kernel.
+//!
+//! [`BankStream`] advances N channels through the comparator → DTC →
+//! DAC cycle **per input frame** in one cache-friendly pass: all
+//! per-channel state lives in parallel arrays (threshold voltages,
+//! frame counters, comparator bits), the frame countdown and interval
+//! ROM are shared scalars, and the code→voltage conversion is a LUT
+//! index. The per-channel inner step is branch-free outside the rare
+//! end-of-frame and event cases, which is what lets a single core chew
+//! through tens of millions of channel·ticks per second — see
+//! `BENCH_fleet.json` at the workspace root for measured numbers.
+//!
+//! Results are **bit-exact** with N independent
+//! [`DatcStream`](crate::stream::DatcStream)s (ideal comparator) fed the
+//! same per-channel samples — property-tested in `tests/` at the
+//! workspace root. The multi-threaded sharding driver over this kernel
+//! is `FleetRunner` in the `datc-engine` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use datc_core::bank::{BankCountingSink, BankStream};
+//! use datc_core::config::DatcConfig;
+//!
+//! let mut bank = BankStream::new(DatcConfig::paper(), 4)?;
+//! let mut sink = BankCountingSink::new(4);
+//! for k in 0..2000u32 {
+//!     let t = f64::from(k) * 0.2;
+//!     // four phase-shifted channels, one frame per tick
+//!     let frame = [
+//!         0.4 * t.sin().abs(),
+//!         0.4 * (t + 0.5).sin().abs(),
+//!         0.4 * (t + 1.0).sin().abs(),
+//!         0.4 * (t + 1.5).sin().abs(),
+//!     ];
+//!     bank.push_frame(&frame, &mut sink);
+//! }
+//! assert!(sink.channel(0).events > 0);
+//! # Ok::<(), datc_core::CoreError>(())
+//! ```
+
+use crate::config::{Arithmetic, DatcConfig};
+use crate::dac::Dac;
+use crate::dtc::fixed_point::{
+    avr_float, avr_scaled, predict_code_fixed, predict_code_float, quantize_weights,
+};
+use crate::dtc::intervals::IntervalTable;
+use crate::dtc::DtcStep;
+use crate::encoder::{CountingSink, TickSink};
+use crate::error::CoreError;
+use crate::event::Event;
+use datc_signal::resample::ZohResampler;
+use datc_signal::Signal;
+
+/// Consumer of per-channel, per-tick results from a [`BankStream`].
+///
+/// The multi-channel analogue of [`TickSink`]:
+/// called once per channel per system-clock tick. Within one channel,
+/// calls arrive in tick order; the interleaving **across** channels is
+/// unspecified — the planar drivers run each channel over a whole
+/// frame-bounded span (registers-resident inner loop) before moving to
+/// the next channel. Implementations should be `#[inline]`-friendly —
+/// the kernel loop is monomorphised over the sink.
+pub trait BankSink {
+    /// `true` (the default) delivers every tick through
+    /// [`on_tick`](BankSink::on_tick). Sinks that only consume events,
+    /// frame decisions and aggregate counters set this to `false`, which
+    /// lets the planar drivers run an **event-sparse** inner loop: quiet
+    /// ticks cost a register add, and the sink hears only
+    /// [`on_event`](BankSink::on_event), [`on_frame`](BankSink::on_frame)
+    /// and per-span [`on_span`](BankSink::on_span) aggregates.
+    ///
+    /// A sink must account identically through either delivery mode —
+    /// the tick-major drivers (`push_frame`, `push_interleaved`) always
+    /// use `on_tick`.
+    const EVERY_TICK: bool = true;
+
+    /// Called for `channel` at tick `tick` with the channel's DTC step.
+    fn on_tick(&mut self, channel: usize, tick: u64, step: &DtcStep);
+
+    /// Sparse mode: a rising edge fired on `channel` at `tick` while
+    /// threshold `code` was in force.
+    #[inline]
+    fn on_event(&mut self, _channel: usize, _tick: u64, _code: u8) {}
+
+    /// Sparse mode: `channel` closed a frame at `tick`, deciding
+    /// `set_vth`.
+    #[inline]
+    fn on_frame(&mut self, _channel: usize, _tick: u64, _set_vth: u8) {}
+
+    /// Sparse mode: `channel` advanced `ticks` ticks of which `ones` had
+    /// the comparator bit high (events/frames already reported
+    /// separately).
+    #[inline]
+    fn on_span(&mut self, _channel: usize, _ticks: u64, _ones: u64) {}
+}
+
+/// Per-channel scalar counters — one [`CountingSink`] per channel, the
+/// counters-only [`BankSink`] (duty cycle per channel comes free via
+/// [`CountingSink::duty_cycle`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankCountingSink {
+    channels: Vec<CountingSink>,
+}
+
+impl BankCountingSink {
+    /// Creates counters for `n` channels.
+    pub fn new(n: usize) -> Self {
+        BankCountingSink {
+            channels: vec![CountingSink::default(); n],
+        }
+    }
+
+    /// The counters of `channel`.
+    pub fn channel(&self, channel: usize) -> &CountingSink {
+        &self.channels[channel]
+    }
+
+    /// All per-channel counters.
+    pub fn channels(&self) -> &[CountingSink] {
+        &self.channels
+    }
+
+    /// Events summed over every channel.
+    pub fn total_events(&self) -> u64 {
+        self.channels.iter().map(|c| c.events).sum()
+    }
+}
+
+impl BankSink for BankCountingSink {
+    #[inline]
+    fn on_tick(&mut self, channel: usize, tick: u64, step: &DtcStep) {
+        self.channels[channel].on_tick(tick, step);
+    }
+}
+
+/// A [`BankSink`] recording per-channel event lists plus the duty-cycle
+/// counters — everything `FleetRunner` needs to assemble per-channel
+/// `DatcOutput`s.
+#[derive(Debug, Clone)]
+pub struct BankEventSink {
+    tick_period_s: f64,
+    events: Vec<Vec<Event>>,
+    ones: Vec<u64>,
+    ticks: u64,
+}
+
+impl BankEventSink {
+    /// Creates a sink for `n` channels of a kernel clocked at `clock_hz`.
+    pub fn new(clock_hz: f64, n: usize) -> Self {
+        BankEventSink {
+            tick_period_s: 1.0 / clock_hz,
+            events: vec![Vec::new(); n],
+            ones: vec![0; n],
+            ticks: 0,
+        }
+    }
+
+    /// Pre-reserves capacity for `per_channel` events on every channel,
+    /// sparing the hot loop the growth-reallocation copies of long
+    /// recordings.
+    pub fn reserve_events(&mut self, per_channel: usize) {
+        for evs in &mut self.events {
+            evs.reserve(per_channel);
+        }
+    }
+
+    /// Events recorded so far for `channel`.
+    pub fn events(&self, channel: usize) -> &[Event] {
+        &self.events[channel]
+    }
+
+    /// Ticks with the comparator high, per channel.
+    pub fn ones(&self) -> &[u64] {
+        &self.ones
+    }
+
+    /// Ticks observed per channel.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Consumes the sink into `(per-channel events, per-channel ones,
+    /// ticks)` for callers assembling richer outputs.
+    pub fn into_parts(self) -> (Vec<Vec<Event>>, Vec<u64>, u64) {
+        (self.events, self.ones, self.ticks)
+    }
+}
+
+impl BankSink for BankEventSink {
+    // Events and counters only — unlock the event-sparse planar loop.
+    const EVERY_TICK: bool = false;
+
+    #[inline]
+    fn on_tick(&mut self, channel: usize, tick: u64, step: &DtcStep) {
+        self.ticks += u64::from(channel == 0);
+        self.ones[channel] += u64::from(step.d_out);
+        if step.event {
+            self.on_event(channel, tick, step.sampled_code);
+        }
+    }
+
+    #[inline]
+    fn on_event(&mut self, channel: usize, tick: u64, code: u8) {
+        self.events[channel].push(Event {
+            tick,
+            time_s: tick as f64 * self.tick_period_s,
+            vth_code: Some(code),
+        });
+    }
+
+    #[inline]
+    fn on_span(&mut self, channel: usize, ticks: u64, ones: u64) {
+        self.ticks += if channel == 0 { ticks } else { 0 };
+        self.ones[channel] += ones;
+    }
+}
+
+/// N-channel streaming D-ATC encoder with struct-of-arrays state.
+///
+/// All channels share one configuration (clock, frame size, DAC, weights
+/// — the realistic multi-electrode case) and advance in lock-step, so
+/// the frame countdown, tick counter, interval ROM and voltage LUT are
+/// shared scalars; only the genuinely per-channel state (comparator
+/// bits, frame counts, history, threshold codes and voltages) is
+/// replicated, each kind in its own parallel array.
+///
+/// Channels use the **ideal** comparator (the paper's operating point);
+/// per-channel offset/hysteresis/noise studies go through N independent
+/// [`DatcStream`](crate::stream::DatcStream)s instead.
+#[derive(Debug, Clone)]
+pub struct BankStream {
+    config: DatcConfig,
+    table: IntervalTable,
+    weights_q: (u64, u64, u64),
+    vth_lut: Vec<f64>,
+    frame_len: u32,
+    max_code: u8,
+    // --- struct-of-arrays per-channel state ---
+    /// Metastability register (`In_reg`) per channel.
+    in_reg: Vec<bool>,
+    /// Previous `D_out` per channel, for rising-edge detection.
+    d_prev: Vec<bool>,
+    /// Ones counted in the current frame, per channel.
+    counter: Vec<u32>,
+    /// Previous-frame count (`N_one2`) per channel.
+    n2: Vec<u32>,
+    /// Frame-before-that count (`N_one1`) per channel.
+    n1: Vec<u32>,
+    /// Current threshold code per channel.
+    set_vth: Vec<u8>,
+    /// Current threshold voltage per channel (code through the LUT,
+    /// refreshed only at frame boundaries).
+    vth_volts: Vec<f64>,
+    // --- shared lock-step scalars ---
+    tick_in_frame: u32,
+    tick: u64,
+    frames: u64,
+}
+
+impl BankStream {
+    /// Creates an `n`-channel bank kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the configuration fails
+    /// validation or `channels` is zero.
+    pub fn new(config: DatcConfig, channels: usize) -> Result<Self, CoreError> {
+        config.validate()?;
+        if channels == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "channels",
+                reason: "bank needs at least one channel".into(),
+            });
+        }
+        let dac = Dac::new(config.dac_bits, config.vref)?;
+        let vth_lut = dac.voltage_table();
+        let initial_volts = vth_lut[usize::from(config.initial_code)];
+        Ok(BankStream {
+            table: IntervalTable::new(
+                config.frame_size.len(),
+                config.interval_step,
+                1usize << config.dac_bits,
+            ),
+            weights_q: quantize_weights(config.weights),
+            vth_lut,
+            frame_len: config.frame_size.len(),
+            max_code: config.max_code(),
+            in_reg: vec![false; channels],
+            d_prev: vec![false; channels],
+            counter: vec![0; channels],
+            n2: vec![0; channels],
+            n1: vec![0; channels],
+            set_vth: vec![config.initial_code; channels],
+            vth_volts: vec![initial_volts; channels],
+            tick_in_frame: 0,
+            tick: 0,
+            frames: 0,
+            config,
+        })
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &DatcConfig {
+        &self.config
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.set_vth.len()
+    }
+
+    /// Ticks executed (per channel — channels advance in lock-step).
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Frames completed.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Current threshold codes, one per channel.
+    pub fn vth_codes(&self) -> &[u8] {
+        &self.set_vth
+    }
+
+    /// Resets every channel to power-on state.
+    pub fn reset(&mut self) {
+        let initial_volts = self.vth_lut[usize::from(self.config.initial_code)];
+        self.in_reg.fill(false);
+        self.d_prev.fill(false);
+        self.counter.fill(0);
+        self.n2.fill(0);
+        self.n1.fill(0);
+        self.set_vth.fill(self.config.initial_code);
+        self.vth_volts.fill(initial_volts);
+        self.tick_in_frame = 0;
+        self.tick = 0;
+        self.frames = 0;
+    }
+
+    /// Advances every channel by one system-clock tick; `frame[c]` is the
+    /// instantaneous rectified input voltage of channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frame.len()` differs from the channel count.
+    #[inline]
+    pub fn push_frame<S: BankSink>(&mut self, frame: &[f64], sink: &mut S) {
+        assert_eq!(frame.len(), self.channels(), "one sample per channel");
+        self.step_all(sink, |c| frame[c]);
+    }
+
+    /// Advances all channels over `data`, interpreted as consecutive
+    /// channel-major frames (`data[k·N + c]` is tick `k`, channel `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` is not a multiple of the channel count.
+    pub fn push_interleaved<S: BankSink>(&mut self, data: &[f64], sink: &mut S) -> u64 {
+        let n = self.channels();
+        assert_eq!(data.len() % n, 0, "interleaved data must be whole frames");
+        for frame in data.chunks_exact(n) {
+            self.step_all(sink, |c| frame[c]);
+        }
+        (data.len() / n) as u64
+    }
+
+    /// Advances all channels over planar (one slice per channel)
+    /// clock-rate sample buffers, all of the same length.
+    ///
+    /// This is the SoA fast path: ticks are segmented at frame
+    /// boundaries, and within a segment each channel runs a tight
+    /// register-resident loop over its slice — the threshold voltage is
+    /// a loop constant there (it can only change at `End_of_frame`), so
+    /// the per-tick work is one compare and a few bit operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice count differs from the channel count or the
+    /// slices disagree on length.
+    pub fn push_planar<S: BankSink>(&mut self, channels: &[&[f64]], sink: &mut S) -> u64 {
+        let n = self.channels();
+        assert_eq!(channels.len(), n, "one sample slice per channel");
+        let len = channels.first().map_or(0, |c| c.len());
+        assert!(
+            channels.iter().all(|c| c.len() == len),
+            "channel slices must share a length"
+        );
+        let mut k = 0usize;
+        while k < len {
+            let remaining = (self.frame_len - self.tick_in_frame) as usize;
+            let span = remaining.min(len - k);
+            let closes_frame = span == remaining;
+            let k0 = self.tick;
+            for (c, chan) in channels.iter().enumerate() {
+                self.run_channel_span(c, k0, &chan[k..k + span], closes_frame, sink);
+            }
+            self.advance_span(span, closes_frame);
+            k += span;
+        }
+        len as u64
+    }
+
+    /// One channel over one frame-bounded span of clock-rate samples.
+    /// All mutable per-tick state lives in locals; the SoA arrays are
+    /// read once on entry and written once on exit.
+    #[inline]
+    fn run_channel_span<S: BankSink>(
+        &mut self,
+        c: usize,
+        k0: u64,
+        xs: &[f64],
+        closes_frame: bool,
+        sink: &mut S,
+    ) {
+        let vth = self.vth_volts[c];
+        let code = self.set_vth[c];
+        let mut in_reg = self.in_reg[c];
+        let mut d_prev = self.d_prev[c];
+        let mut cnt = self.counter[c];
+        let ones_before = cnt;
+
+        let plain = xs.len() - usize::from(closes_frame);
+        let mut k = k0;
+        if S::EVERY_TICK {
+            for &x in &xs[..plain] {
+                let d = in_reg;
+                in_reg = x > vth;
+                cnt += u32::from(d);
+                let event = d & !d_prev;
+                d_prev = d;
+                sink.on_tick(
+                    c,
+                    k,
+                    &DtcStep {
+                        d_out: d,
+                        event,
+                        sampled_code: code,
+                        set_vth: code,
+                        end_of_frame: false,
+                    },
+                );
+                k += 1;
+            }
+        } else {
+            // Bit-parallel quiet path: pack 64 comparator decisions into
+            // one word, recover `D_out` (one-tick `In_reg` delay) and the
+            // rising edges with shifts, count ones with popcount, and
+            // touch the sink only where an event bit is set. No
+            // data-dependent branch per tick.
+            let simd = simd_compare_available();
+            let mut i = 0usize;
+            while i < plain {
+                let w = (plain - i).min(64);
+                let cmp = if w == 64 {
+                    let chunk: &[f64; 64] = xs[i..i + 64].try_into().expect("full word");
+                    pack64(chunk, vth, simd)
+                } else {
+                    let mut cmp = 0u64;
+                    for (j, &x) in xs[i..i + w].iter().enumerate() {
+                        cmp |= u64::from(x > vth) << j;
+                    }
+                    cmp
+                };
+                let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                let d = ((cmp << 1) | u64::from(in_reg)) & mask;
+                let prev = (d << 1) | u64::from(d_prev);
+                cnt += d.count_ones();
+                let mut rising = d & !prev;
+                while rising != 0 {
+                    let j = rising.trailing_zeros();
+                    sink.on_event(c, k + u64::from(j), code);
+                    rising &= rising - 1;
+                }
+                in_reg = (cmp >> (w - 1)) & 1 == 1;
+                d_prev = (d >> (w - 1)) & 1 == 1;
+                i += w;
+                k += w as u64;
+            }
+        }
+
+        if closes_frame {
+            let d = in_reg;
+            in_reg = xs[plain] > vth;
+            cnt += u32::from(d);
+            let event = d & !d_prev;
+            d_prev = d;
+            let ones_total = cnt;
+            let new_code = self.decide_code(cnt, self.n2[c], self.n1[c]);
+            // History shift of Listing 1.
+            self.n1[c] = self.n2[c];
+            self.n2[c] = cnt;
+            cnt = 0;
+            self.set_vth[c] = new_code;
+            self.vth_volts[c] = self.vth_lut[usize::from(new_code)];
+            if S::EVERY_TICK {
+                sink.on_tick(
+                    c,
+                    k,
+                    &DtcStep {
+                        d_out: d,
+                        event,
+                        sampled_code: code,
+                        set_vth: new_code,
+                        end_of_frame: true,
+                    },
+                );
+            } else {
+                if event {
+                    sink.on_event(c, k, code);
+                }
+                sink.on_frame(c, k, new_code);
+                sink.on_span(c, xs.len() as u64, u64::from(ones_total - ones_before));
+            }
+        } else if !S::EVERY_TICK {
+            sink.on_span(c, xs.len() as u64, u64::from(cnt - ones_before));
+        }
+
+        self.in_reg[c] = in_reg;
+        self.d_prev[c] = d_prev;
+        self.counter[c] = cnt;
+    }
+
+    /// The frame-boundary threshold decision (Listing 1) for one
+    /// channel's history.
+    #[inline]
+    fn decide_code(&self, n3: u32, n2: u32, n1: u32) -> u8 {
+        match self.config.arithmetic {
+            Arithmetic::Fixed => predict_code_fixed(
+                avr_scaled(n3, n2, n1, self.weights_q),
+                &self.table,
+                self.max_code,
+            ),
+            Arithmetic::Float => predict_code_float(
+                avr_float(n3, n2, n1, self.config.weights),
+                &self.table,
+                self.max_code,
+            ),
+        }
+    }
+
+    /// Drives the bank over whole per-channel [`Signal`]s of a common
+    /// sample rate and length, zero-order-holding them onto the system
+    /// clock exactly as
+    /// [`DatcStream::push_signal`](crate::stream::DatcStream::push_signal)
+    /// does. Returns the number of ticks executed.
+    ///
+    /// The ZOH index mapping is computed **once per tick block** and
+    /// shared by every channel, and input gathering runs over a bounded
+    /// scratch block so arbitrarily long recordings stream in cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signal count differs from the channel count or the
+    /// signals disagree on rate/length.
+    pub fn push_signals<S: BankSink>(&mut self, signals: &[Signal], sink: &mut S) -> u64 {
+        let n = self.channels();
+        assert_eq!(signals.len(), n, "one signal per channel");
+        let Some(first) = signals.first() else {
+            return 0;
+        };
+        let fs = first.sample_rate();
+        let len = first.len();
+        assert!(
+            signals.iter().all(|s| s.sample_rate() == fs),
+            "signals must share a sample rate"
+        );
+        assert!(
+            signals.iter().all(|s| s.len() == len),
+            "signals must share a length"
+        );
+        let zoh = ZohResampler::new(fs, self.config.clock_hz);
+        let n_ticks = zoh.ticks_for_len(len);
+
+        // Span-local gather: the shared ZOH indices for one
+        // frame-bounded span (≤ 800 ticks) are resolved once, every
+        // channel gathers through them into one L1-resident scratch
+        // buffer, and the span kernel runs on that. `ticks_for_len`
+        // guarantees the indices stay inside the source, so the gather
+        // carries no clamp.
+        let span_cap = self.frame_len as usize;
+        let mut idx: Vec<usize> = Vec::with_capacity(span_cap);
+        let mut scratch: Vec<f64> = vec![0.0; span_cap];
+        let mut k = 0u64;
+        while k < n_ticks {
+            let remaining = (self.frame_len - self.tick_in_frame) as usize;
+            let span = remaining.min((n_ticks - k) as usize);
+            let closes_frame = span == remaining;
+            idx.clear();
+            idx.extend((0..span).map(|i| zoh.index(k + i as u64)));
+            let k0 = self.tick;
+            for (c, s) in signals.iter().enumerate() {
+                let samples = s.samples();
+                for (d, &i) in scratch[..span].iter_mut().zip(&idx) {
+                    *d = samples[i];
+                }
+                self.run_channel_span(c, k0, &scratch[..span], closes_frame, sink);
+            }
+            self.advance_span(span, closes_frame);
+            k += span as u64;
+        }
+        n_ticks
+    }
+
+    /// Books a processed span into the shared lock-step counters.
+    #[inline]
+    fn advance_span(&mut self, span: usize, closes_frame: bool) {
+        self.tick += span as u64;
+        self.tick_in_frame += span as u32;
+        if closes_frame {
+            self.tick_in_frame = 0;
+            self.frames += 1;
+        }
+    }
+
+    /// One lock-step tick across every channel. `input(c)` yields
+    /// channel `c`'s comparator input voltage.
+    #[inline]
+    fn step_all<S: BankSink, F: Fn(usize) -> f64>(&mut self, sink: &mut S, input: F) {
+        self.tick_in_frame += 1;
+        let end_of_frame = self.tick_in_frame == self.frame_len;
+        let k = self.tick;
+        self.tick += 1;
+
+        for c in 0..self.set_vth.len() {
+            let x = input(c);
+            // In_reg: the synchronous core sees last cycle's bit; the
+            // ideal comparator is a strict threshold on the LUT voltage.
+            let d = self.in_reg[c];
+            self.in_reg[c] = x > self.vth_volts[c];
+            let sampled_code = self.set_vth[c];
+            let cnt = self.counter[c] + u32::from(d);
+            self.counter[c] = cnt;
+
+            if end_of_frame {
+                let n3 = cnt;
+                let code = self.decide_code(n3, self.n2[c], self.n1[c]);
+                self.set_vth[c] = code;
+                self.vth_volts[c] = self.vth_lut[usize::from(code)];
+                // History shift of Listing 1.
+                self.n1[c] = self.n2[c];
+                self.n2[c] = n3;
+                self.counter[c] = 0;
+            }
+
+            let event = d && !self.d_prev[c];
+            self.d_prev[c] = d;
+
+            sink.on_tick(
+                c,
+                k,
+                &DtcStep {
+                    d_out: d,
+                    event,
+                    sampled_code,
+                    set_vth: self.set_vth[c],
+                    end_of_frame,
+                },
+            );
+        }
+
+        if end_of_frame {
+            self.tick_in_frame = 0;
+            self.frames += 1;
+        }
+    }
+}
+
+/// Whether the word-packing compare has a SIMD implementation on this
+/// machine (checked at runtime so baseline builds still use it).
+#[inline]
+fn simd_compare_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Packs 64 strict comparator decisions (`x > vth`, bit `j` = tick `j`)
+/// into one word.
+#[inline]
+fn pack64(chunk: &[f64; 64], vth: f64, simd: bool) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true when `simd_compare_available`
+        // confirmed AVX support at runtime.
+        return unsafe { pack64_avx(chunk, vth) };
+    }
+    let _ = simd;
+    let mut cmp = 0u64;
+    let mut j = 0;
+    while j < 64 {
+        cmp |= u64::from(chunk[j] > vth) << j;
+        j += 1;
+    }
+    cmp
+}
+
+/// AVX word-pack: 4-wide ordered-quiet greater-than compares folded into
+/// a bitmask through `movmskpd`. `_CMP_GT_OQ` matches Rust's `>` exactly
+/// (strict, `false` against NaN), so this is bit-identical to the scalar
+/// path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn pack64_avx(chunk: &[f64; 64], vth: f64) -> u64 {
+    use std::arch::x86_64::{_mm256_cmp_pd, _mm256_loadu_pd, _mm256_movemask_pd, _mm256_set1_pd};
+    const GT_OQ: i32 = 0x1e; // _CMP_GT_OQ
+    let t = _mm256_set1_pd(vth);
+    let mut cmp = 0u64;
+    let mut j = 0;
+    while j < 64 {
+        // SAFETY: `j + 4 <= 64`, so the load stays inside `chunk`.
+        let v = _mm256_loadu_pd(chunk.as_ptr().add(j));
+        let m = _mm256_cmp_pd::<GT_OQ>(v, t);
+        cmp |= (_mm256_movemask_pd(m) as u64) << j;
+        j += 4;
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameSize;
+
+    use crate::stream::DatcStream;
+
+    /// Reference: drive N independent single-channel streams and record
+    /// every DtcStep.
+    fn reference_steps(config: DatcConfig, per_channel: &[Vec<f64>]) -> Vec<Vec<DtcStep>> {
+        struct Rec(Vec<DtcStep>);
+        impl TickSink for Rec {
+            fn on_tick(&mut self, _tick: u64, step: &DtcStep) {
+                self.0.push(*step);
+            }
+        }
+        per_channel
+            .iter()
+            .map(|samples| {
+                let mut s = DatcStream::new(config).unwrap();
+                let mut rec = Rec(Vec::new());
+                s.push_chunk(samples, &mut rec);
+                rec.0
+            })
+            .collect()
+    }
+
+    struct BankRec {
+        steps: Vec<Vec<DtcStep>>,
+    }
+    impl BankSink for BankRec {
+        fn on_tick(&mut self, channel: usize, _tick: u64, step: &DtcStep) {
+            self.steps[channel].push(*step);
+        }
+    }
+
+    fn test_inputs(channels: usize, ticks: usize) -> Vec<Vec<f64>> {
+        (0..channels)
+            .map(|c| {
+                (0..ticks)
+                    .map(|k| {
+                        let t = k as f64 * 0.07 + c as f64;
+                        (0.2 + 0.15 * c as f64) * (t.sin() * (t * 0.31).cos()).abs()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bank_is_bit_exact_with_independent_streams() {
+        for (frame, arith) in [
+            (FrameSize::F100, Arithmetic::Fixed),
+            (FrameSize::F200, Arithmetic::Float),
+            (FrameSize::F400, Arithmetic::Fixed),
+        ] {
+            let config = DatcConfig::paper()
+                .with_frame_size(frame)
+                .with_arithmetic(arith);
+            let inputs = test_inputs(5, 3000);
+            let expected = reference_steps(config, &inputs);
+
+            let mut bank = BankStream::new(config, 5).unwrap();
+            let mut rec = BankRec {
+                steps: vec![Vec::new(); 5],
+            };
+            // uneven frame-boundary chunking must not matter
+            let planar: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+            bank.push_planar(&planar, &mut rec);
+
+            assert_eq!(rec.steps, expected, "frame {frame:?} arith {arith:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_and_planar_drives_agree() {
+        let config = DatcConfig::paper();
+        let inputs = test_inputs(3, 1700);
+        let planar: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+
+        let mut a = BankStream::new(config, 3).unwrap();
+        let mut ra = BankRec {
+            steps: vec![Vec::new(); 3],
+        };
+        a.push_planar(&planar, &mut ra);
+
+        let mut interleaved = Vec::with_capacity(3 * 1700);
+        for k in 0..1700 {
+            for ch in &inputs {
+                interleaved.push(ch[k]);
+            }
+        }
+        let mut b = BankStream::new(config, 3).unwrap();
+        let mut rb = BankRec {
+            steps: vec![Vec::new(); 3],
+        };
+        // split at an awkward frame boundary
+        let (lo, hi) = interleaved.split_at(3 * 601);
+        b.push_interleaved(lo, &mut rb);
+        b.push_interleaved(hi, &mut rb);
+
+        assert_eq!(ra.steps, rb.steps);
+        assert_eq!(a.ticks(), b.ticks());
+        assert_eq!(a.vth_codes(), b.vth_codes());
+    }
+
+    #[test]
+    fn push_signals_matches_per_channel_push_signal() {
+        use crate::encoder::EventSink;
+        let config = DatcConfig::paper();
+        let signals: Vec<Signal> = (0..4)
+            .map(|c| {
+                Signal::from_fn(2500.0, 3.0, |t| {
+                    ((t * (40.0 + c as f64 * 13.0)).sin() * (t * 3.0).cos()).abs() * 0.5
+                })
+            })
+            .collect();
+
+        let mut bank = BankStream::new(config, 4).unwrap();
+        let mut sink = BankEventSink::new(config.clock_hz, 4);
+        let n_ticks = bank.push_signals(&signals, &mut sink);
+        assert_eq!(n_ticks, bank.ticks());
+
+        for (c, s) in signals.iter().enumerate() {
+            let mut solo = DatcStream::new(config).unwrap();
+            let mut es = EventSink::new(config.clock_hz);
+            let solo_ticks = solo.push_signal(s, &mut es);
+            assert_eq!(solo_ticks, n_ticks);
+            assert_eq!(sink.events(c), es.events(), "channel {c}");
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts_every_channel() {
+        let config = DatcConfig::paper();
+        let inputs = test_inputs(2, 1000);
+        let planar: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut bank = BankStream::new(config, 2).unwrap();
+        let mut sink = BankCountingSink::new(2);
+        bank.push_planar(&planar, &mut sink);
+        for c in 0..2 {
+            assert_eq!(sink.channel(c).ticks, 1000);
+            assert_eq!(sink.channel(c).frames, 10);
+        }
+        assert_eq!(bank.frames(), 10);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let config = DatcConfig::paper();
+        let mut bank = BankStream::new(config, 3).unwrap();
+        let mut sink = BankCountingSink::new(3);
+        let inputs = test_inputs(3, 900);
+        let planar: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        bank.push_planar(&planar, &mut sink);
+        assert!(bank.ticks() == 900);
+        bank.reset();
+        assert_eq!(bank.ticks(), 0);
+        assert_eq!(bank.frames(), 0);
+        assert!(bank.vth_codes().iter().all(|&c| c == config.initial_code));
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        assert!(BankStream::new(DatcConfig::paper(), 0).is_err());
+    }
+
+    #[test]
+    fn simd_and_scalar_word_packing_agree() {
+        let mut chunk = [0.0f64; 64];
+        for (j, x) in chunk.iter_mut().enumerate() {
+            *x = ((j as f64 * 0.37).sin() * 0.6).abs();
+        }
+        // exercise equality, boundaries and extremes
+        chunk[7] = 0.5;
+        chunk[8] = f64::INFINITY;
+        chunk[9] = 0.0;
+        for vth in [0.0, 0.062_5, 0.5, 0.937_5] {
+            let scalar = pack64(&chunk, vth, false);
+            let dispatched = pack64(&chunk, vth, simd_compare_available());
+            assert_eq!(scalar, dispatched, "vth {vth}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample per channel")]
+    fn frame_length_mismatch_panics() {
+        let mut bank = BankStream::new(DatcConfig::paper(), 3).unwrap();
+        let mut sink = BankCountingSink::new(3);
+        bank.push_frame(&[0.0, 0.0], &mut sink);
+    }
+}

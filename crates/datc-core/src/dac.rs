@@ -118,6 +118,19 @@ impl Dac {
         Ok(ideal + err)
     }
 
+    /// The full code→voltage transfer function as a table: entry `c`
+    /// equals `voltage(c)`, INL included.
+    ///
+    /// Hot loops index this once-built table instead of paying the
+    /// fallible [`voltage`](Dac::voltage) range check per tick; with
+    /// `dac_bits ≤ 8` (the encoder limit) it is at most 256 entries and
+    /// lives comfortably in one or two cache lines.
+    pub fn voltage_table(&self) -> Vec<f64> {
+        (0..self.level_count())
+            .map(|c| self.voltage(c as u16).expect("codes below level_count"))
+            .collect()
+    }
+
     /// The nearest code whose ideal output does not exceed `v` (used by
     /// tests to invert the transfer function).
     pub fn code_for_voltage(&self, v: f64) -> u16 {
@@ -173,6 +186,22 @@ mod tests {
     #[test]
     fn inl_wrong_length_rejected() {
         assert!(Dac::paper().with_inl(vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn voltage_table_matches_per_code_lookups() {
+        let mut inl = vec![0.0; 16];
+        inl[3] = -0.004;
+        inl[12] = 0.007;
+        let dac = Dac::paper().with_inl(inl).unwrap();
+        let table = dac.voltage_table();
+        assert_eq!(table.len(), 16);
+        for c in 0..16u16 {
+            assert_eq!(table[usize::from(c)], dac.voltage(c).unwrap());
+        }
+        // full-resolution converters (beyond the encoder's 8-bit cap)
+        // must still get a complete table
+        assert_eq!(Dac::new(16, 1.0).unwrap().voltage_table().len(), 65_536);
     }
 
     #[test]

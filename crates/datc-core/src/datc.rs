@@ -76,7 +76,7 @@ impl EncodedOutput for DatcOutput {
 /// The D-ATC encoder.
 ///
 /// Drives the cycle-accurate streaming kernel
-/// ([`DatcStream`](crate::stream::DatcStream)) at its system clock,
+/// ([`DatcStream`]) at its system clock,
 /// re-sampling the input signal (zero-order hold, exact rational step) at
 /// each tick exactly as the hardware's comparator + `In_reg` pair does.
 ///

@@ -26,6 +26,22 @@
 //! merger of `datc-uwb`, and whole transmit→receive chains compose with
 //! the `Link` builder in `datc-rx`.
 //!
+//! ## Throughput
+//!
+//! The hot path is integer-domain and LUT-folded: every entry point
+//! converts threshold codes through a DAC table precomputed at
+//! construction ([`Dac::voltage_table`](dac::Dac::voltage_table)) —
+//! never the fallible per-tick `Dac::voltage` — and `1/clock_hz` and
+//! the ZOH end clamp are hoisted out of the tick loops. For N-channel
+//! workloads, [`bank::BankStream`] holds all per-channel state in
+//! parallel arrays and, for event-level sinks, packs 64 comparator
+//! decisions per word so `In_reg` delay, edge detection and duty
+//! counting become shifts, masks and popcounts (AVX-accelerated where
+//! the CPU allows, runtime-detected, bit-identical either way). The
+//! multi-threaded fleet driver over it lives in `datc-engine`;
+//! measured rates are tracked in `BENCH_fleet.json` at the workspace
+//! root.
+//!
 //! The hardware blocks mirror the paper's Fig. 1/Fig. 4:
 //!
 //! * [`frontend::AnalogFrontEnd`] — preamplifier gain, saturation and
@@ -57,6 +73,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod atc;
+pub mod bank;
 pub mod comparator;
 pub mod config;
 pub mod dac;
@@ -68,6 +85,7 @@ pub mod event;
 pub mod frontend;
 pub mod stream;
 
+pub use bank::{BankCountingSink, BankEventSink, BankSink, BankStream};
 pub use config::{DatcConfig, FrameSize};
 pub use datc::{DatcEncoder, DatcOutput};
 pub use encoder::{EncodedOutput, EncoderBank, SpikeEncoder, TraceLevel};

@@ -10,8 +10,8 @@
 //! * [`DatcStream::push_chunk`] — a clock-rate sample slice into a
 //!   [`TickSink`], the zero-per-tick-allocation fast path;
 //! * [`DatcStream::push_signal`] — an arbitrary-rate
-//!   [`Signal`](datc_signal::Signal) re-sampled through the exact
-//!   rational [`ZohResampler`](datc_signal::resample::ZohResampler);
+//!   [`Signal`] re-sampled through the exact
+//!   rational [`ZohResampler`];
 //!   batch [`DatcEncoder::encode`](crate::datc::DatcEncoder) is a thin
 //!   driver over this.
 
@@ -62,8 +62,14 @@ pub struct StreamTick {
 #[derive(Debug, Clone)]
 pub struct DatcStream {
     dtc: Dtc,
-    dac: Dac,
     comparator: Comparator,
+    /// Code→voltage LUT precomputed at construction (the DAC transfer
+    /// function); the per-tick kernel does one array index instead of a
+    /// fallible `Dac::voltage` call.
+    vth_lut: Vec<f64>,
+    /// `1 / clock_hz`, hoisted out of the tick loops: event timestamps
+    /// are a multiply, never a division.
+    tick_period_s: f64,
     tick: u64,
 }
 
@@ -75,10 +81,12 @@ impl DatcStream {
     /// Returns [`CoreError::InvalidConfig`] when the configuration fails
     /// validation.
     pub fn new(config: DatcConfig) -> Result<Self, CoreError> {
+        let dac = Dac::new(config.dac_bits, config.vref)?;
         Ok(DatcStream {
             dtc: Dtc::new(config)?,
-            dac: Dac::new(config.dac_bits, config.vref)?,
             comparator: Comparator::ideal(),
+            vth_lut: dac.voltage_table(),
+            tick_period_s: 1.0 / config.clock_hz,
             tick: 0,
         })
     }
@@ -96,9 +104,7 @@ impl DatcStream {
 
     /// Current threshold voltage.
     pub fn vth_volts(&self) -> f64 {
-        self.dac
-            .voltage(u16::from(self.dtc.vth_code()))
-            .expect("DTC codes are bounded")
+        self.vth_lut[usize::from(self.dtc.vth_code())]
     }
 
     /// Ticks executed.
@@ -108,12 +114,13 @@ impl DatcStream {
 
     /// The shared kernel: one comparator + DTC cycle on input `x_volts`.
     /// Returns the tick index the cycle ran at and the raw DTC step.
+    ///
+    /// Branch-free in the threshold path: the code→voltage conversion is
+    /// one LUT index (DTC codes are bounded by construction, so the
+    /// bounds check never fires).
     #[inline]
     fn step_core(&mut self, x_volts: f64) -> (u64, DtcStep) {
-        let vth = self
-            .dac
-            .voltage(u16::from(self.dtc.vth_code()))
-            .expect("DTC codes are bounded");
+        let vth = self.vth_lut[usize::from(self.dtc.vth_code())];
         let d_in = self.comparator.compare(x_volts, vth);
         let step = self.dtc.step(d_in);
         let k = self.tick;
@@ -124,20 +131,17 @@ impl DatcStream {
     /// Processes one system-clock tick with the instantaneous rectified
     /// input voltage `x_volts`.
     pub fn tick(&mut self, x_volts: f64) -> StreamTick {
-        let clock = self.dtc.config().clock_hz;
+        let period = self.tick_period_s;
         let (k, step) = self.step_core(x_volts);
-        let event = step.event.then(|| Event {
+        let event = step.event.then_some(Event {
             tick: k,
-            time_s: k as f64 / clock,
+            time_s: k as f64 * period,
             vth_code: Some(step.sampled_code),
         });
         StreamTick {
             event,
             set_vth: step.set_vth,
-            vth_volts: self
-                .dac
-                .voltage(u16::from(step.set_vth))
-                .expect("DTC codes are bounded"),
+            vth_volts: self.vth_lut[usize::from(step.set_vth)],
             end_of_frame: step.end_of_frame,
         }
     }
@@ -161,18 +165,18 @@ impl DatcStream {
     /// rational [`ZohResampler`], reporting each tick to `sink`.
     ///
     /// Returns the number of ticks executed. Batch
-    /// [`DatcEncoder::encode`](crate::datc::DatcEncoder::encode) is this
-    /// plus a [`DatcOutputBuilder`](crate::encoder::DatcOutputBuilder)
-    /// sink.
+    /// [`DatcEncoder::encode`](crate::datc::DatcEncoder) is this plus a
+    /// [`DatcOutputBuilder`](crate::encoder::DatcOutputBuilder) sink.
     pub fn push_signal<S: TickSink>(&mut self, signal: &Signal, sink: &mut S) -> u64 {
         let clock = self.dtc.config().clock_hz;
         let zoh = ZohResampler::new(signal.sample_rate(), clock);
         let n = signal.len();
         let n_ticks = zoh.ticks_for_len(n);
         let samples = signal.samples();
-        let last = n.saturating_sub(1);
+        // `ticks_for_len` guarantees `index(k) < n` for every executed
+        // tick, so no per-tick clamp is needed in the loop.
         for k in 0..n_ticks {
-            let x = samples[zoh.index(k).min(last)];
+            let x = samples[zoh.index(k)];
             let (tick, step) = self.step_core(x);
             sink.on_tick(tick, &step);
         }

@@ -1,0 +1,466 @@
+//! # datc-engine — fleet-scale multi-channel D-ATC encoding
+//!
+//! The paper's point is that D-ATC is cheap enough to run per electrode
+//! at scale; this crate is the scale. [`FleetRunner`] encodes N channels
+//! by sharding them over `std::thread` workers, each worker driving one
+//! struct-of-arrays [`BankStream`] kernel
+//! over its contiguous slice of channels, and reassembling per-channel
+//! outputs in channel order. No dependencies beyond the workspace.
+//!
+//! ## Guarantees
+//!
+//! * **Bit-exact**: every channel's events, duty counters and threshold
+//!   trajectory are identical to a standalone
+//!   [`DatcEncoder::encode`](datc_core::DatcEncoder) of that channel's
+//!   signal (at [`TraceLevel::Events`](datc_core::TraceLevel)).
+//! * **Deterministic sharding**: the output is independent of the thread
+//!   count and of where shard boundaries fall — channels never interact
+//!   during encoding; they only meet in the (ordered, deterministic) AER
+//!   merge.
+//!
+//! ## Throughput
+//!
+//! The hot loop is the SoA bank kernel: one comparator compare, one
+//! counter add and one LUT-refreshed threshold voltage per channel per
+//! tick, with the frame countdown and interval ROM shared across the
+//! shard. Measured numbers (channels·samples/s, sweep over channels ×
+//! threads) are written to `BENCH_fleet.json` by the `bench_fleet`
+//! benchmark in `datc-bench`.
+//!
+//! ## Example
+//!
+//! ```
+//! use datc_core::{DatcConfig, TraceLevel};
+//! use datc_engine::FleetRunner;
+//! use datc_signal::Signal;
+//!
+//! let signals: Vec<Signal> = (0..8)
+//!     .map(|c| {
+//!         Signal::from_fn(2500.0, 1.0, move |t| {
+//!             ((t * (40.0 + c as f64 * 7.0)).sin()).abs() * 0.5
+//!         })
+//!     })
+//!     .collect();
+//! let fleet = FleetRunner::new(DatcConfig::paper(), 8)?.with_threads(2);
+//! let out = fleet.encode(&signals);
+//! assert_eq!(out.channels.len(), 8);
+//! let report = out.merge_aer(25e-6); // one serial AER link
+//! assert!(report.merged.len() > 0);
+//! # Ok::<(), datc_core::CoreError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use datc_core::bank::{BankEventSink, BankStream};
+use datc_core::datc::DatcOutput;
+use datc_core::error::CoreError;
+use datc_core::event::EventStream;
+use datc_core::DatcConfig;
+use datc_signal::resample::ZohResampler;
+use datc_signal::Signal;
+use datc_uwb::aer::{merge_channel_refs, MergeReport};
+
+/// Everything one fleet encode produces.
+///
+/// Each per-channel element is a plain
+/// [`DatcOutput`] at the events-only trace
+/// level, so fleet results plug directly into the single-channel
+/// pipeline APIs — `UwbTx::transmit_encoded`, `Link::run_encoded` and
+/// the batched `Link::run_encoded_batch` in `datc-rx`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutput {
+    /// Per-channel encoder outputs, in channel order.
+    pub channels: Vec<DatcOutput>,
+    /// System-clock ticks executed per channel (channels run in
+    /// lock-step).
+    pub ticks: u64,
+}
+
+impl FleetOutput {
+    /// Number of channels encoded.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Events summed over the whole fleet.
+    pub fn total_events(&self) -> usize {
+        self.channels.iter().map(|c| c.events.len()).sum()
+    }
+
+    /// Clones of the per-channel event streams; prefer
+    /// [`merge_aer`](FleetOutput::merge_aer) (which borrows) or
+    /// [`into_event_streams`](FleetOutput::into_event_streams) (which
+    /// moves) when the copies aren't needed.
+    pub fn event_streams(&self) -> Vec<EventStream> {
+        self.channels.iter().map(|c| c.events.clone()).collect()
+    }
+
+    /// Consumes the output, keeping only the per-channel event streams.
+    pub fn into_event_streams(self) -> Vec<EventStream> {
+        self.channels.into_iter().map(|c| c.events).collect()
+    }
+
+    /// Merges every channel onto one serial AER link with the given
+    /// pattern dead time (see `datc_uwb::aer::merge_channels`).
+    pub fn merge_aer(&self, dead_time_s: f64) -> MergeReport {
+        let streams: Vec<&EventStream> = self.channels.iter().map(|c| &c.events).collect();
+        merge_channel_refs(&streams, dead_time_s)
+    }
+}
+
+/// Sharded multi-threaded driver over the SoA bank kernel.
+///
+/// Channels are split into `threads` contiguous shards; each worker owns
+/// one [`BankStream`] for its shard and
+/// streams its signals through it. Workers never share mutable state, so
+/// the result is identical for any thread count — including 1, which
+/// runs inline without spawning.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    config: DatcConfig,
+    channels: usize,
+    threads: usize,
+}
+
+impl FleetRunner {
+    /// Creates a runner for `channels` identical-configuration encoders.
+    /// The thread count defaults to the machine's available parallelism,
+    /// capped by the channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the configuration fails
+    /// validation or `channels` is zero.
+    pub fn new(config: DatcConfig, channels: usize) -> Result<Self, CoreError> {
+        // Validate eagerly (config + channel count) via a probe kernel.
+        let _ = BankStream::new(config, channels)?;
+        Ok(FleetRunner {
+            config,
+            channels,
+            threads: available_parallelism().clamp(1, channels),
+        })
+    }
+
+    /// Overrides the worker thread count (clamped to `1..=channels`).
+    ///
+    /// This sets the shard count and the parallelism ceiling; at encode
+    /// time the number of OS threads actually spawned is additionally
+    /// capped by `std::thread::available_parallelism()`, with surplus
+    /// shards processed serially — the output is bit-identical either
+    /// way.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.clamp(1, self.channels);
+        self
+    }
+
+    /// The shared encoder configuration.
+    pub fn config(&self) -> &DatcConfig {
+        &self.config
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Worker threads used per encode.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Encodes one signal per channel (all at a common sample rate and
+    /// length) into per-channel outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signal count differs from the channel count or the
+    /// signals disagree on sample rate/length.
+    pub fn encode(&self, signals: &[Signal]) -> FleetOutput {
+        assert_eq!(signals.len(), self.channels, "one signal per channel");
+        // Enforce the rate/length contract across the WHOLE fleet here:
+        // each shard only sees its own slice, so a cross-shard mismatch
+        // would otherwise slip through with internally-consistent shards.
+        if let Some(first) = signals.first() {
+            assert!(
+                signals
+                    .iter()
+                    .all(|s| s.sample_rate() == first.sample_rate()),
+                "signals must share a sample rate"
+            );
+            assert!(
+                signals.iter().all(|s| s.len() == first.len()),
+                "signals must share a length"
+            );
+        }
+        let duration = signals.first().map_or(0.0, Signal::duration);
+
+        // `threads` is the parallelism ceiling; the worker count is
+        // additionally capped by the machine's parallelism, because
+        // oversubscribing a small core count only adds scheduling
+        // overhead. Each worker runs ONE bank kernel over a contiguous
+        // channel range — per-channel results are independent, so the
+        // output is bit-identical for any worker count or boundary
+        // placement (property-tested). The calling thread works the
+        // first shard itself; only `workers - 1` threads are spawned.
+        let workers = self
+            .threads
+            .min(available_parallelism())
+            .clamp(1, self.channels);
+        let shards = shard_ranges(self.channels, workers);
+        let mut per_shard: Vec<ShardResult> = Vec::with_capacity(shards.len());
+        if shards.len() == 1 {
+            per_shard.push(run_shard(self.config, &signals[shards[0].clone()]));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards[1..]
+                    .iter()
+                    .map(|range| {
+                        let shard_signals = &signals[range.clone()];
+                        let config = self.config;
+                        scope.spawn(move || run_shard(config, shard_signals))
+                    })
+                    .collect();
+                per_shard.push(run_shard(self.config, &signals[shards[0].clone()]));
+                for h in handles {
+                    per_shard.push(h.join().expect("shard worker panicked"));
+                }
+            });
+        }
+
+        let ticks = per_shard.first().map_or(0, |s| s.ticks);
+        let mut channels = Vec::with_capacity(self.channels);
+        for shard in per_shard {
+            debug_assert_eq!(shard.ticks, ticks, "shards run in lock-step");
+            for (events, ones) in shard.events.into_iter().zip(shard.ones) {
+                channels.push(DatcOutput {
+                    events: EventStream::new(
+                        events,
+                        self.config.clock_hz,
+                        duration.max(f64::MIN_POSITIVE),
+                    ),
+                    vth_code_trace: Vec::new(),
+                    vth_volt_trace: Vec::new(),
+                    d_out: Vec::new(),
+                    frame_codes: Vec::new(),
+                    ticks,
+                    ones,
+                });
+            }
+        }
+        FleetOutput { channels, ticks }
+    }
+
+    /// Encodes the fleet and merges every channel onto one serial AER
+    /// link in a single call.
+    pub fn encode_merged(
+        &self,
+        signals: &[Signal],
+        dead_time_s: f64,
+    ) -> (FleetOutput, MergeReport) {
+        let out = self.encode(signals);
+        let report = out.merge_aer(dead_time_s);
+        (out, report)
+    }
+}
+
+struct ShardResult {
+    events: Vec<Vec<datc_core::Event>>,
+    ones: Vec<u64>,
+    ticks: u64,
+}
+
+fn run_shard(config: DatcConfig, signals: &[Signal]) -> ShardResult {
+    let mut bank = BankStream::new(config, signals.len()).expect("validated in FleetRunner::new");
+    let mut sink = BankEventSink::new(config.clock_hz, signals.len());
+    if let Some(first) = signals.first() {
+        // Pre-size the event buffers enough to skip the early doubling
+        // steps without tripping the allocator's mmap threshold (fresh
+        // pages would be faulted in on every encode); an active sEMG
+        // channel fires well under one event per 16 clock ticks.
+        let expected_ticks =
+            ZohResampler::new(first.sample_rate(), config.clock_hz).ticks_for_len(first.len());
+        sink.reserve_events((expected_ticks / 16).min(2048) as usize);
+    }
+    let ticks = bank.push_signals(signals, &mut sink);
+    let (events, ones, _) = sink.into_parts();
+    ShardResult {
+        events,
+        ones,
+        ticks,
+    }
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `n` channels into at most `t` contiguous, balanced ranges.
+fn shard_ranges(n: usize, t: usize) -> Vec<std::ops::Range<usize>> {
+    let t = t.clamp(1, n.max(1));
+    let base = n / t;
+    let rem = n % t;
+    let mut ranges = Vec::with_capacity(t);
+    let mut start = 0;
+    for i in 0..t {
+        let len = base + usize::from(i < rem);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datc_core::encoder::SpikeEncoder;
+    use datc_core::{DatcEncoder, TraceLevel};
+
+    fn fleet_signals(n: usize, seconds: f64) -> Vec<Signal> {
+        (0..n)
+            .map(|c| {
+                Signal::from_fn(2500.0, seconds, move |t| {
+                    let f = 31.0 + 9.0 * c as f64;
+                    ((t * f).sin() * (t * 2.3).cos()).abs() * (0.25 + 0.04 * c as f64)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        for (n, t) in [(16, 4), (16, 3), (5, 8), (1, 1), (7, 2)] {
+            let ranges = shard_ranges(n, t);
+            assert!(ranges.len() <= t);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(w[0].len() >= w[1].len(), "front-loaded balance");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_matches_per_channel_batch_encoder() {
+        let signals = fleet_signals(6, 2.0);
+        let fleet = FleetRunner::new(DatcConfig::paper(), 6)
+            .unwrap()
+            .with_threads(3);
+        let out = fleet.encode(&signals);
+        let solo = DatcEncoder::new(DatcConfig::paper().with_trace_level(TraceLevel::Events));
+        for (c, s) in signals.iter().enumerate() {
+            let reference = solo.encode(s);
+            assert_eq!(out.channels[c].events, reference.events, "channel {c}");
+            assert_eq!(out.channels[c].ones, reference.ones);
+            assert_eq!(out.channels[c].ticks, reference.ticks);
+        }
+    }
+
+    #[test]
+    fn output_is_independent_of_thread_count_and_shard_boundaries() {
+        let signals = fleet_signals(13, 1.5);
+        let reference = FleetRunner::new(DatcConfig::paper(), 13)
+            .unwrap()
+            .with_threads(1)
+            .encode(&signals);
+        for threads in [2, 3, 5, 13, 64] {
+            let out = FleetRunner::new(DatcConfig::paper(), 13)
+                .unwrap()
+                .with_threads(threads)
+                .encode(&signals);
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merged_aer_stream_is_deterministic() {
+        let signals = fleet_signals(4, 1.0);
+        let fleet = FleetRunner::new(DatcConfig::paper(), 4).unwrap();
+        let (_, a) = fleet.encode_merged(&signals, 25e-6);
+        let (_, b) = fleet.with_threads(2).encode_merged(&signals, 25e-6);
+        assert_eq!(a, b);
+        assert!(!a.merged.is_empty());
+    }
+
+    #[test]
+    fn fleet_outputs_drive_the_link_pipeline() {
+        use datc_rx::pipeline::Link;
+        use datc_rx::HybridReconstructor;
+        use datc_uwb::channel::SymbolChannel;
+
+        let signals = fleet_signals(3, 2.0);
+        let out = FleetRunner::new(DatcConfig::paper(), 3)
+            .unwrap()
+            .encode(&signals);
+
+        let link = Link::builder()
+            .encoder(DatcEncoder::new(
+                DatcConfig::paper().with_trace_level(TraceLevel::Events),
+            ))
+            .channel(SymbolChannel::new(0.05, 0.0))
+            .seed(3)
+            .reconstructor(HybridReconstructor::paper())
+            .build();
+
+        // batch entry point over the fleet's per-channel outputs
+        let runs = link.run_encoded_batch(out.channels.clone());
+        assert_eq!(runs.len(), 3);
+
+        // identical to encoding each channel through the link itself
+        for (run, s) in runs.iter().zip(&signals) {
+            let direct = link.run(s);
+            assert_eq!(
+                run.transmission.transport.received,
+                direct.transmission.transport.received
+            );
+            assert_eq!(
+                run.reconstruction.samples(),
+                direct.reconstruction.samples()
+            );
+        }
+    }
+
+    #[test]
+    fn duty_cycle_survives_the_fleet_path() {
+        let signals = fleet_signals(2, 2.0);
+        let out = FleetRunner::new(DatcConfig::paper(), 2)
+            .unwrap()
+            .encode(&signals);
+        for ch in &out.channels {
+            let duty = ch.duty_cycle();
+            assert!(duty > 0.0 && duty < 0.5, "duty {duty}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signals must share a sample rate")]
+    fn cross_shard_rate_mismatch_panics() {
+        // two shards, each internally consistent, rates differing across
+        // the shard boundary — must still be rejected up front
+        let mut signals = fleet_signals(4, 1.0);
+        signals[2] = Signal::from_fn(5000.0, 1.0, |t| (t * 40.0).sin().abs() * 0.4);
+        signals[3] = Signal::from_fn(5000.0, 1.0, |t| (t * 50.0).sin().abs() * 0.4);
+        let fleet = FleetRunner::new(DatcConfig::paper(), 4)
+            .unwrap()
+            .with_threads(2);
+        let _ = fleet.encode(&signals);
+    }
+
+    #[test]
+    #[should_panic(expected = "one signal per channel")]
+    fn channel_count_mismatch_panics() {
+        let fleet = FleetRunner::new(DatcConfig::paper(), 3).unwrap();
+        let _ = fleet.encode(&fleet_signals(2, 0.5));
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        assert!(FleetRunner::new(DatcConfig::paper(), 0).is_err());
+    }
+}

@@ -107,6 +107,20 @@ impl<E: SpikeEncoder, R: Reconstructor> Link<E, R> {
         self.run_transmission(self.tx.transmit_encoded(encoded))
     }
 
+    /// Runs the transport + receiver half over a batch of already-encoded
+    /// outputs, one [`LinkRun`] per element, in order.
+    ///
+    /// This is the fleet entry point: `datc-engine`'s `FleetRunner`
+    /// produces per-channel `DatcOutput`s that feed straight through
+    /// here, so a whole electrode fleet reuses one fast multi-channel
+    /// encode instead of re-encoding per link run.
+    pub fn run_encoded_batch(
+        &self,
+        encoded: impl IntoIterator<Item = E::Output>,
+    ) -> Vec<LinkRun<E::Output>> {
+        encoded.into_iter().map(|o| self.run_encoded(o)).collect()
+    }
+
     fn run_transmission(&self, transmission: Transmission<E::Output>) -> LinkRun<E::Output> {
         let reconstruction = self
             .reconstructor

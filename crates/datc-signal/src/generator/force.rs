@@ -119,7 +119,7 @@ impl ForceProfile {
     }
 
     /// A slow sinusoidal tracking task (exoskeleton-style continuous
-    /// control, Ref. [8] of the paper).
+    /// control, Ref. \[8\] of the paper).
     pub fn tracking(center: f64, amplitude: f64, freq_hz: f64, duration_s: f64) -> Self {
         ForceProfile {
             segments: vec![ForceSegment::Sine {

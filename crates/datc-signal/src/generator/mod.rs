@@ -16,7 +16,7 @@
 //! * [`SubjectParams`] — inter-subject amplitude variability (skin
 //!   thickness, electrode interface, gender — the very variability D-ATC is
 //!   designed to absorb);
-//! * [`artifact`] — mains pickup, baseline wander, motion spikes.
+//! * `artifact` — mains pickup, baseline wander, motion spikes.
 //!
 //! A threshold-crossing encoder interacts with the signal only through its
 //! rectified amplitude statistics and bandwidth, which both models

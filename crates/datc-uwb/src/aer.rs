@@ -1,6 +1,6 @@
 //! Address-Event Representation (AER) for multi-channel systems.
 //!
-//! Ref. [12] (and the multi-channel force system of Ref. [9]) transmit
+//! Ref. \[12\] (and the multi-channel force system of Ref. \[9\]) transmit
 //! events from several sEMG channels over one link by prefixing each event
 //! with a channel address. Asynchronous sources can collide; the merger
 //! models a fixed dead time during which a second event is lost —
@@ -36,6 +36,11 @@ pub struct MergeReport {
 /// on air (e.g. 5 symbols × symbol period), other channels' events are
 /// dropped.
 ///
+/// # Panics
+///
+/// Panics on a negative dead time or on more than 256 channels (the
+/// [`AddressedEvent`] address is 8 bits) — see [`merge_channel_refs`].
+///
 /// # Example
 ///
 /// ```
@@ -49,10 +54,27 @@ pub struct MergeReport {
 /// assert_eq!(report.collisions, 1);
 /// ```
 pub fn merge_channels(streams: &[EventStream], dead_time_s: f64) -> MergeReport {
+    merge_channel_refs(&streams.iter().collect::<Vec<_>>(), dead_time_s)
+}
+
+/// [`merge_channels`] over borrowed streams — fleet-scale callers merge
+/// per-channel outputs they still own without cloning every event list.
+///
+/// # Panics
+///
+/// Panics on a negative dead time or on more than 256 channels (the
+/// [`AddressedEvent`] address is 8 bits; larger fleets must split into
+/// multiple AER links).
+pub fn merge_channel_refs(streams: &[&EventStream], dead_time_s: f64) -> MergeReport {
     assert!(dead_time_s >= 0.0, "dead time must be non-negative");
+    assert!(
+        streams.len() <= 256,
+        "AER addresses are 8 bits: {} channels exceed one link (split the fleet)",
+        streams.len()
+    );
     let mut all: Vec<AddressedEvent> = Vec::new();
     for (ch, s) in streams.iter().enumerate() {
-        for e in s {
+        for e in s.iter() {
             all.push(AddressedEvent {
                 channel: ch as u8,
                 event: *e,
@@ -191,6 +213,13 @@ mod tests {
         let back = demux(&rep.merged, 2, 2000.0, 1.0);
         assert_eq!(back[0].len(), 2);
         assert_eq!(back[1].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "AER addresses are 8 bits")]
+    fn more_than_256_channels_rejected() {
+        let streams: Vec<EventStream> = (0..257).map(|_| stream(&[0.1])).collect();
+        let _ = merge_channels(&streams, 0.001);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀)` dB, with exponent `n ≈ 1.7–2`
 /// for the short-range on-body/indoor links the paper targets (WBAN,
-/// Refs. [1]–[3]).
+/// Refs. \[1\]–\[3\]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AwgnChannel {
     /// Path-loss at the reference distance, dB.
@@ -50,15 +50,30 @@ impl AwgnChannel {
 
     /// Propagates a waveform over `d_m` metres, adding receiver noise
     /// (seeded, deterministic).
+    ///
+    /// Allocates a fresh sample buffer per call; receiver and link loops
+    /// that propagate many bursts should reuse one buffer through
+    /// [`propagate_into`](AwgnChannel::propagate_into) instead.
     pub fn propagate(&self, tx: &Signal, d_m: f64, seed: u64) -> Signal {
+        let mut out = Vec::new();
+        self.propagate_into(tx, d_m, seed, &mut out);
+        Signal::from_samples(out, tx.sample_rate())
+    }
+
+    /// Buffer-reusing variant of [`propagate`](AwgnChannel::propagate):
+    /// clears `out` and fills it with the received samples, reusing its
+    /// allocation across calls. Bit-identical to `propagate` for the same
+    /// seed.
+    pub fn propagate_into(&self, tx: &Signal, d_m: f64, seed: u64, out: &mut Vec<f64>) {
         let a = self.attenuation(d_m);
         let mut g = GaussianNoise::new(seed);
-        let data: Vec<f64> = tx
-            .samples()
-            .iter()
-            .map(|&v| a * v + self.noise_rms_v * g.standard())
-            .collect();
-        Signal::from_samples(data, tx.sample_rate())
+        out.clear();
+        out.reserve(tx.len());
+        out.extend(
+            tx.samples()
+                .iter()
+                .map(|&v| a * v + self.noise_rms_v * g.standard()),
+        );
     }
 
     /// Received SNR (dB) for a pulse of peak amplitude `tx_peak_v` at
@@ -156,6 +171,23 @@ mod tests {
         assert!((m - expected).abs() < 1e-5, "mean {m} vs {expected}");
         let noise: Vec<f64> = rx.samples().iter().map(|v| v - expected).collect();
         assert!((rms(&noise) - ch.noise_rms_v).abs() < 1e-5);
+    }
+
+    #[test]
+    fn propagate_into_matches_propagate_and_reuses_buffer() {
+        let ch = AwgnChannel::wban();
+        let tx = Signal::from_fn(1e9, 1e-5, |t| (t * 1e8).sin());
+        let mut buf = Vec::new();
+        // sweep distances like a receiver loop, one buffer throughout
+        for (i, d) in [0.5, 1.0, 2.0, 3.0].into_iter().enumerate() {
+            let seed = 40 + i as u64;
+            ch.propagate_into(&tx, d, seed, &mut buf);
+            let fresh = ch.propagate(&tx, d, seed);
+            assert_eq!(buf.as_slice(), fresh.samples());
+        }
+        let cap = buf.capacity();
+        ch.propagate_into(&tx, 1.5, 99, &mut buf);
+        assert_eq!(buf.capacity(), cap, "no reallocation on reuse");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Energy model of the all-digital IR-UWB transmitter (Ref. [11] class:
+/// Energy model of the all-digital IR-UWB transmitter (Ref. \[11\] class:
 /// tens of pJ per pulse, negligible idle leakage thanks to aggressive
 /// duty cycling).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -19,7 +19,7 @@ pub struct TxEnergyModel {
 }
 
 impl TxEnergyModel {
-    /// Ref. [11]-class figures: 50 pJ/pulse, 10 nW static.
+    /// Ref. \[11\]-class figures: 50 pJ/pulse, 10 nW static.
     pub fn paper_class() -> Self {
         TxEnergyModel {
             energy_per_pulse_j: 50e-12,

@@ -1,8 +1,8 @@
 //! # datc-uwb — IR-UWB physical layer and protocols
 //!
 //! The paper radiates threshold-crossing events through the all-digital
-//! IR-UWB transmitter of Crepaldi et al. ([7], [11]) using an
-//! Address-Event Representation protocol ([12]); a "standard packet-based
+//! IR-UWB transmitter of Crepaldi et al. (\[7\], \[11\]) using an
+//! Address-Event Representation protocol (\[12\]); a "standard packet-based
 //! system" with a 12-bit ADC serves as the power/complexity strawman.
 //! This crate provides all of it:
 //!

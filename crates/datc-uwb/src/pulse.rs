@@ -1,6 +1,6 @@
 //! IR-UWB pulse shapes.
 //!
-//! The transmitter of Ref. [11] radiates sub-nanosecond pulses with energy
+//! The transmitter of Ref. \[11\] radiates sub-nanosecond pulses with energy
 //! spread over 0.3–4.4 GHz. Gaussian derivatives are the standard
 //! analytical model: the n-th derivative's spectrum peaks at
 //! `f_peak = √n/(2πσ)`, so σ is chosen to centre the energy in band.
@@ -21,7 +21,7 @@ pub struct GaussianPulse {
 
 impl GaussianPulse {
     /// A 5th-order pulse with σ = 51 ps — spectrum peak near 2.2 GHz,
-    /// matching the 0.3–4.4 GHz transmitter of Ref. [11].
+    /// matching the 0.3–4.4 GHz transmitter of Ref. \[11\].
     pub fn paper_tx() -> Self {
         GaussianPulse {
             order: 5,

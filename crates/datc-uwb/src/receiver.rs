@@ -1,5 +1,5 @@
 //! Energy-detection receiver (square → integrate → threshold), the
-//! non-coherent architecture of the companion chipset (Ref. [7]: "for
+//! non-coherent architecture of the companion chipset (Ref. \[7\]: "for
 //! energy detection receivers").
 
 use crate::modulator::Symbol;

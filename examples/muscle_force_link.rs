@@ -18,6 +18,7 @@ use datc::uwb::energy::TxEnergyModel;
 use datc::uwb::modulator::{symbolize_events, OokModulator, Symbol};
 use datc::uwb::psd::{check_fcc_mask, FCC_LIMIT_DBM_PER_MHZ};
 use datc::uwb::pulse::GaussianPulse;
+use datc::uwb::receiver::{EnergyDetector, SymbolErrorReport};
 
 fn main() {
     // --- transmitter side -------------------------------------------------
@@ -62,6 +63,29 @@ fn main() {
         channel.path_loss_db(1.0),
         channel.path_loss_db(3.0)
     );
+
+    // --- waveform-level receiver loop: burst over distance ------------------
+    // One receive buffer serves the whole sweep (`propagate_into` reuses
+    // its allocation; the Signal round-trips through it with zero copies).
+    let symbol_period = 10e-9;
+    let rx_fs = 20e9;
+    let training: Vec<Symbol> = burst.iter().take(512).cloned().collect();
+    let tx_wave = modulator.waveform(&training, rx_fs);
+    let mut rx_buf: Vec<f64> = Vec::new();
+    println!("\ndistance  SNR      symbol errors");
+    for d_m in [0.5, 1.0, 2.0, 3.0] {
+        channel.propagate_into(&tx_wave, d_m, 71, &mut rx_buf);
+        let rx = datc::signal::Signal::from_samples(std::mem::take(&mut rx_buf), rx_fs);
+        let errors = EnergyDetector::calibrate(symbol_period, &rx, &training)
+            .map(|det| SymbolErrorReport::compare(&training, &det.detect(&rx)).error_rate())
+            .unwrap_or(1.0);
+        println!(
+            "{d_m:>5.1} m  {:>5.1} dB  {:>6.2} %",
+            channel.snr_db(1.0, d_m),
+            errors * 100.0
+        );
+        rx_buf = rx.into_samples();
+    }
     println!("\nloss rate  delivered  corrupted  TX power  correlation");
     for p_miss in [0.0, 0.01, 0.05, 0.1, 0.2, 0.4] {
         let link = Link::builder()

@@ -99,8 +99,30 @@
 //! Real-time consumers drive the streaming kernel directly — see
 //! [`core::stream::DatcStream`] (`tick` for one sample at a time,
 //! `push_chunk` for allocation-free chunked encoding).
+//!
+//! ## Fleet scale: many channels, many cores
+//!
+//! For whole electrode fleets, [`engine::FleetRunner`] shards channels
+//! across worker threads, each running the struct-of-arrays
+//! [`core::bank::BankStream`] kernel, bit-exact with per-channel
+//! encoding and deterministic for any thread count:
+//!
+//! ```
+//! use datc::core::DatcConfig;
+//! use datc::engine::FleetRunner;
+//! use datc::signal::Signal;
+//!
+//! let electrodes: Vec<Signal> = (0..16)
+//!     .map(|c| Signal::from_fn(2500.0, 1.0, move |t| (t * (40.0 + c as f64)).sin().abs() * 0.5))
+//!     .collect();
+//! let fleet = FleetRunner::new(DatcConfig::paper(), 16).unwrap();
+//! let (out, merged) = fleet.encode_merged(&electrodes, 5e-6);
+//! assert_eq!(out.channels.len(), 16);
+//! assert!(merged.merged.len() > 0);
+//! ```
 
 pub use datc_core as core;
+pub use datc_engine as engine;
 pub use datc_experiments as experiments;
 pub use datc_rtl as rtl;
 pub use datc_rx as rx;
@@ -113,6 +135,7 @@ pub mod prelude {
         DatcConfig, DatcEncoder, DatcOutput, EncodedOutput, EncoderBank, Event, EventStream,
         FrameSize, SpikeEncoder, TraceLevel,
     };
+    pub use datc_engine::{FleetOutput, FleetRunner};
     pub use datc_rx::pipeline::{Link, LinkBuilder, LinkRun};
     pub use datc_rx::{
         HybridReconstructor, RateReconstructor, Reconstructor, ThresholdTrackReconstructor,

@@ -2,11 +2,13 @@
 //! arbitrary signals, event streams and bit streams.
 
 use datc::core::atc::AtcEncoder;
+use datc::core::bank::{BankEventSink, BankStream};
 use datc::core::config::{Arithmetic, DatcConfig, FrameSize};
 use datc::core::dtc::Dtc;
 use datc::core::encoder::{EventSink, SpikeEncoder, TraceLevel};
 use datc::core::stream::DatcStream;
 use datc::core::{DatcEncoder, Event, EventStream};
+use datc::engine::FleetRunner;
 use datc::rtl::verify::lockstep;
 use datc::rx::{HybridReconstructor, RateReconstructor, Reconstructor};
 use datc::signal::resample::ZohResampler;
@@ -104,6 +106,59 @@ proptest! {
         }
         prop_assert_eq!(sink.events(), batch.events.events());
         prop_assert_eq!(by_chunk.ticks(), batch.ticks);
+    }
+
+    #[test]
+    fn bank_kernel_is_bit_exact_with_independent_streams(
+        config in arb_config(),
+        signals in proptest::collection::vec(arb_signal(), 1..5),
+    ) {
+        // The SoA multi-channel kernel must reproduce N independent
+        // single-channel streams exactly: same events (ticks, times,
+        // codes), same duty counters — for any configuration.
+        let n = signals.len();
+        // push_signals requires a common length; trim to the shortest.
+        let len = signals.iter().map(datc::signal::Signal::len).min().unwrap();
+        let signals: Vec<datc::signal::Signal> = signals
+            .iter()
+            .map(|s| s.slice(0, len).unwrap())
+            .collect();
+
+        let mut bank = BankStream::new(config, n).unwrap();
+        let mut sink = BankEventSink::new(config.clock_hz, n);
+        let bank_ticks = bank.push_signals(&signals, &mut sink);
+
+        for (c, s) in signals.iter().enumerate() {
+            let mut solo = DatcStream::new(config).unwrap();
+            let mut es = EventSink::new(config.clock_hz);
+            let solo_ticks = solo.push_signal(s, &mut es);
+            prop_assert_eq!(solo_ticks, bank_ticks);
+            prop_assert_eq!(sink.events(c), es.events(), "channel {}", c);
+        }
+    }
+
+    #[test]
+    fn fleet_output_is_invariant_under_thread_count(
+        signal in arb_signal(),
+        channels in 1usize..7,
+        threads_a in 1usize..9,
+        threads_b in 1usize..9,
+    ) {
+        // Sharding is an execution detail: any worker count (and any
+        // shard boundary placement it implies) yields identical output.
+        let config = DatcConfig::paper().with_trace_level(TraceLevel::Events);
+        let signals: Vec<datc::signal::Signal> = (0..channels)
+            .map(|c| {
+                let mut s = signal.clone();
+                for v in s.samples_mut() {
+                    *v *= 0.5 + 0.1 * c as f64;
+                }
+                s
+            })
+            .collect();
+        let a = FleetRunner::new(config, channels).unwrap().with_threads(threads_a).encode(&signals);
+        let b = FleetRunner::new(config, channels).unwrap().with_threads(threads_b).encode(&signals);
+        prop_assert_eq!(a, b);
     }
 
     #[test]
