@@ -23,9 +23,8 @@ use datc_core::datc::DatcEncoder;
 use datc_core::encoder::{CountingSink, SpikeEncoder, TraceLevel};
 use datc_core::stream::DatcStream;
 use datc_engine::FleetRunner;
-use datc_signal::generator::{ForceProfile, SemgGenerator, SemgModel};
+use datc_signal::generator::semg_fleet;
 use datc_signal::resample::ZohResampler;
-use datc_signal::Signal;
 
 /// Times `f` with best-of-`samples` after calibrating an inner iteration
 /// count to ≥ `target_ms` per sample. Returns seconds per call.
@@ -59,19 +58,6 @@ fn measure<F: FnMut() -> u64>(mut f: F, samples: u32, target_ms: u64) -> f64 {
     best
 }
 
-fn fleet_signals(n: usize, seconds: f64) -> Vec<Signal> {
-    let fs = 2500.0;
-    let force = ForceProfile::mvc_protocol().samples(fs, seconds);
-    (0..n)
-        .map(|c| {
-            SemgGenerator::new(SemgModel::modulated_noise(), fs)
-                .generate(&force, 100 + c as u64)
-                .to_scaled(0.3 + 0.3 * (c as f64 / n.max(1) as f64))
-                .to_rectified()
-        })
-        .collect()
-}
-
 struct FleetPoint {
     channels: usize,
     threads: usize,
@@ -88,7 +74,7 @@ fn main() {
     let max_channels = *channel_sweep.iter().max().unwrap();
 
     eprintln!("generating {max_channels} x {seconds} s sEMG channels...");
-    let signals = fleet_signals(max_channels, seconds);
+    let signals = semg_fleet(max_channels, seconds, 100);
     let zoh = ZohResampler::new(signals[0].sample_rate(), config.clock_hz);
     let ticks_per_channel = zoh.ticks_for_len(signals[0].len());
 

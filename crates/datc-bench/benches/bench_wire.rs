@@ -1,0 +1,192 @@
+//! Wire subsystem throughput: packet codec (events/s, bytes/event) and
+//! the loopback telemetry gateway (sessions/s, events/s).
+//!
+//! Hand-rolled harness (plain `main`, `harness = false`) like
+//! `bench_fleet`: every run rewrites a machine-readable artifact at the
+//! workspace root — `BENCH_wire.json` (full) or `BENCH_wire.quick.json`
+//! (`--quick`, the CI smoke mode) — so the perf trajectory stays
+//! diffable across PRs.
+//!
+//! Modes:
+//! * full (default): 10 s recordings, 8 channels, 32 gateway sessions;
+//! * `--quick`: 2 s recordings, 6 gateway sessions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use datc_core::config::DatcConfig;
+use datc_core::encoder::TraceLevel;
+use datc_engine::FleetRunner;
+use datc_signal::generator::semg_fleet;
+use datc_uwb::aer::AddressedEvent;
+use datc_wire::gateway::{stream_fleet, HubConfig, TelemetryHub};
+use datc_wire::packet::{encode_session, Packetizer, SessionHeader};
+use datc_wire::StreamDecoder;
+
+/// Times `f` best-of-`samples` with an inner iteration count calibrated
+/// to ≥ `target_ms`. Returns seconds per call.
+fn measure<F: FnMut() -> u64>(mut f: F, samples: u32, target_ms: u64) -> f64 {
+    let target = std::time::Duration::from_millis(target_ms);
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= 1 << 14 {
+            break;
+        }
+        iters = if elapsed.is_zero() {
+            iters * 8
+        } else {
+            ((iters as f64 * target.as_secs_f64() / elapsed.as_secs_f64()) as u64)
+                .clamp(iters + 1, 1 << 14)
+        };
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (seconds, n_sessions, samples) = if quick {
+        (2.0, 6u32, 2)
+    } else {
+        (10.0, 32u32, 4)
+    };
+    let channels = 8usize;
+    let dead_time = 25e-6;
+
+    eprintln!("encoding {channels} x {seconds} s sEMG channels...");
+    let config = DatcConfig::paper().with_trace_level(TraceLevel::Events);
+    let signals = semg_fleet(channels, seconds, 500);
+    let fleet = FleetRunner::new(config, channels)
+        .expect("valid fleet")
+        .encode(&signals);
+    let merged: Vec<AddressedEvent> = fleet.merge_aer(dead_time).merged;
+    let n_events = merged.len() as u64;
+    let header = SessionHeader::new(
+        0,
+        channels as u16,
+        fleet.channels[0].events.tick_rate_hz(),
+        fleet.channels[0].events.duration_s(),
+    );
+    println!(
+        "session: {n_events} events over {seconds} s ({:.0} ev/s on air)",
+        n_events as f64 / seconds
+    );
+
+    // --- codec: packetize ------------------------------------------------
+    let pack_secs = measure(
+        || {
+            let mut tx = Packetizer::new(header);
+            let frames = tx.data_frames(&merged);
+            frames.len() as u64
+        },
+        samples,
+        40,
+    );
+    let pack_rate = n_events as f64 / pack_secs;
+    println!("packetize                 {pack_rate:>14.0} events/s");
+
+    // --- codec: bytes/event ----------------------------------------------
+    let wire = encode_session(header, &merged);
+    let data_bytes = {
+        let mut tx = Packetizer::new(header);
+        tx.data_frames(&merged)
+            .iter()
+            .map(|f| f.len() as u64)
+            .sum::<u64>()
+    };
+    let bytes_per_event = data_bytes as f64 / n_events.max(1) as f64;
+    println!("wire cost                 {bytes_per_event:>14.2} bytes/event (framed)");
+
+    // --- codec: streaming decode -----------------------------------------
+    let decode_secs = measure(
+        || {
+            let mut rx = StreamDecoder::new();
+            rx.push_bytes(&wire);
+            let mut out = Vec::new();
+            rx.drain_events(&mut out);
+            assert_eq!(out.len() as u64, n_events, "lossless decode");
+            out.len() as u64
+        },
+        samples,
+        40,
+    );
+    let decode_rate = n_events as f64 / decode_secs;
+    println!("streaming decode          {decode_rate:>14.0} events/s");
+
+    // --- gateway: n concurrent sessions over TCP loopback ----------------
+    let rounds = if quick { 2 } else { 3 };
+    let mut best_sessions_per_s = 0.0f64;
+    for _ in 0..rounds {
+        let hub = TelemetryHub::bind("127.0.0.1:0", HubConfig::default()).expect("bind");
+        let addr = hub.local_addr();
+        let start = Instant::now();
+        let shared = std::sync::Arc::new(fleet.clone());
+        let senders: Vec<_> = (0..n_sessions)
+            .map(|id| {
+                let fleet = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    stream_fleet(addr, id, &fleet, dead_time).expect("stream")
+                })
+            })
+            .collect();
+        for s in senders {
+            s.join().expect("sender");
+        }
+        let sessions = hub.shutdown();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(sessions.len(), n_sessions as usize);
+        for s in &sessions {
+            assert_eq!(s.report.stats.events_lost, 0, "loopback is lossless");
+            assert_eq!(s.report.stats.events_decoded, n_events);
+        }
+        best_sessions_per_s = best_sessions_per_s.max(n_sessions as f64 / elapsed);
+    }
+    let gateway_events_per_s = best_sessions_per_s * n_events as f64;
+    println!(
+        "gateway ({n_sessions} sessions)     {best_sessions_per_s:>14.1} sessions/s  \
+         ({gateway_events_per_s:.0} events/s decoded+reconstructed)"
+    );
+
+    // --- machine-readable artifact ---------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_wire\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"channels\": {channels},\n"));
+    json.push_str(&format!("  \"session_seconds\": {seconds},\n"));
+    json.push_str(&format!("  \"events_per_session\": {n_events},\n"));
+    json.push_str(&format!(
+        "  \"bytes_per_event_framed\": {bytes_per_event:.3},\n"
+    ));
+    json.push_str(&format!("  \"packetize_events_per_s\": {pack_rate:.0},\n"));
+    json.push_str(&format!("  \"decode_events_per_s\": {decode_rate:.0},\n"));
+    json.push_str(&format!("  \"gateway_sessions\": {n_sessions},\n"));
+    json.push_str(&format!(
+        "  \"gateway_sessions_per_s\": {best_sessions_per_s:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"gateway_events_per_s\": {gateway_events_per_s:.0}\n"
+    ));
+    json.push_str("}\n");
+
+    let name = if quick {
+        "BENCH_wire.quick.json"
+    } else {
+        "BENCH_wire.json"
+    };
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("wrote {path}");
+}

@@ -17,6 +17,26 @@ pub struct Event {
 }
 
 impl Event {
+    /// Builds an event at clock tick `tick` with the canonical timestamp
+    /// `tick * tick_period_s` — the exact expression the streaming kernel
+    /// uses, so events rebuilt from a tick-domain wire format are
+    /// bit-identical to the encoder's originals.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use datc_core::event::Event;
+    /// let e = Event::at_tick(250, 1.0 / 2000.0, Some(3));
+    /// assert_eq!(e.time_s, 250.0 * (1.0 / 2000.0));
+    /// ```
+    pub fn at_tick(tick: u64, tick_period_s: f64, vth_code: Option<u8>) -> Event {
+        Event {
+            tick,
+            time_s: tick as f64 * tick_period_s,
+            vth_code,
+        }
+    }
+
     /// Number of IR-UWB symbols this event costs on air: 1 for a bare ATC
     /// pulse, `1 + n_bits` for a D-ATC event pattern (Fig. 2-E: the event
     /// marker plus the digitised threshold level).

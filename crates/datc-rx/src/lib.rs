@@ -6,6 +6,10 @@
 //! with the paper's figure of merit (Pearson correlation, %):
 //!
 //! * [`windowing`] — sliding/tumbling event-rate estimation;
+//! * [`online`] — streaming reconstructors
+//!   ([`OnlineReconstructor`]) that accept
+//!   events incrementally and emit force samples with bounded latency,
+//!   bit-exact with the batch estimators on a lossless feed;
 //! * [`reconstruct`] — four reconstructors: windowed **rate** (the ATC
 //!   baseline), **threshold-track** (zero-order hold of the D-ATC
 //!   threshold side information), **hybrid** (threshold + rate refinement,
@@ -21,11 +25,13 @@
 #![deny(missing_debug_implementations)]
 
 pub mod metrics;
+pub mod online;
 pub mod pipeline;
 pub mod reconstruct;
 pub mod windowing;
 
 pub use metrics::{evaluate, CorrelationReport};
+pub use online::{OnlineEwmaReconstructor, OnlineRateReconstructor, OnlineReconstructor};
 pub use pipeline::{Link, LinkBuilder, LinkRun};
 pub use reconstruct::{
     HybridReconstructor, RateReconstructor, Reconstructor, RiceInversionReconstructor,

@@ -1,0 +1,485 @@
+//! Streaming (online) counterparts of the batch receivers.
+//!
+//! The batch reconstructors in [`crate::reconstruct`] and the rate
+//! estimators in [`crate::windowing`] need the whole [`EventStream`]
+//! before they produce a single sample. A telemetry receiver decoding a
+//! live wire cannot wait 20 seconds: it gets events one at a time and
+//! must emit force samples with bounded latency. This module provides
+//! that: an [`OnlineReconstructor`] trait plus streaming versions of the
+//! sliding-window rate estimator and the EWMA estimator, **bit-exact**
+//! with their batch counterparts when fed the same events in the same
+//! order.
+//!
+//! ## The watermark contract
+//!
+//! Output samples live on the grid `t_k = k / output_fs`. Sample `k` can
+//! only be emitted once the receiver knows no future event will carry a
+//! timestamp `<= t_k`; events alone cannot prove that (silence is
+//! ambiguous), so progress is driven by [`advance_to`]: the caller
+//! declares a *watermark* — a lower bound on every future event time —
+//! and all samples with `t_k` strictly below it are emitted. A decoder
+//! naturally advances the watermark to the timestamp of each decoded
+//! event (events arrive in time order), so emission lags the newest
+//! event by less than one output period plus the inter-event gap.
+//!
+//! [`advance_to`]: OnlineReconstructor::advance_to
+//!
+//! ## Equivalence
+//!
+//! On a lossless, in-order feed closed with
+//! [`finish`](OnlineReconstructor::finish), the emitted samples are
+//! bit-identical to [`sliding_rate`](crate::windowing::sliding_rate) /
+//! [`ewma_rate`](crate::windowing::ewma_rate) over the same stream: the
+//! implementations perform the same comparisons and the same floating
+//! point operations in the same order (unit-tested here, property-tested
+//! at the workspace level).
+
+use crate::reconstruct::RateReconstructor;
+use datc_core::event::EventStream;
+use std::collections::VecDeque;
+
+/// A force reconstructor that accepts events incrementally and emits
+/// output samples as soon as they are determined.
+///
+/// Lifecycle: [`push_event`](OnlineReconstructor::push_event) /
+/// [`advance_to`](OnlineReconstructor::advance_to) interleaved freely,
+/// then one [`finish`](OnlineReconstructor::finish); emitted samples are
+/// collected with [`drain_into`](OnlineReconstructor::drain_into) at any
+/// point.
+///
+/// # Example
+///
+/// ```
+/// use datc_rx::online::{OnlineRateReconstructor, OnlineReconstructor};
+///
+/// let mut rx = OnlineRateReconstructor::new(0.25, 100.0);
+/// for k in 0..50 {
+///     let t = k as f64 * 0.02; // a steady 50 ev/s
+///     rx.push_event(t);
+///     rx.advance_to(t);
+/// }
+/// rx.finish(1.0);
+/// let mut force = Vec::new();
+/// rx.drain_into(&mut force);
+/// assert_eq!(force.len(), 100); // 1 s at 100 Hz
+/// assert!((force[99] - 48.0).abs() < 8.0);
+/// ```
+pub trait OnlineReconstructor {
+    /// The output sample rate (Hz) this reconstructor emits at.
+    fn output_fs(&self) -> f64;
+
+    /// Feeds one event timestamp (seconds). Feed order defines the
+    /// estimate, exactly as element order does for the batch versions.
+    fn push_event(&mut self, time_s: f64);
+
+    /// Declares that every future event will have `time > watermark_s`,
+    /// releasing all samples on the output grid strictly below the
+    /// watermark.
+    fn advance_to(&mut self, watermark_s: f64);
+
+    /// Closes the observation window at `duration_s` and emits every
+    /// remaining sample (the batch versions emit
+    /// `floor(duration_s * output_fs)` samples in total).
+    fn finish(&mut self, duration_s: f64);
+
+    /// Moves all samples emitted so far into `out` (appending), clearing
+    /// the internal buffer.
+    fn drain_into(&mut self, out: &mut Vec<f64>);
+
+    /// Total samples emitted over the reconstructor's lifetime.
+    fn emitted(&self) -> usize;
+
+    /// Convenience: runs a whole [`EventStream`] through the streaming
+    /// path and returns the full trace — by construction identical to
+    /// the batch reconstruction of the same stream.
+    fn run_batch(&mut self, events: &EventStream) -> Vec<f64> {
+        for e in events {
+            self.push_event(e.time_s);
+        }
+        self.finish(events.duration_s());
+        let mut out = Vec::with_capacity(self.emitted());
+        self.drain_into(&mut out);
+        out
+    }
+}
+
+/// Shared output-grid bookkeeping: next sample index, the hard cap set
+/// once the observation window closes, and the emission buffer.
+#[derive(Debug, Clone)]
+struct OutputClock {
+    fs: f64,
+    next_k: usize,
+    /// `floor(duration * fs)` once known; `usize::MAX` while streaming.
+    limit: usize,
+    emitted: Vec<f64>,
+    total: usize,
+}
+
+impl OutputClock {
+    fn new(fs: f64) -> Self {
+        assert!(fs > 0.0, "output rate must be positive");
+        OutputClock {
+            fs,
+            next_k: 0,
+            limit: usize::MAX,
+            emitted: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The timestamp of the next undetermined sample, or `None` past the
+    /// duration cap.
+    fn next_t(&self) -> Option<f64> {
+        (self.next_k < self.limit).then(|| self.next_k as f64 / self.fs)
+    }
+
+    fn emit(&mut self, v: f64) {
+        self.emitted.push(v);
+        self.next_k += 1;
+        self.total += 1;
+    }
+
+    fn close(&mut self, duration_s: f64) {
+        let n_out = (duration_s * self.fs).floor().max(0.0) as usize;
+        self.limit = self.limit.min(n_out);
+    }
+}
+
+/// Streaming sliding-window event rate — the online
+/// [`RateReconstructor`] / [`sliding_rate`](crate::windowing::sliding_rate).
+///
+/// Keeps the events of the current window in a deque (`O(window ·
+/// rate)` memory); every sample costs amortised `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::event::{Event, EventStream};
+/// use datc_rx::online::{OnlineRateReconstructor, OnlineReconstructor};
+/// use datc_rx::windowing::sliding_rate;
+///
+/// let ev: Vec<Event> = (0..40)
+///     .map(|i| Event { tick: i, time_s: i as f64 * 0.025, vth_code: None })
+///     .collect();
+/// let stream = EventStream::new(ev, 1000.0, 1.0);
+/// let batch = sliding_rate(&stream, 0.25, 100.0);
+/// let online = OnlineRateReconstructor::new(0.25, 100.0).run_batch(&stream);
+/// assert_eq!(online, batch.samples()); // bit-exact
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineRateReconstructor {
+    window_s: f64,
+    clock: OutputClock,
+    /// Events pushed but not yet at/inside any emitted window.
+    incoming: VecDeque<f64>,
+    /// Events inside the current window (`(t - window, t]`).
+    in_window: VecDeque<f64>,
+}
+
+impl OnlineRateReconstructor {
+    /// Creates a streaming rate estimator over `window_s`-second windows,
+    /// emitting at `output_fs` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window or the output rate is not positive.
+    pub fn new(window_s: f64, output_fs: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        OnlineRateReconstructor {
+            window_s,
+            clock: OutputClock::new(output_fs),
+            incoming: VecDeque::new(),
+            in_window: VecDeque::new(),
+        }
+    }
+
+    /// Caps the output at `floor(duration_s * output_fs)` samples up
+    /// front (e.g. from a session header), so a watermark running past
+    /// the observation window cannot overshoot the batch trace.
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        self.clock.close(duration_s);
+        self
+    }
+
+    /// The sliding-window length in seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Emits every sample with `t_k` strictly below `up_to`, or all
+    /// remaining samples when `up_to` is `None`.
+    fn run(&mut self, up_to: Option<f64>) {
+        while let Some(t) = self.clock.next_t() {
+            if let Some(limit) = up_to {
+                if t >= limit {
+                    break;
+                }
+            }
+            // Same comparisons as the batch two-pointer sweep.
+            while let Some(&front) = self.incoming.front() {
+                if front <= t {
+                    self.in_window.push_back(front);
+                    self.incoming.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while let Some(&front) = self.in_window.front() {
+                if front <= t - self.window_s {
+                    self.in_window.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.clock.emit(self.in_window.len() as f64 / self.window_s);
+        }
+    }
+}
+
+impl From<&RateReconstructor> for OnlineRateReconstructor {
+    /// Builds the streaming counterpart of a batch [`RateReconstructor`]
+    /// at 100 Hz output (the experiments' default grid).
+    fn from(batch: &RateReconstructor) -> Self {
+        OnlineRateReconstructor::new(batch.window_s(), 100.0)
+    }
+}
+
+impl OnlineReconstructor for OnlineRateReconstructor {
+    fn output_fs(&self) -> f64 {
+        self.clock.fs
+    }
+
+    fn push_event(&mut self, time_s: f64) {
+        self.incoming.push_back(time_s);
+    }
+
+    fn advance_to(&mut self, watermark_s: f64) {
+        self.run(Some(watermark_s));
+    }
+
+    fn finish(&mut self, duration_s: f64) {
+        self.clock.close(duration_s);
+        self.run(None);
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<f64>) {
+        out.append(&mut self.clock.emitted);
+    }
+
+    fn emitted(&self) -> usize {
+        self.clock.total
+    }
+}
+
+/// Streaming exponentially-weighted event-rate estimate — the online
+/// [`ewma_rate`](crate::windowing::ewma_rate). `O(1)` state beyond the
+/// not-yet-absorbed event queue.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::event::{Event, EventStream};
+/// use datc_rx::online::{OnlineEwmaReconstructor, OnlineReconstructor};
+/// use datc_rx::windowing::ewma_rate;
+///
+/// let ev: Vec<Event> = (0..80)
+///     .map(|i| Event { tick: i, time_s: i as f64 * 0.0125, vth_code: None })
+///     .collect();
+/// let stream = EventStream::new(ev, 1000.0, 1.0);
+/// let batch = ewma_rate(&stream, 0.2, 200.0);
+/// let online = OnlineEwmaReconstructor::new(0.2, 200.0).run_batch(&stream);
+/// assert_eq!(online, batch.samples()); // bit-exact
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineEwmaReconstructor {
+    tau_s: f64,
+    alpha: f64,
+    level: f64,
+    clock: OutputClock,
+    incoming: VecDeque<f64>,
+}
+
+impl OnlineEwmaReconstructor {
+    /// Creates a streaming EWMA estimator with time constant `tau_s`,
+    /// emitting at `output_fs` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the time constant or the output rate is not positive.
+    pub fn new(tau_s: f64, output_fs: f64) -> Self {
+        assert!(tau_s > 0.0, "time constant must be positive");
+        let dt = 1.0 / output_fs;
+        OnlineEwmaReconstructor {
+            tau_s,
+            alpha: (-dt / tau_s).exp(),
+            level: 0.0,
+            clock: OutputClock::new(output_fs),
+            incoming: VecDeque::new(),
+        }
+    }
+
+    /// Caps the output at `floor(duration_s * output_fs)` samples up
+    /// front — see
+    /// [`OnlineRateReconstructor::with_duration`].
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        self.clock.close(duration_s);
+        self
+    }
+
+    /// The smoothing time constant in seconds.
+    pub fn tau_s(&self) -> f64 {
+        self.tau_s
+    }
+
+    fn run(&mut self, up_to: Option<f64>) {
+        while let Some(t) = self.clock.next_t() {
+            if let Some(limit) = up_to {
+                if t >= limit {
+                    break;
+                }
+            }
+            // Identical accumulation to the batch loop: impulses counted
+            // by repeated f64 increments, then one level update.
+            let mut impulses = 0.0;
+            while let Some(&front) = self.incoming.front() {
+                if front <= t {
+                    impulses += 1.0;
+                    self.incoming.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.level = self.alpha * self.level + impulses / self.tau_s;
+            self.clock.emit(self.level);
+        }
+    }
+}
+
+impl OnlineReconstructor for OnlineEwmaReconstructor {
+    fn output_fs(&self) -> f64 {
+        self.clock.fs
+    }
+
+    fn push_event(&mut self, time_s: f64) {
+        self.incoming.push_back(time_s);
+    }
+
+    fn advance_to(&mut self, watermark_s: f64) {
+        self.run(Some(watermark_s));
+    }
+
+    fn finish(&mut self, duration_s: f64) {
+        self.clock.close(duration_s);
+        self.run(None);
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<f64>) {
+        out.append(&mut self.clock.emitted);
+    }
+
+    fn emitted(&self) -> usize {
+        self.clock.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windowing::{ewma_rate, sliding_rate};
+    use datc_core::event::{Event, EventStream};
+
+    fn bursty_stream(seed: u64, duration_s: f64) -> EventStream {
+        // Deterministic irregular spacing without an RNG dependency.
+        let mut t = 0.0f64;
+        let mut x = seed | 1;
+        let mut ev = Vec::new();
+        let mut tick = 0u64;
+        while t < duration_s {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += 1e-4 + (x % 1000) as f64 * 5e-5;
+            if t >= duration_s {
+                break;
+            }
+            ev.push(Event {
+                tick,
+                time_s: t,
+                vth_code: Some((x % 16) as u8),
+            });
+            tick += 1;
+        }
+        EventStream::new(ev, 2000.0, duration_s)
+    }
+
+    #[test]
+    fn online_rate_is_bit_exact_with_batch() {
+        for seed in [3, 99, 1234] {
+            let s = bursty_stream(seed, 2.3);
+            let batch = sliding_rate(&s, 0.25, 100.0);
+            let online = OnlineRateReconstructor::new(0.25, 100.0).run_batch(&s);
+            assert_eq!(online, batch.samples(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn online_ewma_is_bit_exact_with_batch() {
+        for seed in [5, 42] {
+            let s = bursty_stream(seed, 1.7);
+            let batch = ewma_rate(&s, 0.1, 250.0);
+            let online = OnlineEwmaReconstructor::new(0.1, 250.0).run_batch(&s);
+            assert_eq!(online, batch.samples(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn incremental_watermarks_match_one_shot_finish() {
+        let s = bursty_stream(77, 2.0);
+        let mut incremental = OnlineRateReconstructor::new(0.2, 100.0);
+        let mut trace = Vec::new();
+        for e in &s {
+            incremental.push_event(e.time_s);
+            incremental.advance_to(e.time_s);
+            incremental.drain_into(&mut trace); // drain mid-stream too
+        }
+        incremental.finish(s.duration_s());
+        incremental.drain_into(&mut trace);
+        let batch = sliding_rate(&s, 0.2, 100.0);
+        assert_eq!(trace, batch.samples());
+    }
+
+    #[test]
+    fn watermark_emission_has_bounded_latency() {
+        let mut rx = OnlineRateReconstructor::new(0.25, 100.0);
+        rx.push_event(0.5);
+        rx.advance_to(0.5);
+        // every sample strictly below the watermark is out already
+        assert_eq!(rx.emitted(), 50);
+    }
+
+    #[test]
+    fn duration_cap_stops_overshooting_watermarks() {
+        let mut rx = OnlineRateReconstructor::new(0.25, 100.0).with_duration(1.0);
+        rx.push_event(5.0); // event far past the observation window
+        rx.advance_to(5.0);
+        rx.finish(1.0);
+        assert_eq!(rx.emitted(), 100);
+    }
+
+    #[test]
+    fn empty_feed_emits_silence() {
+        let mut rx = OnlineEwmaReconstructor::new(0.25, 100.0);
+        rx.finish(1.0);
+        let mut out = Vec::new();
+        rx.drain_into(&mut out);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_batch_rate_reconstructor() {
+        let online = OnlineRateReconstructor::from(&RateReconstructor::new(0.4));
+        assert_eq!(online.window_s(), 0.4);
+        assert_eq!(online.output_fs(), 100.0);
+    }
+}

@@ -32,3 +32,31 @@ pub use artifact::{generate_artifacts, ArtifactConfig};
 pub use force::{ForceProfile, ForceSegment};
 pub use semg::{ModulatedNoiseModel, MuapTrainModel, SemgGenerator, SemgModel};
 pub use subject::{SubjectParams, SubjectPool};
+
+/// The canonical multi-channel test workload: `channels` rectified sEMG
+/// recordings of the paper's MVC grip protocol at 2.5 kHz, seeded
+/// deterministically from `base_seed` and spanning subject gains 0.3 to
+/// 0.6 across the fleet. Benches, integration tests and examples share
+/// this one shape instead of re-rolling their own.
+///
+/// # Example
+///
+/// ```
+/// use datc_signal::generator::semg_fleet;
+/// let fleet = semg_fleet(4, 1.0, 42);
+/// assert_eq!(fleet.len(), 4);
+/// assert_eq!(fleet[0].sample_rate(), 2500.0);
+/// assert!(fleet[1].samples().iter().all(|&v| v >= 0.0)); // rectified
+/// ```
+pub fn semg_fleet(channels: usize, seconds: f64, base_seed: u64) -> Vec<crate::Signal> {
+    let fs = 2500.0;
+    let force = ForceProfile::mvc_protocol().samples(fs, seconds);
+    (0..channels)
+        .map(|c| {
+            SemgGenerator::new(SemgModel::modulated_noise(), fs)
+                .generate(&force, base_seed + c as u64)
+                .to_scaled(0.3 + 0.3 * (c as f64 / channels.max(1) as f64))
+                .to_rectified()
+        })
+        .collect()
+}

@@ -1,0 +1,106 @@
+//! Property tests for the receiver operating point: the SNR-derived
+//! symbol channel must degrade monotonically, and energy-detector
+//! calibration must place its threshold between the training classes.
+
+use datc_uwb::channel::SymbolChannel;
+use datc_uwb::modulator::{OokModulator, Symbol};
+use datc_uwb::pulse::GaussianPulse;
+use datc_uwb::receiver::EnergyDetector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn from_snr_db_error_rates_are_monotone_in_snr(
+        snr_lo in -10.0f64..30.0,
+        delta in 0.0f64..25.0,
+    ) {
+        // More SNR can never hurt: both error probabilities are
+        // non-increasing in SNR, stay in [0, 1], and the symmetric
+        // threshold makes them equal.
+        let worse = SymbolChannel::from_snr_db(snr_lo);
+        let better = SymbolChannel::from_snr_db(snr_lo + delta);
+        prop_assert!(worse.p_miss >= better.p_miss,
+            "p_miss rose with SNR: {} -> {}", worse.p_miss, better.p_miss);
+        prop_assert!(worse.p_false >= better.p_false,
+            "p_false rose with SNR: {} -> {}", worse.p_false, better.p_false);
+        for ch in [worse, better] {
+            prop_assert!((0.0..=1.0).contains(&ch.p_miss));
+            prop_assert_eq!(ch.p_miss, ch.p_false,
+                "symmetric operating point: miss == false-alarm");
+        }
+    }
+
+    #[test]
+    fn from_snr_db_limits_are_sane(snr in 25.0f64..60.0) {
+        // High SNR drives errors to (numerically) zero; the no-signal
+        // limit is the coin-flip operating point Q(0) = 1/2.
+        prop_assert!(SymbolChannel::from_snr_db(snr).p_miss < 1e-4);
+        let blind = SymbolChannel::from_snr_db(-200.0);
+        prop_assert!((blind.p_miss - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibrated_threshold_separates_the_training_sets(
+        pattern_seed in any::<u64>(),
+        amplitude in 0.2f64..2.0,
+        noise_rms in 1e-4f64..3e-3,
+    ) {
+        // A random OOK training burst through a mildly noisy channel:
+        // calibration must land the threshold strictly between the two
+        // class means and re-detect the training pattern exactly (the
+        // classes are well separated at these noise levels).
+        let fs = 10e9;
+        let period = 10e-9;
+        let mut x = pattern_seed | 1;
+        let syms: Vec<Symbol> = (0..48)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x & 1 == 1 { Symbol::Pulse } else { Symbol::Silence }
+            })
+            .collect();
+        let n_pulses = syms.iter().filter(|&&s| s == Symbol::Pulse).count();
+        if n_pulses == 0 || n_pulses == syms.len() {
+            continue; // calibration legitimately refuses one-class data
+        }
+
+        let pulse = GaussianPulse {
+            amplitude_v: amplitude,
+            ..GaussianPulse::paper_tx()
+        };
+        let m = OokModulator::new(pulse, period);
+        let tx = m.waveform(&syms, fs);
+        let noisy: Vec<f64> = {
+            let mut g = datc_signal::noise::GaussianNoise::new(pattern_seed ^ 0xA5A5);
+            tx.samples().iter().map(|&v| v + noise_rms * g.standard()).collect()
+        };
+        let rx = datc_signal::Signal::from_samples(noisy, fs);
+
+        let det = EnergyDetector::calibrate(period, &rx, &syms)
+            .expect("separable classes must calibrate");
+
+        // threshold strictly between the class mean energies
+        let energies = det.slot_energies(&rx);
+        let mean = |class: Symbol| {
+            let vals: Vec<f64> = energies
+                .iter()
+                .zip(&syms)
+                .filter(|(_, &s)| s == class)
+                .map(|(&e, _)| e)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let (m_on, m_off) = (mean(Symbol::Pulse), mean(Symbol::Silence));
+        prop_assert!(m_off < det.threshold && det.threshold < m_on,
+            "threshold {} outside ({m_off}, {m_on})", det.threshold);
+
+        // and it separates the training sets: zero errors on re-detect
+        // (detect may append one partial slot past the last symbol)
+        let decoded = det.detect(&rx);
+        prop_assert_eq!(&decoded[..syms.len()], &syms[..],
+            "training burst must re-decode exactly");
+    }
+}

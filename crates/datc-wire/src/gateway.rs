@@ -1,0 +1,449 @@
+//! The multi-session telemetry gateway: a TCP loopback ingest point
+//! multiplexing many concurrent sensor sessions.
+//!
+//! Architecture: one acceptor thread owns the listener; every accepted
+//! connection gets a worker thread running a [`SessionRx`] pipeline
+//! (decode → demux → online reconstruct) over the socket's byte stream;
+//! finished sessions land in a shared session table the owner inspects
+//! with [`TelemetryHub::snapshot`]. The transmit side is
+//! [`SessionSender`] (one session per connection) plus the
+//! [`stream_fleet`] convenience that pushes a whole
+//! [`FleetOutput`] through one session.
+
+use crate::packet::{Packetizer, SessionHeader};
+use crate::session::{SessionReport, SessionRx, SessionRxConfig};
+use datc_engine::FleetOutput;
+use datc_uwb::aer::AddressedEvent;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Gateway tuning.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::gateway::HubConfig;
+/// let cfg = HubConfig::default();
+/// assert_eq!(cfg.session.output_fs, 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HubConfig {
+    /// Per-session receive pipeline settings.
+    pub session: SessionRxConfig,
+}
+
+/// A finished session as recorded in the hub's session table.
+#[derive(Debug, Clone)]
+pub struct HubSession {
+    /// The session id from the HELLO (0 when none arrived).
+    pub session_id: u32,
+    /// Bytes read off the socket.
+    pub bytes_received: u64,
+    /// The full session report (stats + force traces).
+    pub report: SessionReport,
+}
+
+/// A telemetry ingest gateway bound to a local TCP address.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::Event;
+/// use datc_uwb::aer::AddressedEvent;
+/// use datc_wire::gateway::{HubConfig, SessionSender, TelemetryHub};
+/// use datc_wire::packet::SessionHeader;
+///
+/// let hub = TelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+/// let header = SessionHeader::new(77, 1, 2000.0, 1.0);
+/// let events: Vec<AddressedEvent> = (0..40)
+///     .map(|i| AddressedEvent {
+///         channel: 0,
+///         event: Event::at_tick(i * 50, header.tick_period_s, Some(3)),
+///     })
+///     .collect();
+/// let mut tx = SessionSender::connect(hub.local_addr(), header).unwrap();
+/// tx.send_events(&events).unwrap();
+/// tx.finish().unwrap();
+/// let sessions = hub.shutdown();
+/// assert_eq!(sessions.len(), 1);
+/// assert_eq!(sessions[0].report.stats.events_decoded, 40);
+/// assert_eq!(sessions[0].report.stats.events_lost, 0);
+/// ```
+#[derive(Debug)]
+pub struct TelemetryHub {
+    addr: SocketAddr,
+    sessions: Arc<Mutex<HashMap<u64, HubSession>>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TelemetryHub {
+    /// Binds a listener (use port 0 for an ephemeral port) and starts
+    /// accepting sessions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: HubConfig) -> std::io::Result<TelemetryHub> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let sessions: Arc<Mutex<HashMap<u64, HubSession>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let sessions = Arc::clone(&sessions);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, config, sessions, stop))
+        };
+        Ok(TelemetryHub {
+            addr,
+            sessions,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (the port to point senders at).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of *finished* sessions in the table.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// Clones the current session table (finished sessions only;
+    /// in-flight connections appear once their socket closes).
+    pub fn snapshot(&self) -> Vec<HubSession> {
+        let table = self.sessions.lock().expect("session table poisoned");
+        let mut all: Vec<HubSession> = table.values().cloned().collect();
+        all.sort_by_key(|s| s.session_id);
+        all
+    }
+
+    /// Stops accepting, waits for every in-flight session to finish, and
+    /// returns the final session table. Connections already established
+    /// when shutdown starts are still served to completion.
+    pub fn shutdown(mut self) -> Vec<HubSession> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.snapshot()
+    }
+}
+
+impl Drop for TelemetryHub {
+    fn drop(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: HubConfig,
+    sessions: Arc<Mutex<HashMap<u64, HubSession>>>,
+    stop: Arc<AtomicBool>,
+) {
+    // Non-blocking accept + short poll: a blocking accept could not be
+    // woken for shutdown without racing real connections still sitting
+    // in the kernel backlog.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    // Connection ids key the session table so two sessions announcing
+    // the same session id cannot overwrite each other.
+    let conn_ids = AtomicU64::new(0);
+    let mut stopping = false;
+    loop {
+        match listener.accept() {
+            Ok((socket, _peer)) => {
+                // Workers must block on reads regardless of what the
+                // accepted socket inherited.
+                if socket.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let sessions = Arc::clone(&sessions);
+                let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(conn_id, socket, config, &sessions)
+                }));
+                // Reap finished workers so long-running hubs don't
+                // accumulate handles.
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stopping {
+                    break; // backlog drained after the stop request
+                }
+                if stop.load(Ordering::SeqCst) {
+                    stopping = true; // one more pass to drain the backlog
+                    continue;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(
+    conn_id: u64,
+    mut socket: TcpStream,
+    config: HubConfig,
+    sessions: &Mutex<HashMap<u64, HubSession>>,
+) {
+    let mut rx = SessionRx::new(config.session);
+    let mut bytes_received = 0u64;
+    let mut buf = [0u8; 4096];
+    loop {
+        match socket.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                bytes_received += n as u64;
+                rx.push_bytes(&buf[..n]);
+            }
+            Err(_) => break,
+        }
+    }
+    let report = rx.finish();
+    let session_id = report.header.map_or(0, |h| h.session_id);
+    let mut table = sessions.lock().expect("session table poisoned");
+    table.insert(
+        conn_id,
+        HubSession {
+            session_id,
+            bytes_received,
+            report,
+        },
+    );
+}
+
+/// Client-side counters a finished sender reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Events packetised and written.
+    pub events_sent: u64,
+    /// Frames written (HELLO + DATA + BYE).
+    pub frames_sent: u64,
+    /// Wire bytes written, framing included.
+    pub bytes_sent: u64,
+}
+
+/// One transmit session over one TCP connection.
+///
+/// # Example
+///
+/// ```no_run
+/// use datc_wire::gateway::SessionSender;
+/// use datc_wire::packet::SessionHeader;
+///
+/// let header = SessionHeader::new(1, 4, 2000.0, 20.0);
+/// let mut tx = SessionSender::connect("127.0.0.1:9000", header).unwrap();
+/// tx.send_events(&[]).unwrap();
+/// let report = tx.finish().unwrap();
+/// assert_eq!(report.events_sent, 0);
+/// ```
+#[derive(Debug)]
+pub struct SessionSender {
+    socket: TcpStream,
+    packetizer: Packetizer,
+}
+
+impl SessionSender {
+    /// Connects and sends the HELLO.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/write failures.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        header: SessionHeader,
+    ) -> std::io::Result<SessionSender> {
+        let mut socket = TcpStream::connect(addr)?;
+        let mut packetizer = Packetizer::new(header);
+        socket.write_all(&packetizer.hello())?;
+        Ok(SessionSender { socket, packetizer })
+    }
+
+    /// Packetises and writes a run of (tick-ordered) events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_events(&mut self, events: &[AddressedEvent]) -> std::io::Result<()> {
+        for frame in self.packetizer.data_frames(events) {
+            self.socket.write_all(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the BYE, flushes and half-closes the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/shutdown failures.
+    pub fn finish(mut self) -> std::io::Result<ClientReport> {
+        let bye = self.packetizer.bye();
+        self.socket.write_all(&bye)?;
+        self.socket.flush()?;
+        self.socket.shutdown(std::net::Shutdown::Write)?;
+        Ok(ClientReport {
+            events_sent: self.packetizer.events_sent(),
+            frames_sent: self.packetizer.frames_emitted(),
+            bytes_sent: self.packetizer.bytes_emitted(),
+        })
+    }
+}
+
+/// Streams a whole fleet encode through one gateway session: merges the
+/// per-channel streams onto one AER order (dead time `dead_time_s`) and
+/// sends the result.
+///
+/// # Errors
+///
+/// Propagates connection/write failures.
+///
+/// # Panics
+///
+/// Panics when the fleet is empty or has more than 256 channels.
+pub fn stream_fleet<A: ToSocketAddrs>(
+    addr: A,
+    session_id: u32,
+    fleet: &FleetOutput,
+    dead_time_s: f64,
+) -> std::io::Result<ClientReport> {
+    let first = fleet
+        .channels
+        .first()
+        .expect("fleet must have at least one channel");
+    let header = SessionHeader::new(
+        session_id,
+        u16::try_from(fleet.channel_count()).expect("≤ 256 channels per AER session"),
+        first.events.tick_rate_hz(),
+        first.events.duration_s(),
+    );
+    let merged = fleet.merge_aer(dead_time_s);
+    let mut tx = SessionSender::connect(addr, header)?;
+    tx.send_events(&merged.merged)?;
+    tx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datc_core::{DatcConfig, Event, TraceLevel};
+    use datc_engine::FleetRunner;
+    use datc_signal::Signal;
+
+    fn hub() -> TelemetryHub {
+        TelemetryHub::bind("127.0.0.1:0", HubConfig::default()).expect("bind loopback")
+    }
+
+    #[test]
+    fn single_session_round_trips_through_the_hub() {
+        let hub = hub();
+        let header = SessionHeader::new(42, 2, 2000.0, 2.0);
+        let events: Vec<AddressedEvent> = (0..150)
+            .map(|i| AddressedEvent {
+                channel: (i % 2) as u8,
+                event: Event::at_tick(i * 17, header.tick_period_s, Some((i % 16) as u8)),
+            })
+            .collect();
+        let mut tx = SessionSender::connect(hub.local_addr(), header).unwrap();
+        tx.send_events(&events).unwrap();
+        let client = tx.finish().unwrap();
+        assert_eq!(client.events_sent, 150);
+
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.session_id, 42);
+        assert_eq!(s.bytes_received, client.bytes_sent);
+        assert_eq!(s.report.stats.events_decoded, 150);
+        assert_eq!(s.report.stats.events_lost, 0);
+        assert!(s.report.stats.closed);
+        assert!(s.report.force_is_finite());
+    }
+
+    #[test]
+    fn many_concurrent_sessions_all_land_in_the_table() {
+        let hub = hub();
+        let addr = hub.local_addr();
+        let n_sessions = 8u32;
+        let handles: Vec<_> = (0..n_sessions)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let header = SessionHeader::new(id, 1, 2000.0, 1.0);
+                    let events: Vec<AddressedEvent> = (0..60)
+                        .map(|i| AddressedEvent {
+                            channel: 0,
+                            event: Event::at_tick(
+                                i * 31 + u64::from(id),
+                                header.tick_period_s,
+                                None,
+                            ),
+                        })
+                        .collect();
+                    let mut tx = SessionSender::connect(addr, header).unwrap();
+                    tx.send_events(&events).unwrap();
+                    tx.finish().unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), n_sessions as usize);
+        for s in &sessions {
+            assert_eq!(
+                s.report.stats.events_decoded, 60,
+                "session {}",
+                s.session_id
+            );
+            assert_eq!(s.report.stats.events_lost, 0);
+        }
+    }
+
+    #[test]
+    fn fleet_output_streams_through_one_session() {
+        let signals: Vec<Signal> = (0..4)
+            .map(|c| {
+                Signal::from_fn(2500.0, 1.0, move |t| {
+                    ((t * (40.0 + 9.0 * c as f64)).sin()).abs() * 0.4
+                })
+            })
+            .collect();
+        let fleet = FleetRunner::new(DatcConfig::paper().with_trace_level(TraceLevel::Events), 4)
+            .unwrap()
+            .encode(&signals);
+        let merged_events = fleet.merge_aer(25e-6).merged.len() as u64;
+
+        let hub = hub();
+        let client = stream_fleet(hub.local_addr(), 7, &fleet, 25e-6).unwrap();
+        assert_eq!(client.events_sent, merged_events);
+
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].report.stats.events_decoded, merged_events);
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert_eq!(sessions[0].report.force.len(), 4);
+        assert!(sessions[0].report.force_is_finite());
+    }
+}

@@ -1,0 +1,584 @@
+//! Payload codecs and the transmit-side [`Packetizer`].
+//!
+//! Three payload formats ride inside the [`crate::frame`] framing:
+//!
+//! **HELLO** (30 bytes, fixed): `session_id:u32 LE`, `n_channels:u16 LE`
+//! (1–256), then the session timebase as raw IEEE-754 bit patterns —
+//! `tick_rate_hz`, `tick_period_s`, `duration_s` (each `u64 LE`).
+//! Carrying the period *bits* (not recomputing `1/rate` at the receiver)
+//! is what makes decoded timestamps bit-identical to the encoder's.
+//!
+//! **DATA** (variable): `first_index:varint` (cumulative event index of
+//! the first event in the session — the loss-accounting backbone),
+//! `n_events:varint`, then per event:
+//!
+//! ```text
+//!  addr:u8   key:u8   [delta_ext:varint]   [code:u8]
+//!  key: bit7 = code present, bit6 = delta_ext follows,
+//!       bits 5..0 = low 6 bits of the tick delta
+//!  delta = low6 | delta_ext << 6
+//! ```
+//!
+//! The first event's delta is its *absolute* tick (packets are
+//! self-contained — losing one never corrupts the next); later deltas
+//! are relative to the previous event in the same packet. A typical
+//! D-ATC event costs 3 bytes (address + key + code) plus one
+//! `delta_ext` byte when the gap exceeds 63 ticks.
+//!
+//! **BYE** (variable): `total_events:varint`, `n_channels:varint`, then
+//! one sent-count varint per channel — the receiver subtracts its own
+//! tallies for exact per-channel loss.
+
+use crate::frame::{encode_frame, FrameType, HEADER_LEN, MAX_PAYLOAD};
+use crate::varint::{read_varint, write_varint};
+use datc_uwb::aer::AddressedEvent;
+
+/// Everything a receiver needs to turn tick-domain events back into
+/// timestamped [`Event`](datc_core::Event)s, announced once per session.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::packet::SessionHeader;
+/// let h = SessionHeader::new(7, 4, 2000.0, 20.0);
+/// assert_eq!(h.tick_period_s, 1.0 / 2000.0);
+/// let bytes = h.encode();
+/// assert_eq!(SessionHeader::decode(&bytes), Some(h));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionHeader {
+    /// Session identifier (unique per sensor connection).
+    pub session_id: u32,
+    /// Number of AER channels multiplexed in this session (1–256).
+    pub n_channels: u16,
+    /// The tick rate the `tick` fields count at, Hz.
+    pub tick_rate_hz: f64,
+    /// Seconds per tick — the *exact* factor the transmitter multiplied
+    /// ticks by, so `time = tick * tick_period_s` reproduces its
+    /// timestamps bit-for-bit.
+    pub tick_period_s: f64,
+    /// Observation-window length, seconds.
+    pub duration_s: f64,
+}
+
+/// Encoded HELLO payload length.
+pub const HELLO_LEN: usize = 30;
+
+impl SessionHeader {
+    /// Builds a header with the canonical period `1 / tick_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_channels` is outside 1–256 or the rate/duration is
+    /// not positive and finite.
+    pub fn new(session_id: u32, n_channels: u16, tick_rate_hz: f64, duration_s: f64) -> Self {
+        assert!(
+            (1..=256).contains(&n_channels),
+            "AER sessions carry 1–256 channels, got {n_channels}"
+        );
+        assert!(
+            tick_rate_hz > 0.0 && tick_rate_hz.is_finite(),
+            "tick rate must be positive and finite"
+        );
+        assert!(
+            duration_s > 0.0 && duration_s.is_finite(),
+            "duration must be positive and finite"
+        );
+        SessionHeader {
+            session_id,
+            n_channels,
+            tick_rate_hz,
+            tick_period_s: 1.0 / tick_rate_hz,
+            duration_s,
+        }
+    }
+
+    /// Serialises the HELLO payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HELLO_LEN);
+        out.extend_from_slice(&self.session_id.to_le_bytes());
+        out.extend_from_slice(&self.n_channels.to_le_bytes());
+        out.extend_from_slice(&self.tick_rate_hz.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.tick_period_s.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.duration_s.to_bits().to_le_bytes());
+        out
+    }
+
+    /// Parses a HELLO payload; `None` on wrong length or invalid fields.
+    pub fn decode(payload: &[u8]) -> Option<SessionHeader> {
+        if payload.len() != HELLO_LEN {
+            return None;
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
+        let header = SessionHeader {
+            session_id: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+            n_channels: u16::from_le_bytes(payload[4..6].try_into().unwrap()),
+            tick_rate_hz: f64::from_bits(u64_at(6)),
+            tick_period_s: f64::from_bits(u64_at(14)),
+            duration_s: f64::from_bits(u64_at(22)),
+        };
+        let valid = (1..=256).contains(&header.n_channels)
+            && header.tick_rate_hz > 0.0
+            && header.tick_rate_hz.is_finite()
+            && header.tick_period_s > 0.0
+            && header.tick_period_s.is_finite()
+            && header.duration_s > 0.0
+            && header.duration_s.is_finite();
+        valid.then_some(header)
+    }
+}
+
+/// One event as it travels on the wire: address + absolute tick +
+/// optional threshold code. Time is *derived* at the receiver from the
+/// session timebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEvent {
+    /// AER channel address.
+    pub addr: u8,
+    /// Absolute clock tick.
+    pub tick: u64,
+    /// Threshold code, when the event carries one (D-ATC).
+    pub code: Option<u8>,
+}
+
+/// A decoded DATA payload: the packet's position in the session's event
+/// sequence plus its events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Cumulative index (within the session) of the first event.
+    pub first_index: u64,
+    /// The events, tick-ordered.
+    pub events: Vec<WireEvent>,
+}
+
+const KEY_HAS_CODE: u8 = 0x80;
+const KEY_EXT: u8 = 0x40;
+const KEY_DELTA_MASK: u8 = 0x3F;
+
+/// Serialises one DATA payload from a tick-ordered event run.
+///
+/// # Panics
+///
+/// Panics when `events` is not tick-ordered (deltas would be negative).
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::packet::{decode_data, encode_data, WireEvent};
+/// let events = vec![
+///     WireEvent { addr: 0, tick: 1000, code: Some(7) },
+///     WireEvent { addr: 3, tick: 1010, code: None },
+/// ];
+/// let payload = encode_data(42, &events);
+/// let packet = decode_data(&payload).unwrap();
+/// assert_eq!(packet.first_index, 42);
+/// assert_eq!(packet.events, events);
+/// ```
+pub fn encode_data(first_index: u64, events: &[WireEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + 4 * events.len());
+    write_varint(first_index, &mut out);
+    write_varint(events.len() as u64, &mut out);
+    let mut prev_tick: Option<u64> = None;
+    for e in events {
+        let delta = match prev_tick {
+            None => e.tick, // self-contained: absolute tick
+            Some(p) => e
+                .tick
+                .checked_sub(p)
+                .expect("events must be tick-ordered within a packet"),
+        };
+        prev_tick = Some(e.tick);
+        out.push(e.addr);
+        let low = (delta & u64::from(KEY_DELTA_MASK)) as u8;
+        let ext = delta >> 6;
+        let mut key = low;
+        if ext > 0 {
+            key |= KEY_EXT;
+        }
+        if e.code.is_some() {
+            key |= KEY_HAS_CODE;
+        }
+        out.push(key);
+        if ext > 0 {
+            write_varint(ext, &mut out);
+        }
+        if let Some(c) = e.code {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a DATA payload; `None` on truncation, trailing garbage or
+/// varint overflow.
+pub fn decode_data(payload: &[u8]) -> Option<DataPacket> {
+    let (first_index, mut off) = read_varint(payload)?;
+    let (n, used) = read_varint(&payload[off..])?;
+    off += used;
+    let mut events = Vec::with_capacity(n.min(MAX_PAYLOAD as u64) as usize);
+    let mut prev_tick: Option<u64> = None;
+    for _ in 0..n {
+        let addr = *payload.get(off)?;
+        let key = *payload.get(off + 1)?;
+        off += 2;
+        let mut delta = u64::from(key & KEY_DELTA_MASK);
+        if key & KEY_EXT != 0 {
+            let (ext, used) = read_varint(&payload[off..])?;
+            off += used;
+            delta |= ext.checked_shl(6).filter(|&v| v >> 6 == ext)?;
+        }
+        let code = if key & KEY_HAS_CODE != 0 {
+            let c = *payload.get(off)?;
+            off += 1;
+            Some(c)
+        } else {
+            None
+        };
+        let tick = match prev_tick {
+            None => delta,
+            Some(p) => p.checked_add(delta)?,
+        };
+        prev_tick = Some(tick);
+        events.push(WireEvent { addr, tick, code });
+    }
+    (off == payload.len()).then_some(DataPacket {
+        first_index,
+        events,
+    })
+}
+
+/// Per-channel sent totals announced at session close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByeSummary {
+    /// Events sent over the whole session.
+    pub total_events: u64,
+    /// Events sent per channel (`n_channels` entries).
+    pub per_channel: Vec<u64>,
+}
+
+impl ByeSummary {
+    /// Serialises the BYE payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 2 * self.per_channel.len());
+        write_varint(self.total_events, &mut out);
+        write_varint(self.per_channel.len() as u64, &mut out);
+        for &c in &self.per_channel {
+            write_varint(c, &mut out);
+        }
+        out
+    }
+
+    /// Parses a BYE payload; `None` on truncation or trailing garbage.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use datc_wire::packet::ByeSummary;
+    /// let bye = ByeSummary { total_events: 10, per_channel: vec![4, 6] };
+    /// assert_eq!(ByeSummary::decode(&bye.encode()), Some(bye));
+    /// ```
+    pub fn decode(payload: &[u8]) -> Option<ByeSummary> {
+        let (total_events, mut off) = read_varint(payload)?;
+        let (n, used) = read_varint(&payload[off..])?;
+        off += used;
+        if n > 256 {
+            return None;
+        }
+        let mut per_channel = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (c, used) = read_varint(&payload[off..])?;
+            off += used;
+            per_channel.push(c);
+        }
+        (off == payload.len()).then_some(ByeSummary {
+            total_events,
+            per_channel,
+        })
+    }
+}
+
+/// Transmit-side state machine: splits an addressed-event stream into
+/// framed HELLO / DATA / BYE byte chunks, tracking sequence numbers,
+/// cumulative indices and the per-channel totals the BYE announces.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::Event;
+/// use datc_uwb::aer::AddressedEvent;
+/// use datc_wire::packet::{Packetizer, SessionHeader};
+///
+/// let header = SessionHeader::new(1, 2, 2000.0, 1.0);
+/// let mut tx = Packetizer::new(header);
+/// let events: Vec<AddressedEvent> = (0..100)
+///     .map(|i| AddressedEvent {
+///         channel: (i % 2) as u8,
+///         event: Event::at_tick(i * 7, header.tick_period_s, Some(3)),
+///     })
+///     .collect();
+/// let mut wire = tx.hello();
+/// for frame in tx.data_frames(&events) {
+///     wire.extend_from_slice(&frame);
+/// }
+/// wire.extend_from_slice(&tx.bye());
+/// assert_eq!(tx.events_sent(), 100);
+/// assert!(tx.bytes_emitted() as usize >= wire.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Packetizer {
+    header: SessionHeader,
+    seq: u16,
+    next_index: u64,
+    last_tick: Option<u64>,
+    per_channel_sent: Vec<u64>,
+    max_events_per_frame: usize,
+    frames: u64,
+    bytes: u64,
+}
+
+/// Default events per DATA frame (a full frame stays ~300 bytes).
+pub const DEFAULT_EVENTS_PER_FRAME: usize = 64;
+
+impl Packetizer {
+    /// Creates a packetizer for one session.
+    pub fn new(header: SessionHeader) -> Self {
+        Packetizer {
+            header,
+            seq: 0,
+            next_index: 0,
+            last_tick: None,
+            per_channel_sent: vec![0; usize::from(header.n_channels)],
+            max_events_per_frame: DEFAULT_EVENTS_PER_FRAME,
+            frames: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Overrides the events-per-DATA-frame cap (clamped to at least 1;
+    /// the frame's worst-case encoding must fit `MAX_PAYLOAD`).
+    pub fn with_events_per_frame(mut self, n: usize) -> Self {
+        // addr + key + 10-byte delta ext + code = 13 bytes worst case,
+        // plus ~22 bytes of indices.
+        let cap = (MAX_PAYLOAD - 22) / 13;
+        self.max_events_per_frame = n.clamp(1, cap);
+        self
+    }
+
+    /// The session header this packetizer announces.
+    pub fn header(&self) -> &SessionHeader {
+        &self.header
+    }
+
+    /// Builds the framed HELLO chunk (send first).
+    pub fn hello(&mut self) -> Vec<u8> {
+        self.frame(FrameType::Hello, &self.header.encode())
+    }
+
+    /// Splits `events` into framed DATA chunks. Call repeatedly with
+    /// successive runs of the (tick-ordered) session stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an event address is outside the announced channel
+    /// count or ticks run backwards across/within calls.
+    pub fn data_frames(&mut self, events: &[AddressedEvent]) -> Vec<Vec<u8>> {
+        let mut frames = Vec::with_capacity(events.len() / self.max_events_per_frame + 1);
+        for chunk in events.chunks(self.max_events_per_frame) {
+            let wire_events: Vec<WireEvent> = chunk
+                .iter()
+                .map(|ae| {
+                    assert!(
+                        usize::from(ae.channel) < self.per_channel_sent.len(),
+                        "event address {} outside the session's {} channels",
+                        ae.channel,
+                        self.per_channel_sent.len()
+                    );
+                    assert!(
+                        self.last_tick.is_none_or(|t| ae.event.tick >= t),
+                        "events must be tick-ordered across the session"
+                    );
+                    self.last_tick = Some(ae.event.tick);
+                    self.per_channel_sent[usize::from(ae.channel)] += 1;
+                    WireEvent {
+                        addr: ae.channel,
+                        tick: ae.event.tick,
+                        code: ae.event.vth_code,
+                    }
+                })
+                .collect();
+            let payload = encode_data(self.next_index, &wire_events);
+            self.next_index += wire_events.len() as u64;
+            frames.push(self.frame(FrameType::Data, &payload));
+        }
+        frames
+    }
+
+    /// Builds the framed BYE chunk (send last).
+    pub fn bye(&mut self) -> Vec<u8> {
+        let bye = ByeSummary {
+            total_events: self.next_index,
+            per_channel: self.per_channel_sent.clone(),
+        };
+        self.frame(FrameType::Bye, &bye.encode())
+    }
+
+    /// Events packetised so far.
+    pub fn events_sent(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Frames emitted so far (all types).
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total wire bytes emitted so far, framing included.
+    pub fn bytes_emitted(&self) -> u64 {
+        self.bytes
+    }
+
+    fn frame(&mut self, ftype: FrameType, payload: &[u8]) -> Vec<u8> {
+        let bytes = encode_frame(ftype, self.seq, payload);
+        self.seq = self.seq.wrapping_add(1);
+        self.frames += 1;
+        self.bytes += bytes.len() as u64;
+        bytes
+    }
+}
+
+/// Convenience: packetises a whole session (HELLO + DATA + BYE) into one
+/// contiguous wire image — the shape a lossless transport like the TCP
+/// gateway sends.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::packet::{encode_session, SessionHeader};
+/// let header = SessionHeader::new(9, 1, 2000.0, 1.0);
+/// let wire = encode_session(header, &[]);
+/// assert!(wire.len() > 30); // hello + empty-session bye
+/// ```
+pub fn encode_session(header: SessionHeader, events: &[AddressedEvent]) -> Vec<u8> {
+    let mut tx = Packetizer::new(header);
+    let mut out = tx.hello();
+    for f in tx.data_frames(events) {
+        out.extend_from_slice(&f);
+    }
+    let bye = tx.bye();
+    out.extend_from_slice(&bye);
+    out
+}
+
+/// Rough per-event wire cost of a run of events, in bytes (framing
+/// amortised over `DEFAULT_EVENTS_PER_FRAME`-event packets) — the
+/// number the README's bytes-per-event table reports.
+pub fn bytes_per_event(events: &[AddressedEvent], header: SessionHeader) -> f64 {
+    if events.is_empty() {
+        return 0.0;
+    }
+    let mut tx = Packetizer::new(header);
+    let total: usize = tx.data_frames(events).iter().map(Vec::len).sum();
+    total as f64 / events.len() as f64
+}
+
+// keep HEADER_LEN linked for the doc comment above
+const _: usize = HEADER_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u8, tick: u64, code: Option<u8>) -> WireEvent {
+        WireEvent { addr, tick, code }
+    }
+
+    #[test]
+    fn data_round_trip_with_mixed_codes_and_gaps() {
+        let events = vec![
+            ev(0, 0, None),
+            ev(255, 0, Some(255)),
+            ev(3, 63, None),
+            ev(3, 64, Some(0)),
+            ev(7, 1_000_000, Some(15)),
+            ev(7, u64::MAX, None),
+        ];
+        let payload = encode_data(999, &events);
+        let packet = decode_data(&payload).unwrap();
+        assert_eq!(packet.first_index, 999);
+        assert_eq!(packet.events, events);
+    }
+
+    #[test]
+    fn small_delta_coded_event_is_three_bytes() {
+        // addr + key + code, no extension byte for deltas < 64
+        let payload = encode_data(0, &[ev(1, 0, Some(9)), ev(1, 63, Some(9))]);
+        let index_overhead = 2; // two 1-byte varints
+        assert_eq!(payload.len(), index_overhead + 3 + 3);
+    }
+
+    #[test]
+    fn truncated_or_padded_data_rejected() {
+        let payload = encode_data(0, &[ev(0, 100, Some(3)), ev(1, 200, None)]);
+        for cut in 1..payload.len() {
+            assert_eq!(decode_data(&payload[..cut]), None, "cut {cut}");
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(decode_data(&padded), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick-ordered")]
+    fn backwards_ticks_rejected() {
+        let _ = encode_data(0, &[ev(0, 10, None), ev(0, 9, None)]);
+    }
+
+    #[test]
+    fn hello_rejects_corrupt_fields() {
+        let h = SessionHeader::new(1, 256, 2000.0, 20.0);
+        let good = h.encode();
+        assert_eq!(SessionHeader::decode(&good), Some(h));
+        let mut bad = good.clone();
+        bad[4] = 0x00;
+        bad[5] = 0x00; // zero channels
+        assert_eq!(SessionHeader::decode(&bad), None);
+        assert_eq!(SessionHeader::decode(&good[..29]), None);
+    }
+
+    #[test]
+    fn packetizer_splits_and_accounts() {
+        let header = SessionHeader::new(5, 3, 2000.0, 2.0);
+        let mut tx = Packetizer::new(header).with_events_per_frame(10);
+        let events: Vec<AddressedEvent> = (0..25)
+            .map(|i| AddressedEvent {
+                channel: (i % 3) as u8,
+                event: datc_core::Event::at_tick(i * 11, header.tick_period_s, None),
+            })
+            .collect();
+        let frames = tx.data_frames(&events);
+        assert_eq!(frames.len(), 3); // 10 + 10 + 5
+        assert_eq!(tx.events_sent(), 25);
+        let bye = tx.bye();
+        let parsed = match crate::frame::parse_frame(&bye) {
+            crate::frame::ParseOutcome::Frame { frame, .. } => {
+                ByeSummary::decode(frame.payload).unwrap()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(parsed.total_events, 25);
+        assert_eq!(parsed.per_channel, vec![9, 8, 8]);
+    }
+
+    #[test]
+    fn bytes_per_event_is_compact() {
+        let header = SessionHeader::new(1, 8, 2000.0, 2.0);
+        let events: Vec<AddressedEvent> = (0..512)
+            .map(|i| AddressedEvent {
+                channel: (i % 8) as u8,
+                event: datc_core::Event::at_tick(i * 20, header.tick_period_s, Some(7)),
+            })
+            .collect();
+        let bpe = bytes_per_event(&events, header);
+        assert!(bpe < 5.0, "bytes/event {bpe}");
+    }
+}

@@ -1,0 +1,264 @@
+//! One receive session end-to-end: byte stream → [`StreamDecoder`] →
+//! per-channel [`OnlineRateReconstructor`]s → force traces.
+//!
+//! This is the unit of work a gateway worker runs per connection; it is
+//! equally usable standalone (e.g. replaying a capture file).
+
+use crate::decode::{StreamDecoder, WireStats};
+use crate::packet::SessionHeader;
+use datc_rx::online::{OnlineRateReconstructor, OnlineReconstructor};
+use datc_uwb::aer::AddressedEvent;
+
+/// Tuning for a receive session.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::session::SessionRxConfig;
+/// let cfg = SessionRxConfig::default();
+/// assert_eq!(cfg.output_fs, 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionRxConfig {
+    /// Sliding-rate window fed to each channel's reconstructor, seconds.
+    pub window_s: f64,
+    /// Force output rate per channel, Hz.
+    pub output_fs: f64,
+    /// Reorder-buffer depth handed to the [`StreamDecoder`].
+    pub reorder_window: usize,
+}
+
+impl Default for SessionRxConfig {
+    fn default() -> Self {
+        SessionRxConfig {
+            window_s: 0.25,
+            output_fs: 100.0,
+            reorder_window: crate::decode::DEFAULT_REORDER_WINDOW,
+        }
+    }
+}
+
+/// Everything a finished session produced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The announced session header (absent when no HELLO ever arrived).
+    pub header: Option<SessionHeader>,
+    /// Final decoder counters.
+    pub stats: WireStats,
+    /// Per-channel force traces at
+    /// [`output_fs`](SessionRxConfig::output_fs).
+    pub force: Vec<Vec<f64>>,
+}
+
+impl SessionReport {
+    /// `true` when every force sample on every channel is finite — the
+    /// loss-tolerance acceptance gate.
+    pub fn force_is_finite(&self) -> bool {
+        self.force.iter().all(|ch| ch.iter().all(|v| v.is_finite()))
+    }
+
+    /// Total force samples across channels.
+    pub fn force_samples(&self) -> usize {
+        self.force.iter().map(Vec::len).sum()
+    }
+}
+
+/// Streaming receive pipeline for one session.
+///
+/// # Example
+///
+/// ```
+/// use datc_core::Event;
+/// use datc_uwb::aer::AddressedEvent;
+/// use datc_wire::packet::{encode_session, SessionHeader};
+/// use datc_wire::session::{SessionRx, SessionRxConfig};
+///
+/// let header = SessionHeader::new(3, 2, 2000.0, 2.0);
+/// let events: Vec<AddressedEvent> = (0..200)
+///     .map(|i| AddressedEvent {
+///         channel: (i % 2) as u8,
+///         event: Event::at_tick(i * 19, header.tick_period_s, Some(5)),
+///     })
+///     .collect();
+/// let wire = encode_session(header, &events);
+///
+/// let mut rx = SessionRx::new(SessionRxConfig::default());
+/// for chunk in wire.chunks(256) {
+///     rx.push_bytes(chunk);
+/// }
+/// let report = rx.finish();
+/// assert_eq!(report.stats.events_lost, 0);
+/// assert_eq!(report.force.len(), 2);
+/// assert_eq!(report.force[0].len(), 200); // 2 s at 100 Hz
+/// assert!(report.force_is_finite());
+/// ```
+#[derive(Debug)]
+pub struct SessionRx {
+    config: SessionRxConfig,
+    decoder: StreamDecoder,
+    recon: Vec<OnlineRateReconstructor>,
+    scratch: Vec<AddressedEvent>,
+}
+
+impl SessionRx {
+    /// Creates an idle session pipeline; channels materialise when the
+    /// HELLO announces them.
+    pub fn new(config: SessionRxConfig) -> Self {
+        SessionRx {
+            config,
+            decoder: StreamDecoder::with_reorder_window(config.reorder_window),
+            recon: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The decoder's session header, once known.
+    pub fn header(&self) -> Option<&SessionHeader> {
+        self.decoder.session()
+    }
+
+    /// Feeds received bytes; decoded events flow straight into the
+    /// per-channel reconstructors. Returns events absorbed this call.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> usize {
+        self.decoder.push_bytes(bytes);
+        if self.recon.is_empty() {
+            if let Some(h) = self.decoder.session() {
+                let per_channel =
+                    OnlineRateReconstructor::new(self.config.window_s, self.config.output_fs)
+                        .with_duration(h.duration_s);
+                self.recon = vec![per_channel; usize::from(h.n_channels)];
+            }
+        }
+        self.scratch.clear();
+        self.decoder.drain_events(&mut self.scratch);
+        let absorbed = self.scratch.len();
+        for ae in &self.scratch {
+            if let Some(r) = self.recon.get_mut(usize::from(ae.channel)) {
+                r.push_event(ae.event.time_s);
+            }
+        }
+        // Released events are time-ordered across channels, so the
+        // newest timestamp is a watermark for every channel: all
+        // determined samples stream out with bounded latency.
+        let watermark = self.decoder.watermark_s();
+        for r in &mut self.recon {
+            r.advance_to(watermark);
+        }
+        self.scratch.clear();
+        absorbed
+    }
+
+    /// Closes the session (transport EOF), flushing the decoder and the
+    /// reconstructors, and returns the final report.
+    pub fn finish(mut self) -> SessionReport {
+        self.decoder.finish();
+        self.scratch.clear();
+        self.decoder.drain_events(&mut self.scratch);
+        for ae in &self.scratch {
+            if let Some(r) = self.recon.get_mut(usize::from(ae.channel)) {
+                r.push_event(ae.event.time_s);
+            }
+        }
+        let duration = self
+            .decoder
+            .session()
+            .map_or(0.0, |h| h.duration_s)
+            .max(0.0);
+        let force = self
+            .recon
+            .iter_mut()
+            .map(|r| {
+                r.finish(duration);
+                let mut trace = Vec::with_capacity(r.emitted());
+                r.drain_into(&mut trace);
+                trace
+            })
+            .collect();
+        SessionReport {
+            header: self.decoder.session().copied(),
+            stats: self.decoder.stats(),
+            force,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packetizer;
+    use datc_core::event::EventStream;
+    use datc_core::Event;
+    use datc_rx::windowing::sliding_rate;
+
+    fn test_events(header: &SessionHeader, n: u64) -> Vec<AddressedEvent> {
+        (0..n)
+            .map(|i| AddressedEvent {
+                channel: (i % u64::from(header.n_channels)) as u8,
+                event: Event::at_tick(i * 23, header.tick_period_s, Some((i % 16) as u8)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_session_matches_batch_reconstruction_bit_exactly() {
+        let header = SessionHeader::new(1, 3, 2000.0, 5.0);
+        let events = test_events(&header, 400);
+        let wire = crate::packet::encode_session(header, &events);
+
+        let mut rx = SessionRx::new(SessionRxConfig::default());
+        for chunk in wire.chunks(64) {
+            rx.push_bytes(chunk);
+        }
+        let report = rx.finish();
+        assert_eq!(report.stats.events_lost, 0);
+
+        // per-channel batch reference over the demuxed stream
+        for ch in 0..3u8 {
+            let ch_events: Vec<Event> = events
+                .iter()
+                .filter(|ae| ae.channel == ch)
+                .map(|ae| ae.event)
+                .collect();
+            let stream = EventStream::new(ch_events, header.tick_rate_hz, header.duration_s);
+            let batch = sliding_rate(&stream, 0.25, 100.0);
+            assert_eq!(
+                report.force[usize::from(ch)],
+                batch.samples(),
+                "channel {ch}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_session_still_produces_full_finite_traces() {
+        let header = SessionHeader::new(2, 2, 2000.0, 4.0);
+        let events = test_events(&header, 300);
+        let mut tx = Packetizer::new(header).with_events_per_frame(16);
+        let mut frames = vec![tx.hello()];
+        frames.extend(tx.data_frames(&events));
+        frames.push(tx.bye());
+
+        let mut rx = SessionRx::new(SessionRxConfig::default());
+        for (i, f) in frames.iter().enumerate() {
+            if i % 5 == 2 && i > 0 && i < frames.len() - 1 {
+                continue; // drop every fifth DATA frame
+            }
+            rx.push_bytes(f);
+        }
+        let report = rx.finish();
+        assert!(report.stats.events_lost > 0);
+        assert!(report.force_is_finite());
+        for trace in &report.force {
+            assert_eq!(trace.len(), 400, "full 4 s at 100 Hz despite loss");
+        }
+    }
+
+    #[test]
+    fn headerless_stream_yields_an_empty_report() {
+        let rx = SessionRx::new(SessionRxConfig::default());
+        let report = rx.finish();
+        assert!(report.header.is_none());
+        assert_eq!(report.force_samples(), 0);
+        assert!(report.force_is_finite());
+    }
+}

@@ -1,0 +1,103 @@
+//! LEB128 variable-length integers — the wire format's workhorse for
+//! tick deltas and cumulative event indices.
+
+/// Maximum encoded length of a `u64` varint (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `out` as an LEB128 varint (7 payload bits per
+/// byte, continuation in the MSB, little-endian groups).
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::varint::{read_varint, write_varint};
+/// let mut buf = Vec::new();
+/// write_varint(300, &mut buf);
+/// assert_eq!(buf, [0xAC, 0x02]);
+/// assert_eq!(read_varint(&buf), Some((300, 2)));
+/// ```
+pub fn write_varint(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one varint from the front of `bytes`, returning the value and
+/// the number of bytes consumed, or `None` when `bytes` is truncated or
+/// the encoding overflows 64 bits.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::varint::read_varint;
+/// assert_eq!(read_varint(&[0x7F]), Some((127, 1)));
+/// assert_eq!(read_varint(&[0x80]), None); // truncated
+/// ```
+pub fn read_varint(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    for (i, &byte) in bytes.iter().enumerate().take(MAX_VARINT_LEN) {
+        let payload = u64::from(byte & 0x7F);
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return None; // would overflow the 64th bit
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            assert_eq!(read_varint(&buf), Some((v, buf.len())), "value {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_overflow() {
+        assert_eq!(read_varint(&[]), None);
+        assert_eq!(read_varint(&[0x80, 0x80]), None);
+        // 11 continuation bytes can never be a valid u64
+        assert_eq!(read_varint(&[0x80; 11]), None);
+        // 10th byte carrying more than the top bit overflows
+        let mut overflow = vec![0xFF; 9];
+        overflow.push(0x02);
+        assert_eq!(read_varint(&overflow), None);
+    }
+
+    #[test]
+    fn encoding_is_minimal_length() {
+        let mut one = Vec::new();
+        write_varint(127, &mut one);
+        assert_eq!(one.len(), 1);
+        let mut two = Vec::new();
+        write_varint(128, &mut two);
+        assert_eq!(two.len(), 2);
+    }
+}

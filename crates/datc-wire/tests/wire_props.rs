@@ -1,0 +1,181 @@
+//! Property tests for the wire subsystem — the PR's acceptance gates:
+//!
+//! * encode → packetize → decode reproduces the original
+//!   `AddressedEvent` sequence *exactly*, for any channel count ≤ 256
+//!   and arbitrary event timing;
+//! * with injected packet loss, the decoder reports the exact number of
+//!   lost events and the online reconstructor still produces a finite,
+//!   full-length force trace.
+
+use datc_core::Event;
+use datc_uwb::aer::AddressedEvent;
+use datc_wire::decode::StreamDecoder;
+use datc_wire::packet::{Packetizer, SessionHeader};
+use datc_wire::session::{SessionRx, SessionRxConfig};
+use proptest::prelude::*;
+
+/// A random session: header plus a tick-ordered addressed-event stream
+/// whose timestamps are the canonical `tick * period`.
+fn arb_session() -> impl Strategy<Value = (SessionHeader, Vec<AddressedEvent>)> {
+    (
+        1u16..=256, // channel count
+        prop_oneof![
+            Just(1000.0f64),
+            Just(2000.0),
+            Just(2500.0),
+            Just(48000.0),
+            Just(1e6),
+        ], // tick rate
+        proptest::collection::vec(
+            (0u64..5000, any::<u8>(), any::<bool>(), any::<u8>()),
+            0..400,
+        ), // (tick gap, addr seed, has_code, code)
+        any::<u32>(), // session id
+    )
+        .prop_map(|(channels, rate, raw, id)| {
+            let header = SessionHeader::new(id, channels, rate, 60.0);
+            let mut tick = 0u64;
+            let events: Vec<AddressedEvent> = raw
+                .into_iter()
+                .map(|(gap, addr, has_code, code)| {
+                    tick += gap; // non-decreasing, gaps 0..5000 ticks
+                    AddressedEvent {
+                        channel: (u16::from(addr) % channels) as u8,
+                        event: Event::at_tick(tick, header.tick_period_s, has_code.then_some(code)),
+                    }
+                })
+                .collect();
+            (header, events)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_is_exact_for_any_session(
+        session in arb_session(),
+        frame_size in 1usize..80,
+        chunk_size in 1usize..512,
+    ) {
+        let (header, events) = session;
+        let mut tx = Packetizer::new(header).with_events_per_frame(frame_size);
+        let mut wire = tx.hello();
+        for f in tx.data_frames(&events) {
+            wire.extend_from_slice(&f);
+        }
+        wire.extend_from_slice(&tx.bye());
+
+        // arbitrary transport fragmentation
+        let mut rx = StreamDecoder::new();
+        for chunk in wire.chunks(chunk_size) {
+            rx.push_bytes(chunk);
+        }
+        let mut decoded = Vec::new();
+        rx.drain_events(&mut decoded);
+
+        prop_assert_eq!(&decoded, &events, "exact sequence round trip");
+        // exact includes bit-exact timestamps
+        for (d, o) in decoded.iter().zip(&events) {
+            prop_assert_eq!(d.event.time_s.to_bits(), o.event.time_s.to_bits());
+        }
+        let stats = rx.stats();
+        prop_assert_eq!(stats.events_decoded, events.len() as u64);
+        prop_assert_eq!(stats.events_lost, 0);
+        prop_assert_eq!(stats.crc_failures, 0);
+        prop_assert!(stats.closed);
+    }
+
+    #[test]
+    fn injected_loss_is_counted_exactly_and_force_stays_finite(
+        session in arb_session(),
+        frame_size in 1usize..40,
+        drop_mask in any::<u64>(),
+    ) {
+        let (header, events) = session;
+        let mut tx = Packetizer::new(header).with_events_per_frame(frame_size);
+        let hello = tx.hello();
+        let data = tx.data_frames(&events);
+        let bye = tx.bye();
+
+        let mut rx = SessionRx::new(SessionRxConfig::default());
+        rx.push_bytes(&hello);
+        let mut dropped_events = 0u64;
+        let mut cursor = 0usize;
+        for (i, f) in data.iter().enumerate() {
+            let n = events.len().min(cursor + frame_size) - cursor;
+            // pseudo-random drop pattern from the mask bits
+            if drop_mask >> (i % 64) & 1 == 1 {
+                dropped_events += n as u64;
+            } else {
+                rx.push_bytes(f);
+            }
+            cursor += n;
+        }
+        rx.push_bytes(&bye);
+        let report = rx.finish();
+
+        prop_assert_eq!(report.stats.events_lost, dropped_events,
+            "decoder must count the injected loss exactly");
+        prop_assert_eq!(
+            report.stats.events_decoded + report.stats.events_lost,
+            events.len() as u64
+        );
+        // per-channel loss figures reconcile to the same total
+        let per_channel_lost: u64 = report
+            .stats
+            .per_channel
+            .iter()
+            .map(|c| c.lost.expect("closed session has exact per-channel loss"))
+            .sum();
+        prop_assert_eq!(per_channel_lost, dropped_events);
+
+        // and the online reconstruction still produced a full-length,
+        // finite trace for every channel
+        prop_assert!(report.force_is_finite());
+        let n_out = (header.duration_s * 100.0).floor() as usize;
+        for trace in &report.force {
+            prop_assert_eq!(trace.len(), n_out);
+        }
+    }
+
+    #[test]
+    fn reordering_and_duplication_never_corrupt_the_sequence(
+        session in arb_session(),
+        swap_seed in any::<u64>(),
+    ) {
+        let (header, events) = session;
+        let mut tx = Packetizer::new(header).with_events_per_frame(8);
+        let hello = tx.hello();
+        let mut data = tx.data_frames(&events);
+        let bye = tx.bye();
+
+        // local reorder within the decoder's window plus duplicates
+        let mut x = swap_seed | 1;
+        let mut i = 0;
+        while i + 2 < data.len() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 1 == 1 {
+                data.swap(i, i + 2);
+            }
+            i += 3;
+        }
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&hello);
+        for f in &data {
+            rx.push_bytes(f);
+            if x & 2 == 2 {
+                rx.push_bytes(f); // duplicate some frames wholesale
+            }
+        }
+        rx.push_bytes(&bye);
+        rx.finish();
+        let mut decoded = Vec::new();
+        rx.drain_events(&mut decoded);
+
+        prop_assert_eq!(&decoded, &events, "window-sized reorder is absorbed");
+        prop_assert_eq!(rx.stats().events_lost, 0);
+    }
+}

@@ -16,6 +16,10 @@
 //!   [`SpikeEncoder`](core::SpikeEncoder));
 //! * [`rx`] — receiver-side reconstruction, the correlation metric, and
 //!   the composable [`Link`](rx::pipeline::Link) pipeline builder;
+//! * [`wire`] — the AER wire format: packet codec, loss-tolerant
+//!   [`StreamDecoder`](wire::StreamDecoder), streaming per-session
+//!   receive pipeline and the multi-session
+//!   [`TelemetryHub`](wire::TelemetryHub) TCP gateway;
 //! * [`rtl`] — the gate-level DTC, cell library, synthesis and power
 //!   reports (Table I);
 //! * [`experiments`] — runners regenerating every figure and table.
@@ -120,6 +124,34 @@
 //! assert_eq!(out.channels.len(), 16);
 //! assert!(merged.merged.len() > 0);
 //! ```
+//!
+//! ## Over the wire: stream a fleet into the telemetry gateway
+//!
+//! Fleet outputs don't have to stay in-process: [`wire::stream_fleet`]
+//! packetises the merged AER stream (sync word, CRC, delta-tick varint
+//! events) and pushes it through a TCP session into a
+//! [`wire::TelemetryHub`], whose workers decode incrementally and run
+//! streaming per-channel force reconstruction:
+//!
+//! ```
+//! use datc::core::{DatcConfig, TraceLevel};
+//! use datc::engine::FleetRunner;
+//! use datc::signal::Signal;
+//! use datc::wire::{stream_fleet, HubConfig, TelemetryHub};
+//!
+//! let electrodes: Vec<Signal> = (0..4)
+//!     .map(|c| Signal::from_fn(2500.0, 1.0, move |t| (t * (40.0 + c as f64)).sin().abs() * 0.5))
+//!     .collect();
+//! let fleet = FleetRunner::new(
+//!     DatcConfig::paper().with_trace_level(TraceLevel::Events), 4,
+//! ).unwrap().encode(&electrodes);
+//!
+//! let hub = TelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+//! stream_fleet(hub.local_addr(), 1, &fleet, 25e-6).unwrap();
+//! let sessions = hub.shutdown();
+//! assert_eq!(sessions.len(), 1);
+//! assert_eq!(sessions[0].report.stats.events_lost, 0);
+//! ```
 
 pub use datc_core as core;
 pub use datc_engine as engine;
@@ -128,6 +160,7 @@ pub use datc_rtl as rtl;
 pub use datc_rx as rx;
 pub use datc_signal as signal;
 pub use datc_uwb as uwb;
+pub use datc_wire as wire;
 
 /// Everything a typical consumer needs in scope.
 pub mod prelude {
@@ -138,9 +171,13 @@ pub mod prelude {
     pub use datc_engine::{FleetOutput, FleetRunner};
     pub use datc_rx::pipeline::{Link, LinkBuilder, LinkRun};
     pub use datc_rx::{
-        HybridReconstructor, RateReconstructor, Reconstructor, ThresholdTrackReconstructor,
+        HybridReconstructor, OnlineRateReconstructor, OnlineReconstructor, RateReconstructor,
+        Reconstructor, ThresholdTrackReconstructor,
     };
     pub use datc_signal::Signal;
     pub use datc_uwb::channel::SymbolChannel;
     pub use datc_uwb::link::{Transmission, UwbTx};
+    pub use datc_wire::{
+        Packetizer, SessionHeader, SessionRx, StreamDecoder, TelemetryHub, WireStats,
+    };
 }
