@@ -1,0 +1,93 @@
+//! CI perf-regression gate over the quick bench artifacts.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run -p datc-bench --bin bench_check -- \
+//!     [--tolerance 0.40] \
+//!     --pair <baseline.json> <fresh.json> [--pair …]
+//! ```
+//!
+//! Each `--pair` compares a freshly written `BENCH_*.quick.json`
+//! against the committed baseline (CI copies the baselines aside
+//! *before* the bench runs overwrite them). Exits non-zero when any
+//! throughput metric regresses beyond the tolerance, when a pair is
+//! not quick-vs-quick, or when a gated metric disappears — see
+//! [`datc_bench::regression`] for the exact rules.
+
+use datc_bench::regression::compare_artifacts;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_check [--tolerance FRAC] --pair BASELINE FRESH [--pair BASELINE FRESH …]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.40f64;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if !(0.0..1.0).contains(&v) {
+                    eprintln!("tolerance must be in [0, 1), got {v}");
+                    return ExitCode::from(2);
+                }
+                tolerance = v;
+                i += 2;
+            }
+            "--pair" => {
+                let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+                    usage();
+                };
+                pairs.push((a.clone(), b.clone()));
+                i += 3;
+            }
+            _ => usage(),
+        }
+    }
+    if pairs.is_empty() {
+        usage();
+    }
+
+    let mut failed = false;
+    for (baseline_path, fresh_path) in &pairs {
+        println!(
+            "== {baseline_path} vs {fresh_path} (tolerance ±{:.0} %)",
+            tolerance * 100.0
+        );
+        let read = |path: &str| match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("FAIL cannot read {path}: {e}");
+                None
+            }
+        };
+        let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
+            failed = true;
+            continue;
+        };
+        let report = compare_artifacts(&baseline, &fresh, tolerance);
+        for line in &report.checks {
+            println!("  ok   {line}");
+        }
+        for line in &report.failures {
+            println!("  FAIL {line}");
+        }
+        failed |= !report.passed();
+    }
+    if failed {
+        eprintln!("bench_check: perf regression gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all gates passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -12,3 +12,305 @@ pub fn full_scale() -> bool {
         .map(|v| v == "1")
         .unwrap_or(false)
 }
+
+pub mod regression {
+    //! The CI perf-regression gate: compares a freshly written
+    //! `BENCH_*.quick.json` artifact against the committed baseline and
+    //! fails when any throughput metric regresses beyond a tolerance.
+    //!
+    //! Driven by the `bench_check` binary
+    //! (`cargo run -p datc-bench --bin bench_check -- --pair <baseline>
+    //! <fresh> …`). The tolerance is deliberately generous — the shared
+    //! vCPU CI host drifts ±20 % run to run (see ROADMAP "Perf
+    //! trajectory") — so the gate catches *collapses* (a hot path gone
+    //! accidentally scalar, a lock on the gateway fast path), not
+    //! single-digit noise.
+    //!
+    //! ## Like-for-like only
+    //!
+    //! Quick artifacts are **not** comparable with full runs: e.g.
+    //! `BENCH_wire.quick.json` measures 2 s × 6-session gateway rounds
+    //! whose per-session setup dominates, reporting ~3× the sessions/s
+    //! of the full 10 s × 32-session run. The gate therefore refuses
+    //! any artifact pair that is not `"quick": true` on both sides.
+    //!
+    //! ## What counts as a metric
+    //!
+    //! The artifacts are flat JSON written by the hand-rolled benches
+    //! (one `"key": value` pair per line; nested objects inside arrays
+    //! are workload sweeps, not gate metrics). A key is gated when its
+    //! name marks it as a throughput/cost figure:
+    //! `*_per_s` and `*speedup*` must not fall, `bytes_per_event*` must
+    //! not rise. Everything else (workload sizes, event counts, session
+    //! counts) is configuration, not performance.
+
+    /// Which way a metric is allowed to move.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Direction {
+        /// Throughput-style metric: regression = falling.
+        HigherIsBetter,
+        /// Cost-style metric: regression = rising.
+        LowerIsBetter,
+    }
+
+    /// The gate direction for `key`, or `None` when the key is
+    /// configuration rather than performance.
+    pub fn metric_direction(key: &str) -> Option<Direction> {
+        if key.starts_with("bytes_per_event") {
+            Some(Direction::LowerIsBetter)
+        } else if key.ends_with("_per_s") || key.contains("speedup") {
+            Some(Direction::HigherIsBetter)
+        } else {
+            None
+        }
+    }
+
+    /// A parsed flat bench artifact.
+    #[derive(Debug, Clone, Default)]
+    pub struct Artifact {
+        /// The `"bench"` name field, when present.
+        pub bench: Option<String>,
+        /// The `"quick"` flag, when present.
+        pub quick: Option<bool>,
+        /// Every top-level numeric field, in file order.
+        pub numbers: Vec<(String, f64)>,
+    }
+
+    impl Artifact {
+        /// Looks up a numeric field.
+        pub fn number(&self, key: &str) -> Option<f64> {
+            self.numbers.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+        }
+    }
+
+    /// Parses the flat top-level `"key": value` lines of a bench
+    /// artifact. Lines opening nested structure (array workload sweeps)
+    /// and string fields other than `"bench"` are ignored; this is not
+    /// a general JSON parser, it reads exactly what the hand-rolled
+    /// benches write.
+    pub fn parse_artifact(text: &str) -> Artifact {
+        let mut artifact = Artifact::default();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            let Some((key, value)) = rest.split_once('"') else {
+                continue;
+            };
+            let Some(value) = value.trim_start().strip_prefix(':') else {
+                continue;
+            };
+            let value = value.trim();
+            match (key, value) {
+                ("quick", "true") => artifact.quick = Some(true),
+                ("quick", "false") => artifact.quick = Some(false),
+                ("bench", v) => {
+                    artifact.bench = Some(v.trim_matches('"').to_string());
+                }
+                (k, v) => {
+                    if let Ok(n) = v.parse::<f64>() {
+                        artifact.numbers.push((k.to_string(), n));
+                    }
+                }
+            }
+        }
+        artifact
+    }
+
+    /// The outcome of one baseline-vs-fresh comparison.
+    #[derive(Debug, Clone, Default)]
+    pub struct CheckReport {
+        /// Human-readable line per metric inspected.
+        pub checks: Vec<String>,
+        /// Human-readable line per gate violation (empty = pass).
+        pub failures: Vec<String>,
+    }
+
+    impl CheckReport {
+        /// `true` when no gate fired.
+        pub fn passed(&self) -> bool {
+            self.failures.is_empty()
+        }
+    }
+
+    /// Compares two artifact texts; `tolerance` is the allowed relative
+    /// regression (0.40 = a metric may lose up to 40 % / cost up to
+    /// 40 % more before the gate fires).
+    pub fn compare_artifacts(baseline: &str, fresh: &str, tolerance: f64) -> CheckReport {
+        let base = parse_artifact(baseline);
+        let new = parse_artifact(fresh);
+        let mut report = CheckReport::default();
+
+        if base.bench != new.bench {
+            report.failures.push(format!(
+                "bench name mismatch: baseline {:?} vs fresh {:?}",
+                base.bench, new.bench
+            ));
+            return report;
+        }
+        // Like-for-like: the quick and full artifacts measure different
+        // workloads (documented in each file's "comment" field) and
+        // must never be compared against each other.
+        if base.quick != Some(true) || new.quick != Some(true) {
+            report.failures.push(format!(
+                "not a quick/quick pair (baseline quick: {:?}, fresh quick: {:?}); \
+                 bench_check only compares --quick artifacts with --quick baselines",
+                base.quick, new.quick
+            ));
+            return report;
+        }
+
+        for (key, base_v) in &base.numbers {
+            let Some(direction) = metric_direction(key) else {
+                continue;
+            };
+            let Some(new_v) = new.number(key) else {
+                report.failures.push(format!(
+                    "{key}: present in baseline, missing in fresh artifact"
+                ));
+                continue;
+            };
+            let (regressed, change) = match direction {
+                Direction::HigherIsBetter => {
+                    (new_v < base_v * (1.0 - tolerance), new_v / base_v - 1.0)
+                }
+                Direction::LowerIsBetter => {
+                    (new_v > base_v * (1.0 + tolerance), new_v / base_v - 1.0)
+                }
+            };
+            let line = format!(
+                "{key}: baseline {base_v:.3}, fresh {new_v:.3} ({:+.1} %, tolerance ±{:.0} %)",
+                change * 100.0,
+                tolerance * 100.0
+            );
+            if regressed {
+                report.failures.push(line);
+            } else {
+                report.checks.push(line);
+            }
+        }
+        if base
+            .numbers
+            .iter()
+            .all(|(k, _)| metric_direction(k).is_none())
+        {
+            report
+                .failures
+                .push("baseline artifact contains no gated metrics".to_string());
+        }
+        report
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn artifact(quick: bool, decode: f64, bpe: f64) -> String {
+            format!(
+                "{{\n  \"bench\": \"bench_wire\",\n  \"quick\": {quick},\n  \
+                 \"comment\": \"quick mode, not comparable with full\",\n  \
+                 \"channels\": 8,\n  \"bytes_per_event_framed\": {bpe},\n  \
+                 \"decode_events_per_s\": {decode},\n  \
+                 \"gateway_sessions_per_s\": 2000.0\n}}\n"
+            )
+        }
+
+        #[test]
+        fn parses_flat_artifacts_and_skips_nested_sweeps() {
+            let text = "{\n  \"bench\": \"bench_fleet\",\n  \"quick\": true,\n  \
+                 \"single_channel_push_chunk_samples_per_s\": 157904924,\n  \
+                 \"fleet\": [\n    {\"channels\": 16, \"threads\": 1, \"samples_per_s\": 1}\n  ]\n}\n";
+            let a = parse_artifact(text);
+            assert_eq!(a.bench.as_deref(), Some("bench_fleet"));
+            assert_eq!(a.quick, Some(true));
+            assert_eq!(
+                a.number("single_channel_push_chunk_samples_per_s"),
+                Some(157904924.0)
+            );
+            // the array's inner objects are workload sweeps, not gates
+            assert_eq!(a.number("samples_per_s"), None);
+            assert_eq!(a.number("threads"), None);
+        }
+
+        #[test]
+        fn within_tolerance_passes() {
+            let base = artifact(true, 100_000.0, 3.2);
+            let fresh = artifact(true, 75_000.0, 3.9); // −25 % / +22 %
+            let report = compare_artifacts(&base, &fresh, 0.40);
+            assert!(report.passed(), "failures: {:?}", report.failures);
+            assert_eq!(report.checks.len(), 3);
+        }
+
+        #[test]
+        fn intentionally_degraded_throughput_fails_the_gate() {
+            // The acceptance-criterion case: a metric collapsed by more
+            // than the tolerance must fail the comparison.
+            let base = artifact(true, 100_000.0, 3.2);
+            let fresh = artifact(true, 50_000.0, 3.2); // −50 % decode
+            let report = compare_artifacts(&base, &fresh, 0.40);
+            assert!(!report.passed());
+            assert_eq!(report.failures.len(), 1);
+            assert!(
+                report.failures[0].starts_with("decode_events_per_s"),
+                "{:?}",
+                report.failures
+            );
+        }
+
+        #[test]
+        fn rising_cost_metric_fails_the_gate() {
+            let base = artifact(true, 100_000.0, 3.2);
+            let fresh = artifact(true, 100_000.0, 5.0); // +56 % bytes/event
+            let report = compare_artifacts(&base, &fresh, 0.40);
+            assert!(!report.passed());
+            assert!(report.failures[0].starts_with("bytes_per_event_framed"));
+        }
+
+        #[test]
+        fn quick_vs_full_pairs_are_refused() {
+            // the documented 2043 vs ≈700 sessions/s divergence: quick
+            // and full artifacts must never be cross-compared
+            let quick = artifact(true, 100_000.0, 3.2);
+            let full = artifact(false, 100_000.0, 3.2);
+            for (a, b) in [(&quick, &full), (&full, &quick), (&full, &full)] {
+                let report = compare_artifacts(a, b, 0.40);
+                assert!(!report.passed());
+                assert!(
+                    report.failures[0].contains("quick"),
+                    "{:?}",
+                    report.failures
+                );
+            }
+        }
+
+        #[test]
+        fn metric_missing_from_fresh_artifact_fails() {
+            let base = artifact(true, 100_000.0, 3.2);
+            let fresh = base.replace("\"decode_events_per_s\": 100000,\n  ", "");
+            let report = compare_artifacts(&base, &fresh, 0.40);
+            assert!(!report.passed());
+        }
+
+        #[test]
+        fn mismatched_bench_names_fail() {
+            let base = artifact(true, 1.0, 3.2);
+            let fresh = base.replace("bench_wire", "bench_fleet");
+            let report = compare_artifacts(&base, &fresh, 0.40);
+            assert!(!report.passed());
+        }
+
+        #[test]
+        fn committed_baselines_parse_and_self_compare_clean() {
+            // The real committed quick baselines must pass against
+            // themselves — guards the parser against format drift.
+            for name in ["BENCH_wire.quick.json", "BENCH_fleet.quick.json"] {
+                let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+                let text = std::fs::read_to_string(&path).expect("committed baseline");
+                let report = compare_artifacts(&text, &text, 0.40);
+                assert!(report.passed(), "{name}: {:?}", report.failures);
+                assert!(!report.checks.is_empty(), "{name} has gated metrics");
+            }
+        }
+    }
+}

@@ -31,7 +31,11 @@ pub mod reconstruct;
 pub mod windowing;
 
 pub use metrics::{evaluate, CorrelationReport};
-pub use online::{OnlineEwmaReconstructor, OnlineRateReconstructor, OnlineReconstructor};
+pub use online::{
+    AnyOnlineReconstructor, OnlineEwmaReconstructor, OnlineHybridReconstructor,
+    OnlineRateReconstructor, OnlineReconSelect, OnlineReconstructor,
+    OnlineThresholdTrackReconstructor,
+};
 pub use pipeline::{Link, LinkBuilder, LinkRun};
 pub use reconstruct::{
     HybridReconstructor, RateReconstructor, Reconstructor, RiceInversionReconstructor,

@@ -103,6 +103,16 @@ impl ThresholdTrackReconstructor {
         ThresholdTrackReconstructor::new(Dac::paper(), 0.75)
     }
 
+    /// The DAC decoding the received codes.
+    pub fn dac(&self) -> &Dac {
+        &self.dac
+    }
+
+    /// The moving-average smoothing window in seconds.
+    pub fn smooth_window_s(&self) -> f64 {
+        self.smooth_window_s
+    }
+
     fn code_track(&self, events: &EventStream, output_fs: f64) -> Vec<f64> {
         let n_out = (events.duration_s() * output_fs).floor().max(0.0) as usize;
         let mut out = Vec::with_capacity(n_out);

@@ -209,6 +209,12 @@ impl StreamDecoder {
         self.bye.as_ref()
     }
 
+    /// `true` once the BYE frame was processed (cheaper than
+    /// [`stats`](StreamDecoder::stats) for per-datagram polling).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
     /// Highest event timestamp released so far — a valid watermark for
     /// downstream [`OnlineReconstructor`](datc_rx::OnlineReconstructor)s
     /// because released events are time-ordered.

@@ -4,14 +4,33 @@
 //! Architecture: one acceptor thread owns the listener; every accepted
 //! connection gets a worker thread running a [`SessionRx`] pipeline
 //! (decode → demux → online reconstruct) over the socket's byte stream;
-//! finished sessions land in a shared session table the owner inspects
-//! with [`TelemetryHub::snapshot`]. The transmit side is
-//! [`SessionSender`] (one session per connection) plus the
-//! [`stream_fleet`] convenience that pushes a whole
-//! [`FleetOutput`] through one session.
+//! finished sessions land in a shared [`SessionTable`] the owner
+//! inspects with [`TelemetryHub::snapshot`]. The same table (and the
+//! same conn-id space) can be shared with a
+//! [`UdpTelemetryHub`](crate::udp::UdpTelemetryHub), so one operator
+//! view covers both transports. The transmit side is [`SessionSender`]
+//! (one session per connection) plus the [`stream_fleet`] convenience
+//! that pushes a whole [`FleetOutput`] through one session.
+//!
+//! ## Memory model
+//!
+//! Workers run in `O(channels · force_window)` memory per session: the
+//! per-session report keeps only a bounded force tail
+//! ([`DEFAULT_HUB_FORCE_WINDOW`] samples per channel by default), and
+//! consumers that need every sample attach a
+//! [`SessionSink`] via [`TelemetryHub::bind_with`]'s sink factory.
+//!
+//! One reconstructor selection opts out of the bound: a
+//! [`Hybrid`](datc_rx::online::OnlineReconSelect::Hybrid) with
+//! `rate0_hz: None` *defers* emission to session close (that is what
+//! makes it bit-exact with the batch hybrid), staging
+//! `O(duration · output_fs)` samples per channel and delivering no
+//! force to the sink until the session ends. Pin `rate0_hz` for
+//! long-running hub sessions; deferred mode is for bounded replays.
 
 use crate::packet::{Packetizer, SessionHeader};
 use crate::session::{SessionReport, SessionRx, SessionRxConfig};
+use crate::sink::SessionSink;
 use datc_engine::FleetOutput;
 use datc_uwb::aer::AddressedEvent;
 use std::collections::HashMap;
@@ -21,19 +40,36 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+/// Per-channel force samples a hub session retains by default (≈ 20 s
+/// at the default 100 Hz output) — the bounded-memory guarantee for
+/// long-running sessions. Attach a sink for the full stream.
+pub const DEFAULT_HUB_FORCE_WINDOW: usize = 2048;
+
 /// Gateway tuning.
 ///
 /// # Example
 ///
 /// ```
-/// use datc_wire::gateway::HubConfig;
+/// use datc_wire::gateway::{HubConfig, DEFAULT_HUB_FORCE_WINDOW};
 /// let cfg = HubConfig::default();
 /// assert_eq!(cfg.session.output_fs, 100.0);
+/// assert_eq!(cfg.session.force_window, Some(DEFAULT_HUB_FORCE_WINDOW));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HubConfig {
     /// Per-session receive pipeline settings.
     pub session: SessionRxConfig,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            session: SessionRxConfig {
+                force_window: Some(DEFAULT_HUB_FORCE_WINDOW),
+                ..SessionRxConfig::default()
+            },
+        }
+    }
 }
 
 /// A finished session as recorded in the hub's session table.
@@ -41,11 +77,65 @@ pub struct HubConfig {
 pub struct HubSession {
     /// The session id from the HELLO (0 when none arrived).
     pub session_id: u32,
-    /// Bytes read off the socket.
+    /// Bytes read off the transport.
     pub bytes_received: u64,
-    /// The full session report (stats + force traces).
+    /// The full session report (stats + force tails).
     pub report: SessionReport,
 }
+
+/// The finished-session table, shareable between hubs (TCP + UDP) so a
+/// mixed-transport deployment has one operator view and one
+/// connection-id space.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    sessions: Mutex<HashMap<u64, HubSession>>,
+    // Connection ids key the table so two sessions announcing the same
+    // session id cannot overwrite each other; the counter lives here so
+    // hubs sharing the table also share the id space.
+    next_conn_id: AtomicU64,
+}
+
+impl SessionTable {
+    /// Creates an empty shared table.
+    pub fn shared() -> Arc<SessionTable> {
+        Arc::default()
+    }
+
+    /// Allocates the next connection id.
+    pub fn next_conn_id(&self) -> u64 {
+        self.next_conn_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a finished session.
+    pub fn insert(&self, conn_id: u64, session: HubSession) {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(conn_id, session);
+    }
+
+    /// Number of finished sessions recorded.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// `true` when no session has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones the table's sessions, sorted by session id.
+    pub fn snapshot(&self) -> Vec<HubSession> {
+        let table = self.sessions.lock().expect("session table poisoned");
+        let mut all: Vec<HubSession> = table.values().cloned().collect();
+        all.sort_by_key(|s| s.session_id);
+        all
+    }
+}
+
+/// Builds one [`SessionSink`] per accepted session; the argument is the
+/// hub-assigned connection id.
+pub type SinkFactory = Arc<dyn Fn(u64) -> Box<dyn SessionSink> + Send + Sync>;
 
 /// A telemetry ingest gateway bound to a local TCP address.
 ///
@@ -76,31 +166,47 @@ pub struct HubSession {
 #[derive(Debug)]
 pub struct TelemetryHub {
     addr: SocketAddr,
-    sessions: Arc<Mutex<HashMap<u64, HubSession>>>,
+    table: Arc<SessionTable>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
 }
 
 impl TelemetryHub {
     /// Binds a listener (use port 0 for an ephemeral port) and starts
-    /// accepting sessions.
+    /// accepting sessions into a fresh private table, with no sink.
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: HubConfig) -> std::io::Result<TelemetryHub> {
+        TelemetryHub::bind_with(addr, config, SessionTable::shared(), None)
+    }
+
+    /// Binds a listener recording finished sessions into `table`
+    /// (shareable with other hubs) and attaching a sink from
+    /// `sink_factory` to every accepted session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        config: HubConfig,
+        table: Arc<SessionTable>,
+        sink_factory: Option<SinkFactory>,
+    ) -> std::io::Result<TelemetryHub> {
+        validate_config(&config)?;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let sessions: Arc<Mutex<HashMap<u64, HubSession>>> = Arc::default();
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
-            let sessions = Arc::clone(&sessions);
+            let table = Arc::clone(&table);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, config, sessions, stop))
+            std::thread::spawn(move || accept_loop(listener, config, table, sink_factory, stop))
         };
         Ok(TelemetryHub {
             addr,
-            sessions,
+            table,
             stop,
             acceptor: Some(acceptor),
         })
@@ -111,23 +217,28 @@ impl TelemetryHub {
         self.addr
     }
 
+    /// The shared session table (hand it to a
+    /// [`UdpTelemetryHub`](crate::udp::UdpTelemetryHub) for a
+    /// mixed-transport deployment).
+    pub fn session_table(&self) -> Arc<SessionTable> {
+        Arc::clone(&self.table)
+    }
+
     /// Number of *finished* sessions in the table.
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().expect("session table poisoned").len()
+        self.table.len()
     }
 
     /// Clones the current session table (finished sessions only;
     /// in-flight connections appear once their socket closes).
     pub fn snapshot(&self) -> Vec<HubSession> {
-        let table = self.sessions.lock().expect("session table poisoned");
-        let mut all: Vec<HubSession> = table.values().cloned().collect();
-        all.sort_by_key(|s| s.session_id);
-        all
+        self.table.snapshot()
     }
 
     /// Stops accepting, waits for every in-flight session to finish, and
     /// returns the final session table. Connections already established
-    /// when shutdown starts are still served to completion.
+    /// when shutdown starts are still served to completion — their
+    /// events drain through the decoders (and sinks) exactly once.
     pub fn shutdown(mut self) -> Vec<HubSession> {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
@@ -149,7 +260,8 @@ impl Drop for TelemetryHub {
 fn accept_loop(
     listener: TcpListener,
     config: HubConfig,
-    sessions: Arc<Mutex<HashMap<u64, HubSession>>>,
+    table: Arc<SessionTable>,
+    sink_factory: Option<SinkFactory>,
     stop: Arc<AtomicBool>,
 ) {
     // Non-blocking accept + short poll: a blocking accept could not be
@@ -159,9 +271,6 @@ fn accept_loop(
         return;
     }
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    // Connection ids key the session table so two sessions announcing
-    // the same session id cannot overwrite each other.
-    let conn_ids = AtomicU64::new(0);
     let mut stopping = false;
     loop {
         match listener.accept() {
@@ -171,10 +280,12 @@ fn accept_loop(
                 if socket.set_nonblocking(false).is_err() {
                     continue;
                 }
-                let sessions = Arc::clone(&sessions);
-                let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                let table = Arc::clone(&table);
+                let conn_id = table.next_conn_id();
+                let config = config.clone();
+                let sink = sink_factory.as_ref().map(|f| f(conn_id));
                 workers.push(std::thread::spawn(move || {
-                    serve_connection(conn_id, socket, config, &sessions)
+                    serve_connection(conn_id, socket, config, &table, sink)
                 }));
                 // Reap finished workers so long-running hubs don't
                 // accumulate handles.
@@ -206,9 +317,13 @@ fn serve_connection(
     conn_id: u64,
     mut socket: TcpStream,
     config: HubConfig,
-    sessions: &Mutex<HashMap<u64, HubSession>>,
+    table: &SessionTable,
+    sink: Option<Box<dyn SessionSink>>,
 ) {
     let mut rx = SessionRx::new(config.session);
+    if let Some(sink) = sink {
+        rx = rx.with_sink(sink);
+    }
     let mut bytes_received = 0u64;
     let mut buf = [0u8; 4096];
     loop {
@@ -223,7 +338,6 @@ fn serve_connection(
     }
     let report = rx.finish();
     let session_id = report.header.map_or(0, |h| h.session_id);
-    let mut table = sessions.lock().expect("session table poisoned");
     table.insert(
         conn_id,
         HubSession {
@@ -311,6 +425,68 @@ impl SessionSender {
     }
 }
 
+/// Rejects hub configs that would panic lazily inside a worker/receive
+/// thread (where a panic means silently lost sessions, not an error).
+/// Mirrors every assert the per-channel reconstructor constructors and
+/// the [`ForceRing`](crate::sink::ForceRing) perform on first HELLO.
+pub(crate) fn validate_config(config: &HubConfig) -> std::io::Result<()> {
+    use datc_rx::online::OnlineReconSelect;
+
+    let invalid = |what: &str| {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("invalid hub config: {what}"),
+        ))
+    };
+    let positive = |v: f64| v > 0.0 && v.is_finite();
+
+    if config.session.force_window == Some(0) {
+        return invalid("force_window must be positive (use None for unbounded)");
+    }
+    if !positive(config.session.output_fs) {
+        return invalid("output_fs must be positive and finite");
+    }
+    match &config.session.recon {
+        OnlineReconSelect::Rate { window_s } if !positive(*window_s) => {
+            invalid("rate window_s must be positive and finite")
+        }
+        OnlineReconSelect::Ewma { tau_s } if !positive(*tau_s) => {
+            invalid("ewma tau_s must be positive and finite")
+        }
+        OnlineReconSelect::ThresholdTrack {
+            smooth_window_s, ..
+        } if !positive(*smooth_window_s) => {
+            invalid("threshold-track smooth_window_s must be positive and finite")
+        }
+        OnlineReconSelect::Hybrid {
+            smooth_window_s,
+            rate_window_s,
+            rate0_hz,
+            ..
+        } if !positive(*smooth_window_s)
+            || !positive(*rate_window_s)
+            || rate0_hz.is_some_and(|r| !positive(r)) =>
+        {
+            invalid("hybrid windows and rate0_hz must be positive and finite")
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Builds the session header a fleet encode announces.
+pub(crate) fn fleet_header(session_id: u32, fleet: &FleetOutput) -> SessionHeader {
+    let first = fleet
+        .channels
+        .first()
+        .expect("fleet must have at least one channel");
+    SessionHeader::new(
+        session_id,
+        u16::try_from(fleet.channel_count()).expect("≤ 256 channels per AER session"),
+        first.events.tick_rate_hz(),
+        first.events.duration_s(),
+    )
+}
+
 /// Streams a whole fleet encode through one gateway session: merges the
 /// per-channel streams onto one AER order (dead time `dead_time_s`) and
 /// sends the result.
@@ -328,16 +504,7 @@ pub fn stream_fleet<A: ToSocketAddrs>(
     fleet: &FleetOutput,
     dead_time_s: f64,
 ) -> std::io::Result<ClientReport> {
-    let first = fleet
-        .channels
-        .first()
-        .expect("fleet must have at least one channel");
-    let header = SessionHeader::new(
-        session_id,
-        u16::try_from(fleet.channel_count()).expect("≤ 256 channels per AER session"),
-        first.events.tick_rate_hz(),
-        first.events.duration_s(),
-    );
+    let header = fleet_header(session_id, fleet);
     let merged = fleet.merge_aer(dead_time_s);
     let mut tx = SessionSender::connect(addr, header)?;
     tx.send_events(&merged.merged)?;
@@ -347,6 +514,7 @@ pub fn stream_fleet<A: ToSocketAddrs>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{capture_store, MemorySink};
     use datc_core::{DatcConfig, Event, TraceLevel};
     use datc_engine::FleetRunner;
     use datc_signal::Signal;
@@ -443,7 +611,79 @@ mod tests {
         assert_eq!(sessions.len(), 1);
         assert_eq!(sessions[0].report.stats.events_decoded, merged_events);
         assert_eq!(sessions[0].report.stats.events_lost, 0);
-        assert_eq!(sessions[0].report.force.len(), 4);
+        assert_eq!(sessions[0].report.force_tail.len(), 4);
         assert!(sessions[0].report.force_is_finite());
+    }
+
+    #[test]
+    fn hub_sessions_run_in_bounded_memory_with_full_stream_via_sink() {
+        // A session twice the default window long: the table keeps only
+        // the bounded tail, the sink sees every sample.
+        let long_s = 2.0 * DEFAULT_HUB_FORCE_WINDOW as f64 / 100.0;
+        let header = SessionHeader::new(5, 1, 2000.0, long_s);
+        let tick_max = (long_s * 2000.0) as u64;
+        let events: Vec<AddressedEvent> = (0..tick_max)
+            .step_by(40)
+            .map(|t| AddressedEvent {
+                channel: 0,
+                event: Event::at_tick(t, header.tick_period_s, Some((t % 16) as u8)),
+            })
+            .collect();
+
+        let store = capture_store();
+        let factory: SinkFactory = {
+            let store = store.clone();
+            Arc::new(move |_conn_id| Box::new(MemorySink::new(store.clone())) as Box<_>)
+        };
+        let hub = TelemetryHub::bind_with(
+            "127.0.0.1:0",
+            HubConfig::default(),
+            SessionTable::shared(),
+            Some(factory),
+        )
+        .unwrap();
+        let mut tx = SessionSender::connect(hub.local_addr(), header).unwrap();
+        tx.send_events(&events).unwrap();
+        tx.finish().unwrap();
+        let sessions = hub.shutdown();
+
+        let n_out = (long_s * 100.0).floor() as usize;
+        assert_eq!(sessions.len(), 1);
+        let report = &sessions[0].report;
+        assert_eq!(report.force_emitted[0], n_out, "exact emitted total");
+        assert_eq!(
+            report.force_tail[0].len(),
+            DEFAULT_HUB_FORCE_WINDOW,
+            "table holds only the bounded tail"
+        );
+        let captures = store.lock().unwrap();
+        assert_eq!(captures.len(), 1);
+        assert_eq!(captures[0].force[0].len(), n_out, "sink saw every sample");
+        assert_eq!(
+            &captures[0].force[0][n_out - DEFAULT_HUB_FORCE_WINDOW..],
+            report.force_tail[0].as_slice(),
+            "tail is the suffix of the sink's full trace"
+        );
+    }
+
+    #[test]
+    fn two_hubs_share_one_table_without_conn_id_collisions() {
+        let table = SessionTable::shared();
+        let hub_a =
+            TelemetryHub::bind_with("127.0.0.1:0", HubConfig::default(), table.clone(), None)
+                .unwrap();
+        let hub_b =
+            TelemetryHub::bind_with("127.0.0.1:0", HubConfig::default(), table.clone(), None)
+                .unwrap();
+        for (id, addr) in [(1u32, hub_a.local_addr()), (2, hub_b.local_addr())] {
+            let header = SessionHeader::new(id, 1, 2000.0, 1.0);
+            let mut tx = SessionSender::connect(addr, header).unwrap();
+            tx.send_events(&[]).unwrap();
+            tx.finish().unwrap();
+        }
+        hub_a.shutdown();
+        let all = hub_b.shutdown();
+        assert_eq!(all.len(), 2, "both transports land in the one table");
+        assert_eq!(table.len(), 2);
     }
 }

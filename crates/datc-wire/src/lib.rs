@@ -18,13 +18,22 @@
 //!   loss-, reorder- and duplication-tolerant, with *exact* per-channel
 //!   event-loss accounting against the BYE totals;
 //! * [`session`] — one receive session end-to-end
-//!   ([`SessionRx`]): decode → demux → per-channel
-//!   [`OnlineRateReconstructor`](datc_rx::online::OnlineRateReconstructor),
+//!   ([`SessionRx`]): decode → demux → per-channel streaming
+//!   reconstructor (rate, EWMA, threshold-track or hybrid, selected by
+//!   [`OnlineReconSelect`](datc_rx::online::OnlineReconSelect)),
 //!   emitting force samples with bounded latency;
+//! * [`sink`] — the [`SessionSink`] callback API plus the bounded
+//!   [`ForceRing`], keeping long-running sessions in `O(window)`
+//!   memory;
 //! * [`gateway`] — the [`TelemetryHub`]: a TCP
 //!   loopback ingest gateway multiplexing many concurrent sensor
 //!   sessions, fed by [`FleetRunner`](datc_engine::FleetRunner) via
-//!   [`stream_fleet`].
+//!   [`stream_fleet`];
+//! * [`udp`] — the same gateway over datagrams
+//!   ([`UdpTelemetryHub`]): one framed packet per datagram, sessions
+//!   keyed by peer address, loss/reorder/duplication handled by the
+//!   selfsame [`StreamDecoder`] — and a [`SessionTable`] both hubs can
+//!   share.
 //!
 //! ## Guarantees
 //!
@@ -80,9 +89,16 @@ pub mod frame;
 pub mod gateway;
 pub mod packet;
 pub mod session;
+pub mod sink;
+pub mod udp;
 pub mod varint;
 
 pub use decode::{ChannelWireStats, StreamDecoder, WireStats};
-pub use gateway::{stream_fleet, ClientReport, HubConfig, HubSession, SessionSender, TelemetryHub};
+pub use gateway::{
+    stream_fleet, ClientReport, HubConfig, HubSession, SessionSender, SessionTable, SinkFactory,
+    TelemetryHub,
+};
 pub use packet::{ByeSummary, Packetizer, SessionHeader, WireEvent};
 pub use session::{SessionReport, SessionRx, SessionRxConfig};
+pub use sink::{capture_store, CaptureStore, ForceRing, MemorySink, SessionCapture, SessionSink};
+pub use udp::{udp_stream_fleet, UdpSessionSender, UdpTelemetryHub};

@@ -1,12 +1,25 @@
 //! One receive session end-to-end: byte stream → [`StreamDecoder`] →
-//! per-channel [`OnlineRateReconstructor`]s → force traces.
+//! per-channel streaming reconstructors → force samples.
 //!
-//! This is the unit of work a gateway worker runs per connection; it is
-//! equally usable standalone (e.g. replaying a capture file).
+//! This is the unit of work a gateway worker runs per connection (TCP)
+//! or per peer (UDP); it is equally usable standalone (e.g. replaying a
+//! capture file).
+//!
+//! ## Memory model
+//!
+//! Decoded events and determined force samples stream out through an
+//! optional [`SessionSink`] the moment they exist; the session itself
+//! retains only a bounded [`ForceRing`] tail per channel (capacity
+//! [`force_window`](SessionRxConfig::force_window)), so a session that
+//! runs for days holds `O(channels · window)` memory, not `O(duration)`.
+//! The default `force_window` of `None` keeps whole traces — the right
+//! call for replaying a bounded capture; the gateways default to a
+//! bounded window (see [`HubConfig`](crate::gateway::HubConfig)).
 
 use crate::decode::{StreamDecoder, WireStats};
 use crate::packet::SessionHeader;
-use datc_rx::online::{OnlineRateReconstructor, OnlineReconstructor};
+use crate::sink::{ForceRing, SessionSink};
+use datc_rx::online::{AnyOnlineReconstructor, OnlineReconSelect, OnlineReconstructor};
 use datc_uwb::aer::AddressedEvent;
 
 /// Tuning for a receive session.
@@ -14,26 +27,41 @@ use datc_uwb::aer::AddressedEvent;
 /// # Example
 ///
 /// ```
+/// use datc_rx::online::OnlineReconSelect;
 /// use datc_wire::session::SessionRxConfig;
+///
 /// let cfg = SessionRxConfig::default();
 /// assert_eq!(cfg.output_fs, 100.0);
+/// assert_eq!(cfg.recon, OnlineReconSelect::Rate { window_s: 0.25 });
+/// // the paper's D-ATC receiver instead:
+/// let datc = SessionRxConfig {
+///     recon: OnlineReconSelect::paper_threshold_track(),
+///     ..SessionRxConfig::default()
+/// };
+/// assert!(matches!(datc.recon, OnlineReconSelect::ThresholdTrack { .. }));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionRxConfig {
-    /// Sliding-rate window fed to each channel's reconstructor, seconds.
-    pub window_s: f64,
+    /// Which streaming reconstructor every channel gets (rate, EWMA,
+    /// threshold-track or hybrid — see [`OnlineReconSelect`]).
+    pub recon: OnlineReconSelect,
     /// Force output rate per channel, Hz.
     pub output_fs: f64,
     /// Reorder-buffer depth handed to the [`StreamDecoder`].
     pub reorder_window: usize,
+    /// Per-channel force samples retained for the closing report:
+    /// `Some(n)` keeps the newest `n` (bounded memory), `None` keeps the
+    /// whole trace.
+    pub force_window: Option<usize>,
 }
 
 impl Default for SessionRxConfig {
     fn default() -> Self {
         SessionRxConfig {
-            window_s: 0.25,
+            recon: OnlineReconSelect::default(),
             output_fs: 100.0,
             reorder_window: crate::decode::DEFAULT_REORDER_WINDOW,
+            force_window: None,
         }
     }
 }
@@ -45,21 +73,30 @@ pub struct SessionReport {
     pub header: Option<SessionHeader>,
     /// Final decoder counters.
     pub stats: WireStats,
-    /// Per-channel force traces at
-    /// [`output_fs`](SessionRxConfig::output_fs).
-    pub force: Vec<Vec<f64>>,
+    /// Per-channel force-trace *tails* at
+    /// [`output_fs`](SessionRxConfig::output_fs): the whole trace when
+    /// [`force_window`](SessionRxConfig::force_window) is `None`, else
+    /// the newest `force_window` samples (older ones were delivered to
+    /// the sink and evicted).
+    pub force_tail: Vec<Vec<f64>>,
+    /// Exact per-channel count of force samples ever emitted (tail plus
+    /// evicted).
+    pub force_emitted: Vec<usize>,
 }
 
 impl SessionReport {
-    /// `true` when every force sample on every channel is finite — the
-    /// loss-tolerance acceptance gate.
+    /// `true` when every retained force sample on every channel is
+    /// finite — the loss-tolerance acceptance gate.
     pub fn force_is_finite(&self) -> bool {
-        self.force.iter().all(|ch| ch.iter().all(|v| v.is_finite()))
+        self.force_tail
+            .iter()
+            .all(|ch| ch.iter().all(|v| v.is_finite()))
     }
 
-    /// Total force samples across channels.
+    /// Total force samples emitted across channels over the session's
+    /// lifetime.
     pub fn force_samples(&self) -> usize {
-        self.force.iter().map(Vec::len).sum()
+        self.force_emitted.iter().sum()
     }
 }
 
@@ -88,28 +125,62 @@ impl SessionReport {
 /// }
 /// let report = rx.finish();
 /// assert_eq!(report.stats.events_lost, 0);
-/// assert_eq!(report.force.len(), 2);
-/// assert_eq!(report.force[0].len(), 200); // 2 s at 100 Hz
+/// assert_eq!(report.force_tail.len(), 2);
+/// assert_eq!(report.force_tail[0].len(), 200); // 2 s at 100 Hz
 /// assert!(report.force_is_finite());
 /// ```
-#[derive(Debug)]
 pub struct SessionRx {
     config: SessionRxConfig,
     decoder: StreamDecoder,
-    recon: Vec<OnlineRateReconstructor>,
+    recon: Vec<AnyOnlineReconstructor>,
+    rings: Vec<ForceRing>,
+    sink: Option<Box<dyn SessionSink>>,
     scratch: Vec<AddressedEvent>,
+    emit_scratch: Vec<f64>,
+}
+
+impl std::fmt::Debug for SessionRx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRx")
+            .field("config", &self.config)
+            .field("decoder", &self.decoder)
+            .field("channels", &self.recon.len())
+            .field("has_sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl SessionRx {
     /// Creates an idle session pipeline; channels materialise when the
     /// HELLO announces them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `force_window` is `Some(0)` (use `None` for an
+    /// unbounded trace). The hubs reject such a config at bind time
+    /// instead, so the panic cannot reach a worker thread.
     pub fn new(config: SessionRxConfig) -> Self {
+        assert!(
+            config.force_window != Some(0),
+            "force_window must be positive (use None for unbounded)"
+        );
+        let decoder = StreamDecoder::with_reorder_window(config.reorder_window);
         SessionRx {
             config,
-            decoder: StreamDecoder::with_reorder_window(config.reorder_window),
+            decoder,
             recon: Vec::new(),
+            rings: Vec::new(),
+            sink: None,
             scratch: Vec::new(),
+            emit_scratch: Vec::new(),
         }
+    }
+
+    /// Attaches a [`SessionSink`] receiving events and force samples as
+    /// they are determined.
+    pub fn with_sink(mut self, sink: Box<dyn SessionSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The decoder's session header, once known.
@@ -117,26 +188,36 @@ impl SessionRx {
         self.decoder.session()
     }
 
+    /// `true` once the BYE frame was processed (the transport can close
+    /// the session without waiting for EOF — how the UDP hub retires
+    /// peers).
+    pub fn is_closed(&self) -> bool {
+        self.decoder.is_closed()
+    }
+
+    /// Current decoder counters.
+    pub fn stats(&self) -> WireStats {
+        self.decoder.stats()
+    }
+
     /// Feeds received bytes; decoded events flow straight into the
-    /// per-channel reconstructors. Returns events absorbed this call.
+    /// per-channel reconstructors (and the sink, when attached).
+    /// Returns events absorbed this call.
     pub fn push_bytes(&mut self, bytes: &[u8]) -> usize {
         self.decoder.push_bytes(bytes);
         if self.recon.is_empty() {
             if let Some(h) = self.decoder.session() {
-                let per_channel =
-                    OnlineRateReconstructor::new(self.config.window_s, self.config.output_fs)
-                        .with_duration(h.duration_s);
-                self.recon = vec![per_channel; usize::from(h.n_channels)];
+                let mut per_channel = self.config.recon.build(self.config.output_fs);
+                per_channel.cap_duration(h.duration_s);
+                let n = usize::from(h.n_channels);
+                self.recon = vec![per_channel; n];
+                self.rings = vec![ForceRing::new(self.config.force_window); n];
             }
         }
         self.scratch.clear();
         self.decoder.drain_events(&mut self.scratch);
         let absorbed = self.scratch.len();
-        for ae in &self.scratch {
-            if let Some(r) = self.recon.get_mut(usize::from(ae.channel)) {
-                r.push_event(ae.event.time_s);
-            }
-        }
+        self.absorb_scratch();
         // Released events are time-ordered across channels, so the
         // newest timestamp is a watermark for every channel: all
         // determined samples stream out with bounded latency.
@@ -144,41 +225,69 @@ impl SessionRx {
         for r in &mut self.recon {
             r.advance_to(watermark);
         }
+        self.emit();
         self.scratch.clear();
         absorbed
     }
 
+    /// Delivers `scratch` to the sink and the reconstructors.
+    fn absorb_scratch(&mut self) {
+        if self.scratch.is_empty() {
+            return;
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.on_events(&self.scratch);
+        }
+        for ae in &self.scratch {
+            if let Some(r) = self.recon.get_mut(usize::from(ae.channel)) {
+                r.push_coded(ae.event.time_s, ae.event.vth_code);
+            }
+        }
+    }
+
+    /// Moves newly determined samples into the rings and the sink.
+    fn emit(&mut self) {
+        for (ch, r) in self.recon.iter_mut().enumerate() {
+            self.emit_scratch.clear();
+            r.drain_into(&mut self.emit_scratch);
+            if self.emit_scratch.is_empty() {
+                continue;
+            }
+            self.rings[ch].push_slice(&self.emit_scratch);
+            if let Some(sink) = &mut self.sink {
+                sink.on_force(ch, &self.emit_scratch);
+            }
+        }
+    }
+
     /// Closes the session (transport EOF), flushing the decoder and the
-    /// reconstructors, and returns the final report.
+    /// reconstructors, and returns the final report. The sink, when
+    /// attached, sees the final deliveries and then
+    /// [`on_close`](SessionSink::on_close).
     pub fn finish(mut self) -> SessionReport {
         self.decoder.finish();
         self.scratch.clear();
         self.decoder.drain_events(&mut self.scratch);
-        for ae in &self.scratch {
-            if let Some(r) = self.recon.get_mut(usize::from(ae.channel)) {
-                r.push_event(ae.event.time_s);
-            }
-        }
+        self.absorb_scratch();
         let duration = self
             .decoder
             .session()
             .map_or(0.0, |h| h.duration_s)
             .max(0.0);
-        let force = self
-            .recon
-            .iter_mut()
-            .map(|r| {
-                r.finish(duration);
-                let mut trace = Vec::with_capacity(r.emitted());
-                r.drain_into(&mut trace);
-                trace
-            })
-            .collect();
-        SessionReport {
+        for r in &mut self.recon {
+            r.finish(duration);
+        }
+        self.emit();
+        let report = SessionReport {
             header: self.decoder.session().copied(),
             stats: self.decoder.stats(),
-            force,
+            force_tail: self.rings.iter().map(ForceRing::to_vec).collect(),
+            force_emitted: self.rings.iter().map(ForceRing::total).collect(),
+        };
+        if let Some(sink) = &mut self.sink {
+            sink.on_close(&report);
         }
+        report
     }
 }
 
@@ -188,6 +297,7 @@ mod tests {
     use crate::packet::Packetizer;
     use datc_core::event::EventStream;
     use datc_core::Event;
+    use datc_rx::reconstruct::{Reconstructor, ThresholdTrackReconstructor};
     use datc_rx::windowing::sliding_rate;
 
     fn test_events(header: &SessionHeader, n: u64) -> Vec<AddressedEvent> {
@@ -197,6 +307,15 @@ mod tests {
                 event: Event::at_tick(i * 23, header.tick_period_s, Some((i % 16) as u8)),
             })
             .collect()
+    }
+
+    fn demux(events: &[AddressedEvent], header: &SessionHeader) -> Vec<EventStream> {
+        datc_uwb::aer::demux(
+            events,
+            usize::from(header.n_channels),
+            header.tick_rate_hz,
+            header.duration_s,
+        )
     }
 
     #[test]
@@ -213,20 +332,93 @@ mod tests {
         assert_eq!(report.stats.events_lost, 0);
 
         // per-channel batch reference over the demuxed stream
-        for ch in 0..3u8 {
-            let ch_events: Vec<Event> = events
-                .iter()
-                .filter(|ae| ae.channel == ch)
-                .map(|ae| ae.event)
-                .collect();
-            let stream = EventStream::new(ch_events, header.tick_rate_hz, header.duration_s);
-            let batch = sliding_rate(&stream, 0.25, 100.0);
+        for (ch, stream) in demux(&events, &header).iter().enumerate() {
+            let batch = sliding_rate(stream, 0.25, 100.0);
+            assert_eq!(report.force_tail[ch], batch.samples(), "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn threshold_track_session_matches_batch_bit_exactly() {
+        let header = SessionHeader::new(4, 2, 2000.0, 4.0);
+        let events = test_events(&header, 350);
+        let wire = crate::packet::encode_session(header, &events);
+
+        let mut rx = SessionRx::new(SessionRxConfig {
+            recon: OnlineReconSelect::paper_threshold_track(),
+            ..SessionRxConfig::default()
+        });
+        for chunk in wire.chunks(97) {
+            rx.push_bytes(chunk);
+        }
+        let report = rx.finish();
+        assert_eq!(report.stats.events_lost, 0);
+
+        for (ch, stream) in demux(&events, &header).iter().enumerate() {
+            let batch = ThresholdTrackReconstructor::paper().reconstruct(stream, 100.0);
+            assert_eq!(report.force_tail[ch], batch.samples(), "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn bounded_force_window_keeps_the_tail_and_exact_totals() {
+        let header = SessionHeader::new(9, 2, 2000.0, 6.0);
+        let events = test_events(&header, 300);
+        let wire = crate::packet::encode_session(header, &events);
+
+        let bounded = SessionRxConfig {
+            force_window: Some(50),
+            ..SessionRxConfig::default()
+        };
+        let mut rx = SessionRx::new(bounded);
+        for chunk in wire.chunks(128) {
+            rx.push_bytes(chunk);
+        }
+        let report = rx.finish();
+
+        for (ch, stream) in demux(&events, &header).iter().enumerate() {
+            let batch = sliding_rate(stream, 0.25, 100.0);
+            let full = batch.samples();
+            assert_eq!(report.force_emitted[ch], full.len(), "channel {ch}");
+            assert_eq!(report.force_tail[ch].len(), 50);
             assert_eq!(
-                report.force[usize::from(ch)],
-                batch.samples(),
-                "channel {ch}"
+                report.force_tail[ch],
+                full[full.len() - 50..].to_vec(),
+                "tail is the newest 50 samples, channel {ch}"
             );
         }
+    }
+
+    #[test]
+    fn sink_receives_every_event_and_sample_exactly_once() {
+        use crate::sink::{capture_store, MemorySink};
+
+        let header = SessionHeader::new(12, 3, 2000.0, 3.0);
+        let events = test_events(&header, 240);
+        let wire = crate::packet::encode_session(header, &events);
+
+        let store = capture_store();
+        let mut rx = SessionRx::new(SessionRxConfig {
+            force_window: Some(10), // the ring is bounded…
+            ..SessionRxConfig::default()
+        })
+        .with_sink(Box::new(MemorySink::new(store.clone())));
+        for chunk in wire.chunks(33) {
+            rx.push_bytes(chunk);
+        }
+        let report = rx.finish();
+
+        let captures = store.lock().unwrap();
+        assert_eq!(captures.len(), 1);
+        let cap = &captures[0];
+        assert_eq!(cap.session_id(), 12);
+        assert_eq!(cap.events, events, "sink saw the exact event stream");
+        // …but the sink still saw the *full* trace, bit-exact
+        for (ch, stream) in demux(&events, &header).iter().enumerate() {
+            let batch = sliding_rate(stream, 0.25, 100.0);
+            assert_eq!(cap.force[ch], batch.samples(), "channel {ch}");
+        }
+        assert_eq!(cap.report.stats.events_decoded, report.stats.events_decoded);
     }
 
     #[test]
@@ -248,7 +440,7 @@ mod tests {
         let report = rx.finish();
         assert!(report.stats.events_lost > 0);
         assert!(report.force_is_finite());
-        for trace in &report.force {
+        for trace in &report.force_tail {
             assert_eq!(trace.len(), 400, "full 4 s at 100 Hz despite loss");
         }
     }

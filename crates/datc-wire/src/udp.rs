@@ -1,0 +1,891 @@
+//! Datagram transport: one framed packet per UDP datagram.
+//!
+//! TCP hides the lossy link the wire format was built for; UDP exposes
+//! it. Every datagram carries exactly one framed HELLO / DATA / BYE
+//! chunk, so the network's failure modes map one-to-one onto the
+//! machinery [`StreamDecoder`](crate::decode::StreamDecoder) already
+//! has:
+//!
+//! * a **dropped** datagram is a hole in the cumulative event index —
+//!   declared lost, with the exact event count, the moment the next
+//!   index arrives (or at session close);
+//! * a **reordered** datagram parks in the bounded reorder buffer and
+//!   is released in sequence;
+//! * a **duplicated** datagram covers an already-delivered index span —
+//!   counted and dropped.
+//!
+//! No per-datagram state is added on top: the session-level byte-stream
+//! decoder consumes each datagram as a self-delimiting frame. This is
+//! the same address-event discipline neuromorphic AER buses use over
+//! unreliable links — events are self-describing, so transport loss
+//! degrades the estimate instead of corrupting it.
+//!
+//! ## Sessions without connections
+//!
+//! UDP has no accept/EOF, so the [`UdpTelemetryHub`] keys in-flight
+//! sessions by peer address. A received BYE is held for a short grace
+//! window before it closes the books, so DATA datagrams reordered
+//! *behind* the BYE are still absorbed by the reorder buffer; the
+//! session then retires, and late stragglers of a retired session are
+//! dropped rather than resurrecting it as a ghost (a CRC-valid HELLO
+//! with a *different* header reopens the address — sensors
+//! legitimately reuse one socket for successive sessions). Hub
+//! shutdown drains the socket and finishes every in-flight peer, so
+//! every datagram received before the stop request is decoded and
+//! delivered exactly once. A peer whose BYE is lost simply stays
+//! in-flight until shutdown (a later HELLO with a different header
+//! from the same address retires it and opens the new session) — its
+//! events are all delivered, only the close-of-books reconciliation is
+//! missing.
+//!
+//! ## Known limits
+//!
+//! * Per-peer decoder state is allocated for any **CRC-valid** frame
+//!   from a new source address. Random junk is rejected before
+//!   allocation, but the frame format is not authenticated — a hub
+//!   exposed to untrusted networks should sit behind address
+//!   filtering.
+//! * DATA frames carry no session tag (only the cumulative event
+//!   index), so when a reused address hands over from session A to
+//!   session B, an A-tail datagram reordered *past* B's HELLO can be
+//!   misattributed to B's books (it parks as a far-future hole and is
+//!   declared lost at close). The BYE grace window absorbs the common
+//!   tail reorder; fully closing this corner needs a session nonce in
+//!   the framing — a wire-format follow-up, tracked in the ROADMAP.
+//! * A session whose HELLO never arrives is unidentifiable: its DATA
+//!   is booked as orphan frames, and the first HELLO that does reach
+//!   the address is adopted by that decoder (indistinguishable from
+//!   the session's own HELLO arriving reordered). Header-based
+//!   takeover therefore only protects sessions whose HELLO was
+//!   decoded.
+
+use crate::gateway::{
+    fleet_header, ClientReport, HubConfig, HubSession, SessionTable, SinkFactory,
+};
+use crate::packet::{Packetizer, SessionHeader};
+use crate::session::SessionRx;
+use datc_engine::FleetOutput;
+use datc_uwb::aer::AddressedEvent;
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Receive poll interval — also the post-stop drain quantum: after a
+/// stop request the receive loop keeps decoding until one full interval
+/// passes with the socket empty.
+const POLL: Duration = Duration::from_millis(2);
+
+/// A telemetry ingest gateway bound to a local UDP address.
+///
+/// Shares [`HubConfig`], [`HubSession`] and (optionally) the
+/// [`SessionTable`] with the TCP [`TelemetryHub`](crate::gateway::TelemetryHub),
+/// so a deployment can serve both transports into one operator view:
+///
+/// ```
+/// use datc_wire::gateway::{HubConfig, SessionTable, TelemetryHub};
+/// use datc_wire::udp::UdpTelemetryHub;
+///
+/// let table = SessionTable::shared();
+/// let tcp = TelemetryHub::bind_with("127.0.0.1:0", HubConfig::default(), table.clone(), None)
+///     .unwrap();
+/// let udp = UdpTelemetryHub::bind_with("127.0.0.1:0", HubConfig::default(), table.clone(), None)
+///     .unwrap();
+/// // … sensors connect over either transport …
+/// udp.shutdown();
+/// let all = tcp.shutdown(); // one table, both transports
+/// assert_eq!(all.len(), table.len());
+/// ```
+#[derive(Debug)]
+pub struct UdpTelemetryHub {
+    addr: SocketAddr,
+    table: Arc<SessionTable>,
+    stop: Arc<AtomicBool>,
+    receiver: Option<JoinHandle<()>>,
+}
+
+impl UdpTelemetryHub {
+    /// Binds a UDP socket (use port 0 for an ephemeral port) and starts
+    /// receiving sessions into a fresh private table, with no sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: HubConfig) -> std::io::Result<UdpTelemetryHub> {
+        UdpTelemetryHub::bind_with(addr, config, SessionTable::shared(), None)
+    }
+
+    /// Binds a UDP socket recording finished sessions into `table`
+    /// (shareable with a TCP hub) and attaching a sink from
+    /// `sink_factory` to every new peer session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configure failures.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        config: HubConfig,
+        table: Arc<SessionTable>,
+        sink_factory: Option<SinkFactory>,
+    ) -> std::io::Result<UdpTelemetryHub> {
+        crate::gateway::validate_config(&config)?;
+        let socket = UdpSocket::bind(addr)?;
+        let addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(POLL))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let receiver = {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || receive_loop(socket, config, table, sink_factory, stop))
+        };
+        Ok(UdpTelemetryHub {
+            addr,
+            table,
+            stop,
+            receiver: Some(receiver),
+        })
+    }
+
+    /// The bound address (the port to point senders at).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared session table.
+    pub fn session_table(&self) -> Arc<SessionTable> {
+        Arc::clone(&self.table)
+    }
+
+    /// Number of *finished* sessions in the table (in-flight peers
+    /// appear once their BYE is decoded or the hub shuts down).
+    pub fn session_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Clones the current session table.
+    pub fn snapshot(&self) -> Vec<HubSession> {
+        self.table.snapshot()
+    }
+
+    /// Stops receiving, drains every datagram already delivered to the
+    /// socket, finishes every in-flight peer session (each decoded
+    /// event reaches its sink exactly once), and returns the final
+    /// session table.
+    pub fn shutdown(mut self) -> Vec<HubSession> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.receiver.take() {
+            let _ = h.join();
+        }
+        self.snapshot()
+    }
+}
+
+impl Drop for UdpTelemetryHub {
+    fn drop(&mut self) {
+        if let Some(h) = self.receiver.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long a received BYE datagram is held back before it closes the
+/// session's books. A DATA datagram reordered *behind* the BYE (the
+/// classic session-tail reorder) arriving within this window still
+/// reaches the reorder buffer and is decoded — not falsely counted
+/// lost. Generous multiple of [`POLL`]; loopback reorder is
+/// instantaneous, real links reorder on the millisecond scale.
+const BYE_GRACE: Duration = Duration::from_millis(10);
+
+/// One in-flight peer session.
+struct Peer {
+    conn_id: u64,
+    rx: SessionRx,
+    bytes_received: u64,
+    /// A received BYE datagram held until its grace deadline, so
+    /// session-tail datagrams reordered behind it are still absorbed.
+    pending_bye: Option<(Vec<u8>, std::time::Instant)>,
+}
+
+fn receive_loop(
+    socket: UdpSocket,
+    config: HubConfig,
+    table: Arc<SessionTable>,
+    sink_factory: Option<SinkFactory>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut peers: HashMap<SocketAddr, Peer> = HashMap::new();
+    // Peers whose session was retired (BYE processed), mapped to the
+    // retired session's header. A DATA/BYE straggler duplicated or
+    // reordered past the grace window must be dropped, not allowed to
+    // resurrect the address as a ghost session; a CRC-valid HELLO
+    // carrying a *different* header is a genuinely new session
+    // (sensors legitimately reuse one socket) and un-retires the
+    // address — a duplicate of the finished session's own HELLO
+    // cannot, because its header matches. One entry per finished
+    // session, cleared on reuse — the same memory class as the
+    // session table itself.
+    let mut retired: HashMap<SocketAddr, Option<SessionHeader>> = HashMap::new();
+    // One datagram = one frame ≤ HEADER + MAX_PAYLOAD + CRC bytes; a
+    // 64 KiB buffer holds any datagram the socket can deliver (an
+    // oversized/truncated one fails its CRC and is skipped).
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut pending_byes = 0usize;
+    loop {
+        match socket.recv_from(&mut buf) {
+            Ok((n, from)) => {
+                let dgram = &buf[..n];
+                // Cheap frame-type peek (sync word + discriminant
+                // byte). Full CRC-validating parses run only where a
+                // probe is actually needed, so the steady-state DATA
+                // path costs exactly one parse — the decoder's own.
+                let peeked_type = (n > crate::frame::HEADER_LEN
+                    && dgram[..2] == crate::frame::SYNC)
+                    .then(|| dgram[2]);
+                let looks_hello = peeked_type == Some(crate::frame::FrameType::Hello.to_byte());
+                let looks_bye = peeked_type == Some(crate::frame::FrameType::Bye.to_byte());
+
+                if let Some(closed_header) = retired.get(&from) {
+                    match looks_hello.then(|| hello_header(dgram)).flatten() {
+                        Some(h) if Some(h) != *closed_header => {
+                            retired.remove(&from); // same sensor, next session
+                        }
+                        _ => continue, // straggler of the closed session
+                    }
+                }
+                // A reused socket can open a new session at any time —
+                // while the previous one is in BYE grace, or still
+                // nominally in flight because its BYE was lost. A
+                // CRC-valid HELLO carrying a *different* header
+                // retires the old peer right now, so the new session
+                // gets a fresh decoder instead of being swallowed by
+                // the old one's. (A peer whose own HELLO never arrived
+                // has no header to compare: the first HELLO to reach
+                // it is adopted by its decoder, indistinguishable from
+                // reordered delivery — see "Known limits".)
+                if looks_hello && peers.get(&from).is_some_and(|p| p.rx.header().is_some()) {
+                    if let Some(h) = hello_header(dgram) {
+                        let old = peers.get(&from).expect("presence just checked");
+                        if old.rx.header() != Some(&h) {
+                            let mut old = peers.remove(&from).expect("presence just checked");
+                            if let Some((bye, _)) = old.pending_bye.take() {
+                                pending_byes -= 1;
+                                old.rx.push_bytes(&bye);
+                            }
+                            // no `retired` entry: the new HELLO takes
+                            // over the address immediately
+                            finish_peer(old, &table);
+                        }
+                    }
+                }
+                // Junk from an unknown address must not allocate
+                // decoder state (a SessionRx plus a factory-built
+                // sink): only a CRC-valid frame opens a peer. Any
+                // frame type qualifies — a session whose HELLO is
+                // reordered behind its first DATA still gets a peer,
+                // and the decoder books the orphans.
+                if !peers.contains_key(&from) && !is_valid_frame(dgram) {
+                    continue;
+                }
+                let peer = peers.entry(from).or_insert_with(|| {
+                    let conn_id = table.next_conn_id();
+                    let mut rx = SessionRx::new(config.session.clone());
+                    if let Some(factory) = &sink_factory {
+                        rx = rx.with_sink(factory(conn_id));
+                    }
+                    Peer {
+                        conn_id,
+                        rx,
+                        bytes_received: 0,
+                        pending_bye: None,
+                    }
+                });
+                peer.bytes_received += n as u64;
+                if looks_bye && is_bye_frame(dgram) {
+                    // Hold the BYE for the grace window; duplicates of
+                    // a held BYE are byte-identical and dropped.
+                    if peer.pending_bye.is_none() {
+                        peer.pending_bye =
+                            Some((dgram.to_vec(), std::time::Instant::now() + BYE_GRACE));
+                        pending_byes += 1;
+                    }
+                } else {
+                    peer.rx.push_bytes(dgram);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A full poll interval with an empty socket *after* the
+                // stop request means the backlog is drained.
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+        // Retire peers whose BYE grace expired: close the books and
+        // remember the session header for the straggler filter.
+        if pending_byes > 0 {
+            let now = std::time::Instant::now();
+            let due: Vec<SocketAddr> = peers
+                .iter()
+                .filter(|(_, p)| p.pending_bye.as_ref().is_some_and(|&(_, at)| at <= now))
+                .map(|(&addr, _)| addr)
+                .collect();
+            for addr in due {
+                let mut peer = peers.remove(&addr).expect("key just listed");
+                let (bye, _) = peer.pending_bye.take().expect("filtered on pending");
+                pending_byes -= 1;
+                peer.rx.push_bytes(&bye);
+                retired.insert(addr, peer.rx.header().copied());
+                finish_peer(peer, &table);
+            }
+        }
+    }
+    // Drain-on-shutdown: flush held BYEs, then finish every in-flight
+    // peer — each decoded event reached its sink exactly once.
+    for (_, mut peer) in peers.drain() {
+        if let Some((bye, _)) = peer.pending_bye.take() {
+            peer.rx.push_bytes(&bye);
+        }
+        finish_peer(peer, &table);
+    }
+}
+
+/// Parses a datagram as one CRC-valid HELLO frame and returns its
+/// header — the only thing allowed to reopen a retired peer address.
+fn hello_header(datagram: &[u8]) -> Option<SessionHeader> {
+    match crate::frame::parse_frame(datagram) {
+        crate::frame::ParseOutcome::Frame {
+            frame:
+                crate::frame::Frame {
+                    ftype: crate::frame::FrameType::Hello,
+                    payload,
+                    ..
+                },
+            ..
+        } => SessionHeader::decode(payload),
+        _ => None,
+    }
+}
+
+/// `true` when the datagram is one CRC-valid BYE frame (held for the
+/// grace window before it closes the books).
+fn is_bye_frame(datagram: &[u8]) -> bool {
+    matches!(
+        crate::frame::parse_frame(datagram),
+        crate::frame::ParseOutcome::Frame {
+            frame: crate::frame::Frame {
+                ftype: crate::frame::FrameType::Bye,
+                ..
+            },
+            ..
+        }
+    )
+}
+
+/// `true` when the datagram parses as one CRC-valid frame of any type —
+/// the bar for allocating per-peer decoder state.
+fn is_valid_frame(datagram: &[u8]) -> bool {
+    matches!(
+        crate::frame::parse_frame(datagram),
+        crate::frame::ParseOutcome::Frame { .. }
+    )
+}
+
+fn finish_peer(peer: Peer, table: &SessionTable) {
+    let report = peer.rx.finish();
+    let session_id = report.header.map_or(0, |h| h.session_id);
+    table.insert(
+        peer.conn_id,
+        HubSession {
+            session_id,
+            bytes_received: peer.bytes_received,
+            report,
+        },
+    );
+}
+
+/// One transmit session over UDP: each framed chunk is sent as one
+/// datagram from a dedicated ephemeral socket (the source address is
+/// what the hub demuxes sessions on).
+///
+/// Sends are lightly paced (a sub-millisecond pause every
+/// [`BURST`](UdpSessionSender::BURST) datagrams) so a fast sender
+/// cannot trivially overrun a loopback receive buffer; real-loss
+/// experiments should inject loss deliberately, not depend on kernel
+/// buffer luck.
+///
+/// # Example
+///
+/// ```no_run
+/// use datc_wire::packet::SessionHeader;
+/// use datc_wire::udp::UdpSessionSender;
+///
+/// let header = SessionHeader::new(1, 4, 2000.0, 20.0);
+/// let mut tx = UdpSessionSender::connect("127.0.0.1:9000", header).unwrap();
+/// tx.send_events(&[]).unwrap();
+/// let report = tx.finish().unwrap();
+/// assert_eq!(report.events_sent, 0);
+/// ```
+#[derive(Debug)]
+pub struct UdpSessionSender {
+    socket: UdpSocket,
+    packetizer: Packetizer,
+    sent_since_pause: u32,
+}
+
+impl UdpSessionSender {
+    /// Datagrams sent back-to-back before the pacing pause.
+    pub const BURST: u32 = 32;
+
+    /// Binds an ephemeral local socket, connects it to `addr` and sends
+    /// the HELLO datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/send failures.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        header: SessionHeader,
+    ) -> std::io::Result<UdpSessionSender> {
+        let target = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address to connect to")
+        })?;
+        // Bind in the target's address family, or the connect fails.
+        let bind_addr: SocketAddr = if target.is_ipv4() {
+            "0.0.0.0:0".parse().expect("valid v4 wildcard")
+        } else {
+            "[::]:0".parse().expect("valid v6 wildcard")
+        };
+        let socket = UdpSocket::bind(bind_addr)?;
+        socket.connect(target)?;
+        let mut tx = UdpSessionSender {
+            socket,
+            packetizer: Packetizer::new(header),
+            sent_since_pause: 0,
+        };
+        let hello = tx.packetizer.hello();
+        tx.send_datagram(&hello)?;
+        Ok(tx)
+    }
+
+    /// Packetises a run of (tick-ordered) events, one DATA frame per
+    /// datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    pub fn send_events(&mut self, events: &[AddressedEvent]) -> std::io::Result<()> {
+        for frame in self.packetizer.data_frames(events) {
+            self.send_datagram(&frame)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the BYE datagram and reports the client-side counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    pub fn finish(mut self) -> std::io::Result<ClientReport> {
+        let bye = self.packetizer.bye();
+        self.send_datagram(&bye)?;
+        Ok(ClientReport {
+            events_sent: self.packetizer.events_sent(),
+            frames_sent: self.packetizer.frames_emitted(),
+            bytes_sent: self.packetizer.bytes_emitted(),
+        })
+    }
+
+    fn send_datagram(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.socket.send(frame)?;
+        self.sent_since_pause += 1;
+        if self.sent_since_pause >= Self::BURST {
+            self.sent_since_pause = 0;
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+}
+
+/// Streams a whole fleet encode through one UDP session — the datagram
+/// counterpart of [`stream_fleet`](crate::gateway::stream_fleet).
+///
+/// # Errors
+///
+/// Propagates socket/send failures.
+///
+/// # Panics
+///
+/// Panics when the fleet is empty or has more than 256 channels.
+pub fn udp_stream_fleet<A: ToSocketAddrs>(
+    addr: A,
+    session_id: u32,
+    fleet: &FleetOutput,
+    dead_time_s: f64,
+) -> std::io::Result<ClientReport> {
+    let header = fleet_header(session_id, fleet);
+    let merged = fleet.merge_aer(dead_time_s);
+    let mut tx = UdpSessionSender::connect(addr, header)?;
+    tx.send_events(&merged.merged)?;
+    tx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datc_core::Event;
+
+    fn test_events(header: &SessionHeader, n: u64) -> Vec<AddressedEvent> {
+        (0..n)
+            .map(|i| AddressedEvent {
+                channel: (i % u64::from(header.n_channels)) as u8,
+                event: Event::at_tick(i * 21, header.tick_period_s, Some((i % 16) as u8)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_udp_session_round_trips() {
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let header = SessionHeader::new(31, 2, 2000.0, 2.0);
+        let events = test_events(&header, 180);
+        let mut tx = UdpSessionSender::connect(hub.local_addr(), header).unwrap();
+        tx.send_events(&events).unwrap();
+        let client = tx.finish().unwrap();
+        assert_eq!(client.events_sent, 180);
+
+        // BYE-triggered retirement: the session lands without shutdown.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.session_id, 31);
+        assert_eq!(s.bytes_received, client.bytes_sent);
+        assert_eq!(s.report.stats.events_decoded, 180);
+        assert_eq!(s.report.stats.events_lost, 0);
+        assert!(s.report.stats.closed, "BYE reconciled the books");
+    }
+
+    #[test]
+    fn concurrent_udp_sessions_demux_by_peer_address() {
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let addr = hub.local_addr();
+        let handles: Vec<_> = (0..4u32)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let header = SessionHeader::new(id, 1, 2000.0, 1.0);
+                    let events: Vec<AddressedEvent> = (0..50)
+                        .map(|i| AddressedEvent {
+                            channel: 0,
+                            event: Event::at_tick(i * 37, header.tick_period_s, None),
+                        })
+                        .collect();
+                    let mut tx = UdpSessionSender::connect(addr, header).unwrap();
+                    tx.send_events(&events).unwrap();
+                    tx.finish().unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 4);
+        for s in &sessions {
+            assert_eq!(
+                s.report.stats.events_decoded, 50,
+                "session {}",
+                s.session_id
+            );
+            assert_eq!(s.report.stats.events_lost, 0);
+        }
+    }
+
+    #[test]
+    fn datagram_behind_the_bye_cannot_resurrect_a_retired_session() {
+        // A duplicated (or reordered) DATA datagram arriving after its
+        // session's BYE was processed must be dropped, not create a
+        // ghost session under a fresh conn id.
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let header = SessionHeader::new(55, 1, 2000.0, 1.0);
+        let events = test_events(&header, 30);
+
+        let mut packetizer = Packetizer::new(header);
+        let hello = packetizer.hello();
+        let data = packetizer.data_frames(&events);
+        let bye = packetizer.bye();
+
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        socket.send(&hello).unwrap();
+        for f in &data {
+            socket.send(f).unwrap();
+        }
+        socket.send(&bye).unwrap();
+        // wait for BYE-triggered retirement…
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // …then replay stragglers from the same source address
+        socket.send(&data[0]).unwrap();
+        socket.send(&bye).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            hub.session_count(),
+            1,
+            "stragglers must not resurrect the session"
+        );
+
+        // A fresh HELLO from the same socket, however, IS a new
+        // session: sensors legitimately reuse one socket.
+        let header_b = SessionHeader::new(56, 1, 2000.0, 1.0);
+        let mut tx_b = Packetizer::new(header_b);
+        socket.send(&tx_b.hello()).unwrap();
+        for f in tx_b.data_frames(&test_events(&header_b, 10)) {
+            socket.send(&f).unwrap();
+        }
+        socket.send(&tx_b.bye()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 2, "one retired + one reused-socket session");
+        assert_eq!(sessions[0].session_id, 55);
+        assert_eq!(sessions[0].report.stats.events_decoded, 30);
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert_eq!(sessions[1].session_id, 56);
+        assert_eq!(sessions[1].report.stats.events_decoded, 10);
+    }
+
+    #[test]
+    fn data_reordered_behind_the_bye_is_absorbed_by_the_grace_window() {
+        // The classic session-tail reorder: [.., D1, BYE, D2]. The BYE
+        // is held for BYE_GRACE, so D2 still reaches the reorder
+        // buffer and the books close with zero loss.
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let header = SessionHeader::new(60, 1, 2000.0, 1.0);
+        let events = test_events(&header, 20);
+        let mut tx = Packetizer::new(header).with_events_per_frame(10);
+        let hello = tx.hello();
+        let data = tx.data_frames(&events);
+        let bye = tx.bye();
+        assert_eq!(data.len(), 2);
+
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        socket.send(&hello).unwrap();
+        socket.send(&data[0]).unwrap();
+        socket.send(&bye).unwrap(); // BYE overtakes the last DATA
+        socket.send(&data[1]).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].report.stats.events_decoded, 20, "D2 absorbed");
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert!(sessions[0].report.stats.closed);
+    }
+
+    #[test]
+    fn new_session_hello_during_the_old_byes_grace_window_is_not_swallowed() {
+        // Socket reuse, back to back: session B's HELLO lands while
+        // session A's BYE is still held in grace. A must retire at
+        // once and B must get a fresh decoder.
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+
+        for (id, n) in [(70u32, 25u64), (71, 15)] {
+            let header = SessionHeader::new(id, 1, 2000.0, 1.0);
+            let mut tx = Packetizer::new(header);
+            socket.send(&tx.hello()).unwrap();
+            for f in tx.data_frames(&test_events(&header, n)) {
+                socket.send(&f).unwrap();
+            }
+            socket.send(&tx.bye()).unwrap();
+            // no pause: session 71 starts well inside 70's grace
+        }
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 2, "both back-to-back sessions land");
+        assert_eq!(sessions[0].session_id, 70);
+        assert_eq!(sessions[0].report.stats.events_decoded, 25);
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert_eq!(sessions[1].session_id, 71);
+        assert_eq!(sessions[1].report.stats.events_decoded, 15);
+        assert_eq!(sessions[1].report.stats.events_lost, 0);
+        assert!(sessions[1].report.stats.closed);
+    }
+
+    #[test]
+    fn reused_socket_after_a_lost_bye_starts_a_fresh_session() {
+        // Session A's BYE is lost; the sensor reuses the socket for
+        // session B. B's HELLO (different header) must retire A and
+        // open a fresh decoder — not be swallowed by A's.
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+
+        let header_a = SessionHeader::new(80, 1, 2000.0, 1.0);
+        let mut tx_a = Packetizer::new(header_a);
+        socket.send(&tx_a.hello()).unwrap();
+        for f in tx_a.data_frames(&test_events(&header_a, 20)) {
+            socket.send(&f).unwrap();
+        }
+        // A's BYE is lost on air.
+
+        let header_b = SessionHeader::new(81, 1, 2000.0, 1.0);
+        let mut tx_b = Packetizer::new(header_b);
+        socket.send(&tx_b.hello()).unwrap();
+        for f in tx_b.data_frames(&test_events(&header_b, 10)) {
+            socket.send(&f).unwrap();
+        }
+        socket.send(&tx_b.bye()).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 2, "A retired by takeover, B landed");
+        assert_eq!(sessions[0].session_id, 80);
+        assert_eq!(sessions[0].report.stats.events_decoded, 20);
+        assert!(!sessions[0].report.stats.closed, "A's BYE was lost");
+        assert_eq!(sessions[1].session_id, 81);
+        assert_eq!(sessions[1].report.stats.events_decoded, 10);
+        assert_eq!(sessions[1].report.stats.events_lost, 0);
+        assert!(sessions[1].report.stats.closed);
+    }
+
+    #[test]
+    fn junk_datagrams_do_not_allocate_peer_state() {
+        let made = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let factory: SinkFactory = {
+            let made = made.clone();
+            Arc::new(move |_conn| {
+                made.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                struct Null;
+                impl crate::sink::SessionSink for Null {}
+                Box::new(Null)
+            })
+        };
+        let hub = UdpTelemetryHub::bind_with(
+            "127.0.0.1:0",
+            HubConfig::default(),
+            crate::gateway::SessionTable::shared(),
+            Some(factory),
+        )
+        .unwrap();
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        for i in 0..20u8 {
+            socket.send(&[i, 0xFF, i ^ 0x55, 0x00, i]).unwrap(); // garbage
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let sessions = hub.shutdown();
+        assert!(sessions.is_empty(), "no ghost sessions from junk");
+        assert_eq!(
+            made.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "no sink was ever built"
+        );
+    }
+
+    #[test]
+    fn configs_that_would_panic_in_the_receive_thread_are_rejected_at_bind() {
+        use crate::session::SessionRxConfig;
+        use datc_rx::online::OnlineReconSelect;
+
+        let session = |recon: OnlineReconSelect| SessionRxConfig {
+            recon,
+            ..Default::default()
+        };
+        let bad_configs = vec![
+            HubConfig {
+                session: SessionRxConfig {
+                    force_window: Some(0),
+                    ..Default::default()
+                },
+            },
+            HubConfig {
+                session: SessionRxConfig {
+                    output_fs: 0.0,
+                    ..Default::default()
+                },
+            },
+            HubConfig {
+                session: session(OnlineReconSelect::Rate { window_s: 0.0 }),
+            },
+            HubConfig {
+                session: session(OnlineReconSelect::Ewma { tau_s: -1.0 }),
+            },
+            HubConfig {
+                session: session(OnlineReconSelect::ThresholdTrack {
+                    dac: datc_core::dac::Dac::paper(),
+                    smooth_window_s: 0.0,
+                }),
+            },
+            HubConfig {
+                session: session(OnlineReconSelect::Hybrid {
+                    dac: datc_core::dac::Dac::paper(),
+                    smooth_window_s: 0.75,
+                    rate_window_s: 0.75,
+                    alpha: 1.0,
+                    rate0_hz: Some(0.0),
+                }),
+            },
+        ];
+        for bad in bad_configs {
+            let err = UdpTelemetryHub::bind("127.0.0.1:0", bad.clone());
+            assert_eq!(
+                err.err().map(|e| e.kind()),
+                Some(std::io::ErrorKind::InvalidInput),
+                "udp bind must reject {bad:?}"
+            );
+            let err = crate::gateway::TelemetryHub::bind("127.0.0.1:0", bad.clone());
+            assert_eq!(
+                err.err().map(|e| e.kind()),
+                Some(std::io::ErrorKind::InvalidInput),
+                "tcp bind must reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_bye_session_is_flushed_at_shutdown() {
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let header = SessionHeader::new(77, 1, 2000.0, 1.0);
+        let events = test_events(&header, 40);
+        let mut tx = UdpSessionSender::connect(hub.local_addr(), header).unwrap();
+        tx.send_events(&events).unwrap();
+        drop(tx); // never send the BYE
+        std::thread::sleep(Duration::from_millis(50));
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1, "in-flight peer flushed at shutdown");
+        assert_eq!(sessions[0].report.stats.events_decoded, 40);
+        assert!(!sessions[0].report.stats.closed, "no BYE, books stay open");
+    }
+}

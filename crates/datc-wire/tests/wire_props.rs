@@ -134,8 +134,123 @@ proptest! {
         // finite trace for every channel
         prop_assert!(report.force_is_finite());
         let n_out = (header.duration_s * 100.0).floor() as usize;
-        for trace in &report.force {
+        for trace in &report.force_tail {
             prop_assert_eq!(trace.len(), n_out);
+        }
+    }
+
+    /// The UDP transport model: every framed chunk is one datagram, and
+    /// the network may drop, duplicate and arbitrarily reorder them.
+    /// The decoder must (a) account the loss exactly, per channel,
+    /// (b) count every duplicate, and (c) reconstruct the surviving
+    /// events exactly — the threshold track over the survivors must be
+    /// bit-identical to the batch reconstruction of the same survivor
+    /// stream.
+    #[test]
+    fn datagram_drop_reorder_dup_yields_exact_loss_accounting(
+        session in arb_session(),
+        frame_size in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        use datc_core::event::EventStream;
+        use datc_rx::online::OnlineReconSelect;
+        use datc_rx::reconstruct::{Reconstructor, ThresholdTrackReconstructor};
+
+        let (header, events) = session;
+        let mut tx = Packetizer::new(header).with_events_per_frame(frame_size);
+        let hello = tx.hello();
+        let data = tx.data_frames(&events);
+        let bye = tx.bye();
+
+        // Per-datagram fate from a xorshift stream: ~1/4 dropped,
+        // ~1/4 duplicated, the rest delivered once.
+        let mut x = seed | 1;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut delivered: Vec<usize> = Vec::new(); // data-frame indices
+        let mut dropped_frames: Vec<usize> = Vec::new();
+        let mut extra_copies = 0u64;
+        for i in 0..data.len() {
+            match step() % 4 {
+                0 => dropped_frames.push(i),
+                1 => {
+                    delivered.push(i);
+                    delivered.push(i);
+                    extra_copies += 1;
+                }
+                _ => delivered.push(i),
+            }
+        }
+        // Arbitrary reorder: Fisher-Yates over the delivery sequence.
+        for i in (1..delivered.len()).rev() {
+            let j = (step() % (i as u64 + 1)) as usize;
+            delivered.swap(i, j);
+        }
+
+        // A reorder window larger than the whole session absorbs any
+        // permutation, so the only loss is the dropped datagrams.
+        let mut rx = SessionRx::new(SessionRxConfig {
+            recon: OnlineReconSelect::paper_threshold_track(),
+            reorder_window: data.len() + 2,
+            ..SessionRxConfig::default()
+        });
+        rx.push_bytes(&hello);
+        for &i in &delivered {
+            rx.push_bytes(&data[i]);
+        }
+        rx.push_bytes(&bye);
+        let report = rx.finish();
+
+        // (a) exact loss accounting, total and per channel
+        let frame_events = |i: usize| {
+            let lo = i * frame_size;
+            let hi = events.len().min(lo + frame_size);
+            &events[lo..hi]
+        };
+        let dropped_events: u64 = dropped_frames.iter().map(|&i| frame_events(i).len() as u64).sum();
+        prop_assert_eq!(report.stats.events_lost, dropped_events);
+        prop_assert_eq!(
+            report.stats.events_decoded + report.stats.events_lost,
+            events.len() as u64
+        );
+        let mut lost_per_channel = vec![0u64; usize::from(header.n_channels)];
+        for &i in &dropped_frames {
+            for ae in frame_events(i) {
+                lost_per_channel[usize::from(ae.channel)] += 1;
+            }
+        }
+        for (ch, stats) in report.stats.per_channel.iter().enumerate() {
+            prop_assert_eq!(
+                stats.lost,
+                Some(lost_per_channel[ch]),
+                "channel {} loss", ch
+            );
+        }
+
+        // (b) every duplicate datagram is counted
+        prop_assert_eq!(report.stats.duplicate_frames, extra_copies);
+
+        // (c) exact reconstruction on the survivors: bit-identical to
+        // the batch threshold track over the survivor stream
+        let mut survivors: Vec<AddressedEvent> = Vec::new();
+        for i in 0..data.len() {
+            if !dropped_frames.contains(&i) {
+                survivors.extend_from_slice(frame_events(i));
+            }
+        }
+        for ch in 0..usize::from(header.n_channels) {
+            let ch_events: Vec<Event> = survivors
+                .iter()
+                .filter(|ae| usize::from(ae.channel) == ch)
+                .map(|ae| ae.event)
+                .collect();
+            let stream = EventStream::new(ch_events, header.tick_rate_hz, header.duration_s);
+            let batch = ThresholdTrackReconstructor::paper().reconstruct(&stream, 100.0);
+            prop_assert_eq!(&report.force_tail[ch], batch.samples(), "channel {}", ch);
         }
     }
 

@@ -1,14 +1,18 @@
 //! Telemetry gateway demo: a fleet of simulated sensors streams
-//! D-ATC events over TCP loopback into a `TelemetryHub`, which decodes
-//! incrementally and reconstructs per-channel force online — including
-//! one sensor whose link drops packets.
+//! D-ATC events into one shared session table — half over TCP, half
+//! over UDP datagrams — while the hubs decode incrementally and
+//! reconstruct per-channel force online (the paper's threshold-track
+//! receiver), in bounded memory. A final offline replay shows the
+//! exact loss books on a link that drops packets.
 //!
 //! Run with: `cargo run --release --example telemetry_gateway`
 
 use datc::core::{DatcConfig, TraceLevel};
 use datc::engine::FleetRunner;
+use datc::rx::online::OnlineReconSelect;
 use datc::signal::generator::semg_fleet;
-use datc::wire::{stream_fleet, HubConfig, SessionRx, SessionRxConfig, TelemetryHub};
+use datc::wire::udp::{udp_stream_fleet, UdpTelemetryHub};
+use datc::wire::{stream_fleet, HubConfig, SessionRx, SessionRxConfig, SessionTable, TelemetryHub};
 
 fn main() {
     let n_sensors = 4u32;
@@ -16,12 +20,26 @@ fn main() {
     let seconds = 5.0;
     let dead_time = 25e-6;
 
-    // 1. The gateway: one TCP ingest point for the whole sensor fleet.
-    let hub = TelemetryHub::bind("127.0.0.1:0", HubConfig::default()).expect("bind loopback");
-    let addr = hub.local_addr();
-    println!("telemetry hub listening on {addr}");
+    // 1. Two ingest points — TCP and UDP — sharing one session table,
+    //    every channel running the paper's D-ATC threshold-track
+    //    receiver in bounded memory.
+    let config = HubConfig {
+        session: SessionRxConfig {
+            recon: OnlineReconSelect::paper_threshold_track(),
+            ..HubConfig::default().session
+        },
+    };
+    let table = SessionTable::shared();
+    let tcp_hub = TelemetryHub::bind_with("127.0.0.1:0", config.clone(), table.clone(), None)
+        .expect("bind tcp loopback");
+    let udp_hub = UdpTelemetryHub::bind_with("127.0.0.1:0", config, table.clone(), None)
+        .expect("bind udp loopback");
+    let tcp_addr = tcp_hub.local_addr();
+    let udp_addr = udp_hub.local_addr();
+    println!("telemetry hubs listening on {tcp_addr} (tcp) and {udp_addr} (udp)");
 
-    // 2. N sensors in parallel: encode → merge AER → packetize → TCP.
+    // 2. N sensors in parallel: encode → merge AER → packetize →
+    //    alternating transports.
     let workers: Vec<_> = (0..n_sensors)
         .map(|id| {
             std::thread::spawn(move || {
@@ -30,9 +48,19 @@ fn main() {
                 let fleet = FleetRunner::new(config, channels)
                     .expect("valid fleet")
                     .encode(&signals);
-                let report = stream_fleet(addr, id, &fleet, dead_time).expect("stream");
+                let (transport, report) = if id % 2 == 0 {
+                    (
+                        "tcp",
+                        stream_fleet(tcp_addr, id, &fleet, dead_time).expect("stream"),
+                    )
+                } else {
+                    (
+                        "udp",
+                        udp_stream_fleet(udp_addr, id, &fleet, dead_time).expect("stream"),
+                    )
+                };
                 println!(
-                    "sensor {id}: {} events in {} frames, {:.2} bytes/event",
+                    "sensor {id} ({transport}): {} events in {} frames, {:.2} bytes/event",
                     report.events_sent,
                     report.frames_sent,
                     report.bytes_sent as f64 / report.events_sent.max(1) as f64,
@@ -44,18 +72,22 @@ fn main() {
         w.join().unwrap();
     }
 
-    // 3. The hub's view: per-session decode books and force traces.
-    let sessions = hub.shutdown();
-    println!("\nhub closed with {} sessions:", sessions.len());
-    println!("session  channels  events  lost  force-samples");
+    // 3. One operator view over both transports: per-session decode
+    //    books and bounded force tails.
+    udp_hub.shutdown();
+    tcp_hub.shutdown();
+    let sessions = table.snapshot();
+    println!("\nhubs closed with {} sessions:", sessions.len());
+    println!("session  channels  events  lost  force-samples  tail-kept");
     for s in &sessions {
         println!(
-            "{:>7}  {:>8}  {:>6}  {:>4}  {:>13}",
+            "{:>7}  {:>8}  {:>6}  {:>4}  {:>13}  {:>9}",
             s.session_id,
-            s.report.force.len(),
+            s.report.force_tail.len(),
             s.report.stats.events_decoded,
             s.report.stats.events_lost,
             s.report.force_samples(),
+            s.report.force_tail.iter().map(Vec::len).sum::<usize>(),
         );
     }
 

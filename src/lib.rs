@@ -18,8 +18,11 @@
 //!   the composable [`Link`](rx::pipeline::Link) pipeline builder;
 //! * [`wire`] — the AER wire format: packet codec, loss-tolerant
 //!   [`StreamDecoder`](wire::StreamDecoder), streaming per-session
-//!   receive pipeline and the multi-session
-//!   [`TelemetryHub`](wire::TelemetryHub) TCP gateway;
+//!   receive pipeline (selectable rate / EWMA / threshold-track /
+//!   hybrid reconstructors, bounded-memory sinks) and the
+//!   multi-session [`TelemetryHub`](wire::TelemetryHub) TCP gateway
+//!   plus its [`UdpTelemetryHub`](wire::UdpTelemetryHub) datagram
+//!   counterpart;
 //! * [`rtl`] — the gate-level DTC, cell library, synthesis and power
 //!   reports (Table I);
 //! * [`experiments`] — runners regenerating every figure and table.
@@ -171,13 +174,15 @@ pub mod prelude {
     pub use datc_engine::{FleetOutput, FleetRunner};
     pub use datc_rx::pipeline::{Link, LinkBuilder, LinkRun};
     pub use datc_rx::{
-        HybridReconstructor, OnlineRateReconstructor, OnlineReconstructor, RateReconstructor,
-        Reconstructor, ThresholdTrackReconstructor,
+        HybridReconstructor, OnlineHybridReconstructor, OnlineRateReconstructor, OnlineReconSelect,
+        OnlineReconstructor, OnlineThresholdTrackReconstructor, RateReconstructor, Reconstructor,
+        ThresholdTrackReconstructor,
     };
     pub use datc_signal::Signal;
     pub use datc_uwb::channel::SymbolChannel;
     pub use datc_uwb::link::{Transmission, UwbTx};
     pub use datc_wire::{
-        Packetizer, SessionHeader, SessionRx, StreamDecoder, TelemetryHub, WireStats,
+        Packetizer, SessionHeader, SessionRx, SessionSink, StreamDecoder, TelemetryHub,
+        UdpTelemetryHub, WireStats,
     };
 }
