@@ -1,6 +1,17 @@
 //! The analog comparator (Fig. 1): produces the 1-bit `D_in` consumed by
 //! the DTC. Ideal by default, with optional input offset, hysteresis and
 //! input-referred noise for robustness studies.
+//!
+//! The noise generator is **counter-based**: the sample drawn for the
+//! `k`-th comparison is a pure function of `(seed, k)` (a splitmix64
+//! lane — the stream generator the xoshiro family seeds from — feeding
+//! an Irwin–Hall Gaussian approximation). That makes the sequence
+//! reproducible *by position*, which is what lets the struct-of-arrays
+//! [`BankStream`](crate::bank::BankStream) evaluate channel `c`'s noise
+//! at tick `k` without carrying sequential RNG state through its
+//! vectorised span kernel — non-ideal bank fleets are bit-exact with N
+//! independent [`DatcStream`](crate::stream::DatcStream)s carrying the
+//! same comparator configs.
 
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +37,10 @@ pub struct Comparator {
     hysteresis_v: f64,
     noise_sigma_v: f64,
     state: bool,
-    noise_rng_state: u64,
+    noise_seed: u64,
+    /// Comparisons performed since power-on — the counter the noise lane
+    /// is indexed by.
+    noise_counter: u64,
 }
 
 impl Comparator {
@@ -37,7 +51,8 @@ impl Comparator {
             hysteresis_v: 0.0,
             noise_sigma_v: 0.0,
             state: false,
-            noise_rng_state: 0x9E3779B97F4A7C15,
+            noise_seed: 0x9E3779B97F4A7C15,
+            noise_counter: 0,
         }
     }
 
@@ -53,11 +68,12 @@ impl Comparator {
         self
     }
 
-    /// Sets Gaussian input-referred noise (volts RMS) with a deterministic
-    /// internal generator seeded by `seed`.
+    /// Sets Gaussian input-referred noise (volts RMS) drawn from the
+    /// deterministic counter-based lane keyed by `seed`.
     pub fn with_noise(mut self, sigma_v: f64, seed: u64) -> Self {
         self.noise_sigma_v = sigma_v.max(0.0);
-        self.noise_rng_state = seed | 1;
+        self.noise_seed = seed | 1;
+        self.noise_counter = 0;
         self
     }
 
@@ -71,11 +87,29 @@ impl Comparator {
         self.hysteresis_v
     }
 
+    /// The configured noise level in volts RMS.
+    pub fn noise_sigma_v(&self) -> f64 {
+        self.noise_sigma_v
+    }
+
+    /// The noise lane seed.
+    pub fn noise_seed(&self) -> u64 {
+        self.noise_seed
+    }
+
+    /// `true` when offset, hysteresis and noise are all zero — the
+    /// configuration the branch-free ideal kernels handle.
+    pub fn is_ideal(&self) -> bool {
+        self.offset_v == 0.0 && self.hysteresis_v == 0.0 && self.noise_sigma_v == 0.0
+    }
+
     /// Compares input `x` against threshold `vth`, updating the hysteresis
     /// state.
     pub fn compare(&mut self, x: f64, vth: f64) -> bool {
         let noise = if self.noise_sigma_v > 0.0 {
-            self.noise_sigma_v * self.next_gaussian()
+            let k = self.noise_counter;
+            self.noise_counter += 1;
+            self.noise_sigma_v * gaussian_at(self.noise_seed, k)
         } else {
             0.0
         };
@@ -86,28 +120,11 @@ impl Comparator {
         self.state
     }
 
-    /// Resets the hysteresis state to low.
+    /// Resets to power-on: hysteresis state low, noise lane rewound to
+    /// position 0.
     pub fn reset(&mut self) {
         self.state = false;
-    }
-
-    // xorshift64* + Box-Muller-lite (sum of 12 uniforms − 6 ≈ N(0,1));
-    // the comparator needs speed, not tail fidelity.
-    fn next_uniform(&mut self) -> f64 {
-        let mut x = self.noise_rng_state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.noise_rng_state = x;
-        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn next_gaussian(&mut self) -> f64 {
-        let mut s = 0.0;
-        for _ in 0..12 {
-            s += self.next_uniform();
-        }
-        s - 6.0
+        self.noise_counter = 0;
     }
 }
 
@@ -115,6 +132,36 @@ impl Default for Comparator {
     fn default() -> Self {
         Comparator::ideal()
     }
+}
+
+/// splitmix64 output finalizer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+const PHI: u64 = 0x9E3779B97F4A7C15;
+
+/// The `k`-th sample of the counter-based Gaussian lane keyed by `seed`:
+/// three splitmix64 words (positions disjoint across `k`, so consecutive
+/// samples share no state) carved into twelve 16-bit uniforms, summed
+/// Irwin–Hall-style (≈ N(0,1); the comparator needs speed, not tail
+/// fidelity). Pure in `(seed, k)` — the property the SoA bank kernel
+/// relies on.
+#[inline]
+pub(crate) fn gaussian_at(seed: u64, k: u64) -> f64 {
+    let s = seed.wrapping_add(k.wrapping_mul(3).wrapping_mul(PHI));
+    let mut sum = 0u64;
+    for i in 1..=3u64 {
+        let mut w = mix64(s.wrapping_add(i.wrapping_mul(PHI)));
+        for _ in 0..4 {
+            sum += w & 0xFFFF;
+            w >>= 16;
+        }
+    }
+    sum as f64 / 65536.0 - 6.0
 }
 
 #[cfg(test)]
@@ -164,11 +211,47 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_hysteresis_state() {
+    fn noise_lane_is_pure_in_seed_and_position() {
+        // the k-th decision is predictable from (seed, k) alone — the
+        // contract the SoA bank kernel's vectorised noise path builds on
+        let mut c = Comparator::ideal().with_noise(0.05, 42);
+        for k in 0..200u64 {
+            let expected = 0.3 + 0.0 + 0.05 * gaussian_at(42 | 1, k) > 0.3;
+            assert_eq!(c.compare(0.3, 0.3), expected, "draw {k}");
+        }
+        // different seeds produce different streams
+        let a: Vec<u64> = (0..32).map(|k| gaussian_at(3, k).to_bits()).collect();
+        let b: Vec<u64> = (0..32).map(|k| gaussian_at(5, k).to_bits()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_lane_has_unit_scale_and_zero_mean() {
+        let n = 100_000u64;
+        let (mut sum, mut sq) = (0.0f64, 0.0f64);
+        for k in 0..n {
+            let g = gaussian_at(12345 | 1, k);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn reset_clears_hysteresis_state_and_rewinds_noise() {
         let mut c = Comparator::ideal().with_hysteresis(0.2);
         assert!(c.compare(0.5, 0.3));
         c.reset();
         // back to the rising threshold
         assert!(!c.compare(0.35, 0.3));
+
+        let mut n = Comparator::ideal().with_noise(0.5, 7);
+        let first: Vec<bool> = (0..64).map(|_| n.compare(0.3, 0.3)).collect();
+        n.reset();
+        let replay: Vec<bool> = (0..64).map(|_| n.compare(0.3, 0.3)).collect();
+        assert_eq!(first, replay, "reset rewinds the noise lane");
     }
 }

@@ -86,6 +86,29 @@ impl EventStream {
         }
     }
 
+    /// Wraps events whose tick order is guaranteed by construction (the
+    /// streaming kernels emit in tick order) without the O(n) ordering
+    /// re-scan of [`new`](EventStream::new) — on a 64-channel fleet that
+    /// scan rereads every cache-cold event buffer once per encode.
+    /// Ordering is still checked in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the duration is not positive (and, in debug builds,
+    /// when events are out of order).
+    pub fn from_ordered(events: Vec<Event>, tick_rate_hz: f64, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "duration must be positive");
+        debug_assert!(
+            events.windows(2).all(|w| w[0].tick <= w[1].tick),
+            "events must be ordered by tick"
+        );
+        EventStream {
+            events,
+            tick_rate_hz,
+            duration_s,
+        }
+    }
+
     /// The events, in time order.
     pub fn events(&self) -> &[Event] {
         &self.events

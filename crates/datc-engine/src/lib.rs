@@ -12,11 +12,15 @@
 //! * **Bit-exact**: every channel's events, duty counters and threshold
 //!   trajectory are identical to a standalone
 //!   [`DatcEncoder::encode`](datc_core::DatcEncoder) of that channel's
-//!   signal (at [`TraceLevel::Events`](datc_core::TraceLevel)).
+//!   signal (at [`TraceLevel::Events`](datc_core::TraceLevel)) — and
+//!   with [`with_comparators`](FleetRunner::with_comparators), to a
+//!   standalone encoder carrying the same offset/hysteresis/noise
+//!   comparator model. Non-ideal fleets run through the same SoA bank
+//!   kernels; there is no per-channel slow path.
 //! * **Deterministic sharding**: the output is independent of the thread
-//!   count and of where shard boundaries fall — channels never interact
-//!   during encoding; they only meet in the (ordered, deterministic) AER
-//!   merge.
+//!   count, of where shard boundaries fall, and of the cache-tiling and
+//!   SIMD policies — channels never interact during encoding; they only
+//!   meet in the (ordered, deterministic) AER merge.
 //!
 //! ## Throughput
 //!
@@ -52,7 +56,8 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use datc_core::bank::{BankEventSink, BankStream};
+use datc_core::bank::{BankEventSink, BankStream, SimdPolicy, TilePolicy};
+use datc_core::comparator::Comparator;
 use datc_core::datc::DatcOutput;
 use datc_core::error::CoreError;
 use datc_core::event::EventStream;
@@ -121,6 +126,9 @@ pub struct FleetRunner {
     config: DatcConfig,
     channels: usize,
     threads: usize,
+    tiling: TilePolicy,
+    simd: SimdPolicy,
+    comparators: Option<Vec<Comparator>>,
 }
 
 impl FleetRunner {
@@ -139,7 +147,43 @@ impl FleetRunner {
             config,
             channels,
             threads: available_parallelism().clamp(1, channels),
+            tiling: TilePolicy::default(),
+            simd: SimdPolicy::default(),
+            comparators: None,
         })
+    }
+
+    /// Attaches per-channel comparator models (offset / hysteresis /
+    /// noise). Non-ideal fleets run through the same SoA
+    /// [`BankStream`] kernels as ideal ones —
+    /// there is no per-channel slow path — and stay bit-exact with N
+    /// standalone encoders carrying the same configs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the vector length
+    /// differs from the channel count or a parameter is non-finite
+    /// (validated via a probe kernel).
+    pub fn with_comparators(mut self, comparators: Vec<Comparator>) -> Result<Self, CoreError> {
+        // Probe-validate against the bank kernel the shards will build.
+        let _ = BankStream::new(self.config, self.channels)?.with_comparators(&comparators)?;
+        self.comparators = Some(comparators);
+        Ok(self)
+    }
+
+    /// Overrides the shard-internal cache-tiling policy (default
+    /// [`TilePolicy::auto`]). Output is bit-identical for every policy;
+    /// this is a locality knob for large banks.
+    pub fn with_tiling(mut self, tiling: TilePolicy) -> Self {
+        self.tiling = tiling;
+        self
+    }
+
+    /// Overrides the SIMD policy forwarded to every shard kernel
+    /// (default [`SimdPolicy::Auto`]); every policy is bit-identical.
+    pub fn with_simd_policy(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
     }
 
     /// Overrides the worker thread count (clamped to `1..=channels`).
@@ -208,20 +252,35 @@ impl FleetRunner {
             .min(available_parallelism())
             .clamp(1, self.channels);
         let shards = shard_ranges(self.channels, workers);
+        let shard_params = ShardParams {
+            config: self.config,
+            tiling: self.tiling,
+            simd: self.simd,
+        };
+        let comps = self.comparators.as_deref();
+        let comps_for = |range: &std::ops::Range<usize>| comps.map(|c| &c[range.clone()]);
         let mut per_shard: Vec<ShardResult> = Vec::with_capacity(shards.len());
         if shards.len() == 1 {
-            per_shard.push(run_shard(self.config, &signals[shards[0].clone()]));
+            per_shard.push(run_shard(
+                shard_params,
+                &signals[shards[0].clone()],
+                comps_for(&shards[0]),
+            ));
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = shards[1..]
                     .iter()
                     .map(|range| {
                         let shard_signals = &signals[range.clone()];
-                        let config = self.config;
-                        scope.spawn(move || run_shard(config, shard_signals))
+                        let shard_comps = comps_for(range);
+                        scope.spawn(move || run_shard(shard_params, shard_signals, shard_comps))
                     })
                     .collect();
-                per_shard.push(run_shard(self.config, &signals[shards[0].clone()]));
+                per_shard.push(run_shard(
+                    shard_params,
+                    &signals[shards[0].clone()],
+                    comps_for(&shards[0]),
+                ));
                 for h in handles {
                     per_shard.push(h.join().expect("shard worker panicked"));
                 }
@@ -234,7 +293,9 @@ impl FleetRunner {
             debug_assert_eq!(shard.ticks, ticks, "shards run in lock-step");
             for (events, ones) in shard.events.into_iter().zip(shard.ones) {
                 channels.push(DatcOutput {
-                    events: EventStream::new(
+                    // Kernel emission order is tick order by construction;
+                    // skip the O(events) ordering re-scan per channel.
+                    events: EventStream::from_ordered(
                         events,
                         self.config.clock_hz,
                         duration.max(f64::MIN_POSITIVE),
@@ -270,17 +331,40 @@ struct ShardResult {
     ticks: u64,
 }
 
-fn run_shard(config: DatcConfig, signals: &[Signal]) -> ShardResult {
-    let mut bank = BankStream::new(config, signals.len()).expect("validated in FleetRunner::new");
+/// Everything a shard worker needs to build its kernel, in one `Copy`
+/// bundle so the spawn closures stay `move`-friendly.
+#[derive(Clone, Copy)]
+struct ShardParams {
+    config: DatcConfig,
+    tiling: TilePolicy,
+    simd: SimdPolicy,
+}
+
+fn run_shard(
+    params: ShardParams,
+    signals: &[Signal],
+    comparators: Option<&[Comparator]>,
+) -> ShardResult {
+    let config = params.config;
+    let mut bank = BankStream::new(config, signals.len())
+        .expect("validated in FleetRunner::new")
+        .with_tiling(params.tiling)
+        .with_simd_policy(params.simd);
+    if let Some(comps) = comparators {
+        bank = bank
+            .with_comparators(comps)
+            .expect("validated in FleetRunner::with_comparators");
+    }
     let mut sink = BankEventSink::new(config.clock_hz, signals.len());
     if let Some(first) = signals.first() {
-        // Pre-size the event buffers enough to skip the early doubling
-        // steps without tripping the allocator's mmap threshold (fresh
-        // pages would be faulted in on every encode); an active sEMG
-        // channel fires well under one event per 16 clock ticks.
+        // Pre-size the event buffers so a realistic recording never
+        // reallocates mid-encode (a growth wave across 64 channels
+        // evicts the hot tile state); an active sEMG channel fires well
+        // under one event per 14 clock ticks. The cap bounds the
+        // up-front commitment for pathological durations.
         let expected_ticks =
             ZohResampler::new(first.sample_rate(), config.clock_hz).ticks_for_len(first.len());
-        sink.reserve_events((expected_ticks / 16).min(2048) as usize);
+        sink.reserve_events((expected_ticks / 14).min(1 << 15) as usize);
     }
     let ticks = bank.push_signals(signals, &mut sink);
     let (events, ones, _) = sink.into_parts();
@@ -360,6 +444,62 @@ mod tests {
             assert_eq!(out.channels[c].ones, reference.ones);
             assert_eq!(out.channels[c].ticks, reference.ticks);
         }
+    }
+
+    #[test]
+    fn nonideal_fleet_matches_per_channel_encoders_with_comparators() {
+        use datc_core::comparator::Comparator;
+        let signals = fleet_signals(7, 1.5);
+        let comps: Vec<Comparator> = (0..7)
+            .map(|c| match c % 4 {
+                0 => Comparator::ideal().with_offset(0.011),
+                1 => Comparator::ideal().with_hysteresis(0.04),
+                2 => Comparator::ideal().with_noise(0.02, 5 + c as u64),
+                _ => Comparator::ideal()
+                    .with_offset(-0.006)
+                    .with_hysteresis(0.02)
+                    .with_noise(0.01, 31 + c as u64),
+            })
+            .collect();
+        let fleet = FleetRunner::new(DatcConfig::paper(), 7)
+            .unwrap()
+            .with_comparators(comps.clone())
+            .unwrap()
+            .with_threads(3);
+        let out = fleet.encode(&signals);
+        for (c, s) in signals.iter().enumerate() {
+            let solo = DatcEncoder::new(DatcConfig::paper().with_trace_level(TraceLevel::Events))
+                .with_comparator(comps[c].clone());
+            let reference = solo.encode(s);
+            assert_eq!(out.channels[c].events, reference.events, "channel {c}");
+            assert_eq!(out.channels[c].ones, reference.ones, "channel {c}");
+            assert_eq!(out.channels[c].ticks, reference.ticks, "channel {c}");
+        }
+
+        // thread count and tiling stay execution details for non-ideal
+        // fleets too
+        for threads in [1, 2, 7] {
+            let other = FleetRunner::new(DatcConfig::paper(), 7)
+                .unwrap()
+                .with_comparators(comps.clone())
+                .unwrap()
+                .with_threads(threads)
+                .with_tiling(datc_core::bank::TilePolicy {
+                    max_tile_channels: 2,
+                    target_tile_bytes: 8192,
+                })
+                .encode(&signals);
+            assert_eq!(other, out, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn comparator_count_mismatch_rejected() {
+        use datc_core::comparator::Comparator;
+        let err = FleetRunner::new(DatcConfig::paper(), 4)
+            .unwrap()
+            .with_comparators(vec![Comparator::ideal(); 3]);
+        assert!(err.is_err());
     }
 
     #[test]

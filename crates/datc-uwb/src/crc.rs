@@ -1,7 +1,11 @@
-//! Cyclic redundancy checks for the packet-based baseline.
+//! Cyclic redundancy checks for the packet-based baseline and the wire
+//! framing.
 //!
-//! Bitwise (table-free) implementations — the baseline TX the paper argues
-//! against must pay this logic in silicon, so the model keeps it explicit.
+//! [`crc8`] stays bitwise (table-free) — the baseline TX the paper
+//! argues against must pay this logic in silicon, so the model keeps it
+//! explicit. [`crc16_ccitt`] protects `datc-wire` frames and runs on
+//! every received byte at the software gateway, so it uses the standard
+//! 256-entry table (built at compile time; bit-identical results).
 
 /// CRC-8 with polynomial 0x07 (ATM HEC), init 0x00.
 ///
@@ -37,17 +41,32 @@ pub fn crc8(data: &[u8]) -> u8 {
 pub fn crc16_ccitt(data: &[u8]) -> u16 {
     let mut crc = 0xFFFFu16;
     for &byte in data {
-        crc ^= u16::from(byte) << 8;
-        for _ in 0..8 {
+        crc = (crc << 8) ^ CRC16_TABLE[usize::from((crc >> 8) as u8 ^ byte)];
+    }
+    crc
+}
+
+/// Per-byte CRC-16/CCITT step table for polynomial 0x1021, computed at
+/// compile time.
+const CRC16_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
             crc = if crc & 0x8000 != 0 {
                 (crc << 1) ^ 0x1021
             } else {
                 crc << 1
             };
+            bit += 1;
         }
+        table[i] = crc;
+        i += 1;
     }
-    crc
-}
+    table
+};
 
 #[cfg(test)]
 mod tests {

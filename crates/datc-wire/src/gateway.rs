@@ -45,6 +45,10 @@ use std::thread::JoinHandle;
 /// long-running sessions. Attach a sink for the full stream.
 pub const DEFAULT_HUB_FORCE_WINDOW: usize = 2048;
 
+/// How long a UDP peer may stay silent before the hub retires it
+/// (see [`HubConfig::idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
 /// Gateway tuning.
 ///
 /// # Example
@@ -54,11 +58,21 @@ pub const DEFAULT_HUB_FORCE_WINDOW: usize = 2048;
 /// let cfg = HubConfig::default();
 /// assert_eq!(cfg.session.output_fs, 100.0);
 /// assert_eq!(cfg.session.force_window, Some(DEFAULT_HUB_FORCE_WINDOW));
+/// assert!(cfg.idle_timeout.is_some());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct HubConfig {
     /// Per-session receive pipeline settings.
     pub session: SessionRxConfig,
+    /// UDP hubs only: a peer that has sent nothing for this long is
+    /// retired as if the hub were shutting down — its decoded events are
+    /// delivered and its session lands in the table with the books left
+    /// open (no BYE). Bounds the in-flight peer table when a sensor dies
+    /// or its BYE is lost (a live 2 kHz sensor is never this quiet).
+    /// `None` disables eviction: a silent peer stays in flight until hub
+    /// shutdown. The TCP hub ignores this — connection EOF is its
+    /// lifetime signal. Default: [`DEFAULT_IDLE_TIMEOUT`].
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for HubConfig {
@@ -68,6 +82,7 @@ impl Default for HubConfig {
                 force_window: Some(DEFAULT_HUB_FORCE_WINDOW),
                 ..SessionRxConfig::default()
             },
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         }
     }
 }
@@ -357,6 +372,11 @@ pub struct ClientReport {
     pub frames_sent: u64,
     /// Wire bytes written, framing included.
     pub bytes_sent: u64,
+    /// UDP only: datagrams the peer actively refused (ICMP port
+    /// unreachable on a connected socket — the receiver is gone or
+    /// restarting). Counted as transport loss, not as a send failure;
+    /// always 0 over TCP.
+    pub datagrams_refused: u64,
 }
 
 /// One transmit session over one TCP connection.
@@ -421,6 +441,7 @@ impl SessionSender {
             events_sent: self.packetizer.events_sent(),
             frames_sent: self.packetizer.frames_emitted(),
             bytes_sent: self.packetizer.bytes_emitted(),
+            datagrams_refused: 0,
         })
     }
 }
@@ -442,6 +463,9 @@ pub(crate) fn validate_config(config: &HubConfig) -> std::io::Result<()> {
 
     if config.session.force_window == Some(0) {
         return invalid("force_window must be positive (use None for unbounded)");
+    }
+    if config.idle_timeout == Some(std::time::Duration::ZERO) {
+        return invalid("idle_timeout must be positive (use None to disable eviction)");
     }
     if !positive(config.session.output_fs) {
         return invalid("output_fs must be positive and finite");

@@ -101,4 +101,4 @@ pub use gateway::{
 pub use packet::{ByeSummary, Packetizer, SessionHeader, WireEvent};
 pub use session::{SessionReport, SessionRx, SessionRxConfig};
 pub use sink::{capture_store, CaptureStore, ForceRing, MemorySink, SessionCapture, SessionSink};
-pub use udp::{udp_stream_fleet, UdpSessionSender, UdpTelemetryHub};
+pub use udp::{udp_stream_fleet, UdpPacing, UdpSessionSender, UdpTelemetryHub};

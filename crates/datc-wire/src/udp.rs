@@ -32,11 +32,13 @@
 //! legitimately reuse one socket for successive sessions). Hub
 //! shutdown drains the socket and finishes every in-flight peer, so
 //! every datagram received before the stop request is decoded and
-//! delivered exactly once. A peer whose BYE is lost simply stays
-//! in-flight until shutdown (a later HELLO with a different header
-//! from the same address retires it and opens the new session) — its
-//! events are all delivered, only the close-of-books reconciliation is
-//! missing.
+//! delivered exactly once. A peer whose BYE is lost is retired by the
+//! **idle-eviction clock** ([`HubConfig::idle_timeout`], default 30 s):
+//! once it has been silent that long its session lands in the table
+//! with the books left open — the in-flight table stays bounded even
+//! when sensors die mid-session. A later HELLO with a different header
+//! from the same address retires it immediately instead, opening the
+//! new session.
 //!
 //! ## Known limits
 //!
@@ -199,6 +201,12 @@ impl Drop for UdpTelemetryHub {
 /// instantaneous, real links reorder on the millisecond scale.
 const BYE_GRACE: Duration = Duration::from_millis(10);
 
+/// Minimum lifetime of a straggler-filter entry (see `retired` in
+/// [`receive_loop`]): generous against any realistic reorder/duplicate
+/// delay, yet bounding the filter to the sessions retired in the last
+/// minute (or [`HubConfig::idle_timeout`], whichever is longer).
+const RETIRED_TTL: Duration = Duration::from_secs(60);
+
 /// One in-flight peer session.
 struct Peer {
     conn_id: u64,
@@ -207,6 +215,9 @@ struct Peer {
     /// A received BYE datagram held until its grace deadline, so
     /// session-tail datagrams reordered behind it are still absorbed.
     pending_bye: Option<(Vec<u8>, std::time::Instant)>,
+    /// When this peer last delivered a datagram — the idle-eviction
+    /// clock.
+    last_activity: std::time::Instant,
 }
 
 fn receive_loop(
@@ -217,22 +228,35 @@ fn receive_loop(
     stop: Arc<AtomicBool>,
 ) {
     let mut peers: HashMap<SocketAddr, Peer> = HashMap::new();
-    // Peers whose session was retired (BYE processed), mapped to the
-    // retired session's header. A DATA/BYE straggler duplicated or
-    // reordered past the grace window must be dropped, not allowed to
-    // resurrect the address as a ghost session; a CRC-valid HELLO
-    // carrying a *different* header is a genuinely new session
-    // (sensors legitimately reuse one socket) and un-retires the
-    // address — a duplicate of the finished session's own HELLO
-    // cannot, because its header matches. One entry per finished
-    // session, cleared on reuse — the same memory class as the
+    // Peers whose session was retired (BYE processed or idle-evicted),
+    // mapped to the retired session's header and retirement time. A
+    // DATA/BYE straggler duplicated or reordered past the grace window
+    // must be dropped, not allowed to resurrect the address as a ghost
+    // session; a CRC-valid HELLO carrying a *different* header is a
+    // genuinely new session (sensors legitimately reuse one socket)
+    // and un-retires the address — a duplicate of the finished
+    // session's own HELLO cannot, because its header matches. Entries
+    // are cleared on reuse and pruned on the idle scans once they
+    // outlive the straggler horizon, so the filter stays bounded on
+    // long-running hubs (stragglers arrive on the reorder timescale —
+    // well inside the horizon; an extreme late straggler past it would
+    // open a ghost peer, which the idle clock then evicts). With
+    // eviction disabled (`idle_timeout: None`) the filter keeps one
+    // entry per finished session — the same memory class as the
     // session table itself.
-    let mut retired: HashMap<SocketAddr, Option<SessionHeader>> = HashMap::new();
+    let mut retired: HashMap<SocketAddr, (Option<SessionHeader>, std::time::Instant)> =
+        HashMap::new();
     // One datagram = one frame ≤ HEADER + MAX_PAYLOAD + CRC bytes; a
     // 64 KiB buffer holds any datagram the socket can deliver (an
     // oversized/truncated one fails its CRC and is skipped).
     let mut buf = vec![0u8; 64 * 1024];
     let mut pending_byes = 0usize;
+    // Idle scans are rate-limited to a fraction of the timeout so a
+    // quiet hub doesn't walk the peer map on every 2 ms poll.
+    let idle_scan_every = config
+        .idle_timeout
+        .map(|t| (t / 4).clamp(POLL, Duration::from_secs(1)));
+    let mut next_idle_scan = idle_scan_every.map(|d| std::time::Instant::now() + d);
     loop {
         match socket.recv_from(&mut buf) {
             Ok((n, from)) => {
@@ -247,7 +271,7 @@ fn receive_loop(
                 let looks_hello = peeked_type == Some(crate::frame::FrameType::Hello.to_byte());
                 let looks_bye = peeked_type == Some(crate::frame::FrameType::Bye.to_byte());
 
-                if let Some(closed_header) = retired.get(&from) {
+                if let Some((closed_header, _)) = retired.get(&from) {
                     match looks_hello.then(|| hello_header(dgram)).flatten() {
                         Some(h) if Some(h) != *closed_header => {
                             retired.remove(&from); // same sensor, next session
@@ -300,9 +324,11 @@ fn receive_loop(
                         rx,
                         bytes_received: 0,
                         pending_bye: None,
+                        last_activity: std::time::Instant::now(),
                     }
                 });
                 peer.bytes_received += n as u64;
+                peer.last_activity = std::time::Instant::now();
                 if looks_bye && is_bye_frame(dgram) {
                     // Hold the BYE for the grace window; duplicates of
                     // a held BYE are byte-identical and dropped.
@@ -345,8 +371,41 @@ fn receive_loop(
                 let (bye, _) = peer.pending_bye.take().expect("filtered on pending");
                 pending_byes -= 1;
                 peer.rx.push_bytes(&bye);
-                retired.insert(addr, peer.rx.header().copied());
+                retired.insert(addr, (peer.rx.header().copied(), now));
                 finish_peer(peer, &table);
+            }
+        }
+        // Idle-peer eviction: a peer silent past the timeout (its BYE
+        // lost, or the sensor dead) is retired exactly as hub shutdown
+        // would — decoded events delivered, session recorded with open
+        // books — so a lost BYE no longer pins the in-flight table
+        // forever. Like BYE retirement, the address joins the straggler
+        // filter: a late duplicate cannot resurrect the session, while
+        // a fresh HELLO reopens the address.
+        if let (Some(timeout), Some(at)) = (config.idle_timeout, next_idle_scan) {
+            let now = std::time::Instant::now();
+            if now >= at {
+                next_idle_scan = idle_scan_every.map(|d| now + d);
+                let idle: Vec<SocketAddr> = peers
+                    .iter()
+                    .filter(|(_, p)| now.duration_since(p.last_activity) >= timeout)
+                    .map(|(&addr, _)| addr)
+                    .collect();
+                for addr in idle {
+                    let mut peer = peers.remove(&addr).expect("key just listed");
+                    if let Some((bye, _)) = peer.pending_bye.take() {
+                        // unreachable in practice (BYE grace ≪ idle
+                        // timeout), but never drop a held BYE
+                        pending_byes -= 1;
+                        peer.rx.push_bytes(&bye);
+                    }
+                    retired.insert(addr, (peer.rx.header().copied(), now));
+                    finish_peer(peer, &table);
+                }
+                // Prune straggler-filter entries past the horizon so
+                // the filter stays bounded alongside the peer map.
+                let horizon = timeout.max(RETIRED_TTL);
+                retired.retain(|_, &mut (_, at)| now.duration_since(at) < horizon);
             }
         }
     }
@@ -414,15 +473,66 @@ fn finish_peer(peer: Peer, table: &SessionTable) {
     );
 }
 
+/// Transmit pacing for [`UdpSessionSender`]: up to `burst` datagrams go
+/// out back to back, then the sender pauses for `inter_burst` — a
+/// static token-bucket stand-in for real congestion feedback, so a fast
+/// encoder cannot trivially overrun a receive buffer.
+///
+/// The sustained rate is `burst / inter_burst` datagrams per second
+/// (bursts themselves are sent as fast as the socket accepts them).
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::udp::UdpPacing;
+/// use std::time::Duration;
+/// let pacing = UdpPacing::default();
+/// assert_eq!(pacing.burst, 32);
+/// let gentle = UdpPacing { burst: 4, inter_burst: Duration::from_micros(500) };
+/// assert!(gentle.datagrams_per_s() < pacing.datagrams_per_s());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpPacing {
+    /// Datagrams sent back-to-back before the pause (≥ 1; 0 is clamped
+    /// to 1 at connect).
+    pub burst: u32,
+    /// Pause inserted after each burst ([`Duration::ZERO`] disables
+    /// pacing entirely — loss experiments on real links may want the
+    /// firehose).
+    pub inter_burst: Duration,
+}
+
+impl Default for UdpPacing {
+    /// The historical built-in pacing: 32-datagram bursts, 200 µs apart.
+    fn default() -> Self {
+        UdpPacing {
+            burst: 32,
+            inter_burst: Duration::from_micros(200),
+        }
+    }
+}
+
+impl UdpPacing {
+    /// The sustained datagram rate this pacing allows (infinite when the
+    /// pause is zero).
+    pub fn datagrams_per_s(&self) -> f64 {
+        if self.inter_burst.is_zero() {
+            f64::INFINITY
+        } else {
+            f64::from(self.burst.max(1)) / self.inter_burst.as_secs_f64()
+        }
+    }
+}
+
 /// One transmit session over UDP: each framed chunk is sent as one
 /// datagram from a dedicated ephemeral socket (the source address is
 /// what the hub demuxes sessions on).
 ///
-/// Sends are lightly paced (a sub-millisecond pause every
-/// [`BURST`](UdpSessionSender::BURST) datagrams) so a fast sender
-/// cannot trivially overrun a loopback receive buffer; real-loss
-/// experiments should inject loss deliberately, not depend on kernel
-/// buffer luck.
+/// Sends are paced per [`UdpPacing`] (default: a sub-millisecond pause
+/// every 32 datagrams) so a fast sender cannot trivially overrun a
+/// loopback receive buffer; real-loss experiments should inject loss
+/// deliberately, not depend on kernel buffer luck. Tune or disable via
+/// [`connect_with`](UdpSessionSender::connect_with).
 ///
 /// # Example
 ///
@@ -440,15 +550,18 @@ fn finish_peer(peer: Peer, table: &SessionTable) {
 pub struct UdpSessionSender {
     socket: UdpSocket,
     packetizer: Packetizer,
+    pacing: UdpPacing,
     sent_since_pause: u32,
+    refused: u64,
 }
 
 impl UdpSessionSender {
-    /// Datagrams sent back-to-back before the pacing pause.
+    /// Datagrams sent back-to-back before the pacing pause under the
+    /// default [`UdpPacing`].
     pub const BURST: u32 = 32;
 
     /// Binds an ephemeral local socket, connects it to `addr` and sends
-    /// the HELLO datagram.
+    /// the HELLO datagram, with the default [`UdpPacing`].
     ///
     /// # Errors
     ///
@@ -456,6 +569,20 @@ impl UdpSessionSender {
     pub fn connect<A: ToSocketAddrs>(
         addr: A,
         header: SessionHeader,
+    ) -> std::io::Result<UdpSessionSender> {
+        UdpSessionSender::connect_with(addr, header, UdpPacing::default())
+    }
+
+    /// [`connect`](UdpSessionSender::connect) with explicit pacing
+    /// (burst size clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/send failures.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        header: SessionHeader,
+        pacing: UdpPacing,
     ) -> std::io::Result<UdpSessionSender> {
         let target = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address to connect to")
@@ -471,11 +598,21 @@ impl UdpSessionSender {
         let mut tx = UdpSessionSender {
             socket,
             packetizer: Packetizer::new(header),
+            pacing: UdpPacing {
+                burst: pacing.burst.max(1),
+                ..pacing
+            },
             sent_since_pause: 0,
+            refused: 0,
         };
         let hello = tx.packetizer.hello();
         tx.send_datagram(&hello)?;
         Ok(tx)
+    }
+
+    /// The active pacing.
+    pub fn pacing(&self) -> UdpPacing {
+        self.pacing
     }
 
     /// Packetises a run of (tick-ordered) events, one DATA frame per
@@ -503,15 +640,37 @@ impl UdpSessionSender {
             events_sent: self.packetizer.events_sent(),
             frames_sent: self.packetizer.frames_emitted(),
             bytes_sent: self.packetizer.bytes_emitted(),
+            datagrams_refused: self.refused,
         })
     }
 
+    /// Datagrams the peer refused so far (see
+    /// [`ClientReport::datagrams_refused`]).
+    pub fn datagrams_refused(&self) -> u64 {
+        self.refused
+    }
+
     fn send_datagram(&mut self, frame: &[u8]) -> std::io::Result<()> {
-        self.socket.send(frame)?;
+        // A connected UDP socket surfaces the peer's ICMP port
+        // unreachable as ConnectionRefused on a *later* send. For a
+        // loss-tolerant AER sender that is transport loss (receiver
+        // gone or restarting — exactly what the wire format's exact
+        // loss accounting absorbs), not a session-fatal error: count it
+        // and keep going. Real failures (socket shut down locally, no
+        // route) still propagate.
+        match self.socket.send(frame) {
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                self.refused += 1;
+            }
+            Err(e) => return Err(e),
+        }
         self.sent_since_pause += 1;
-        if self.sent_since_pause >= Self::BURST {
+        if self.sent_since_pause >= self.pacing.burst {
             self.sent_since_pause = 0;
-            std::thread::sleep(Duration::from_micros(200));
+            if !self.pacing.inter_burst.is_zero() {
+                std::thread::sleep(self.pacing.inter_burst);
+            }
         }
         Ok(())
     }
@@ -829,24 +988,29 @@ mod tests {
                     force_window: Some(0),
                     ..Default::default()
                 },
+                ..HubConfig::default()
             },
             HubConfig {
                 session: SessionRxConfig {
                     output_fs: 0.0,
                     ..Default::default()
                 },
+                ..HubConfig::default()
             },
             HubConfig {
                 session: session(OnlineReconSelect::Rate { window_s: 0.0 }),
+                ..HubConfig::default()
             },
             HubConfig {
                 session: session(OnlineReconSelect::Ewma { tau_s: -1.0 }),
+                ..HubConfig::default()
             },
             HubConfig {
                 session: session(OnlineReconSelect::ThresholdTrack {
                     dac: datc_core::dac::Dac::paper(),
                     smooth_window_s: 0.0,
                 }),
+                ..HubConfig::default()
             },
             HubConfig {
                 session: session(OnlineReconSelect::Hybrid {
@@ -856,6 +1020,7 @@ mod tests {
                     alpha: 1.0,
                     rate0_hz: Some(0.0),
                 }),
+                ..HubConfig::default()
             },
         ];
         for bad in bad_configs {
@@ -872,6 +1037,121 @@ mod tests {
                 "tcp bind must reject {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn idle_peer_is_evicted_without_shutdown() {
+        // A peer whose BYE was lost must not pin the in-flight table
+        // forever: the idle clock retires it, books open, and a late
+        // straggler cannot resurrect it — but a fresh HELLO can reopen
+        // the address for the sensor's next session.
+        let config = HubConfig {
+            idle_timeout: Some(Duration::from_millis(60)),
+            ..HubConfig::default()
+        };
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(90, 1, 2000.0, 1.0);
+        let events = test_events(&header, 25);
+        let mut tx = Packetizer::new(header);
+        let hello = tx.hello();
+        let data = tx.data_frames(&events);
+        let _lost_bye = tx.bye();
+
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        socket.send(&hello).unwrap();
+        for f in &data {
+            socket.send(f).unwrap();
+        }
+        // no BYE: only the idle clock can retire this peer
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(hub.session_count(), 1, "idle eviction landed the session");
+
+        // a straggler of the evicted session is dropped, not resurrected
+        socket.send(&data[0]).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(hub.session_count(), 1);
+
+        // the sensor's next session reopens the address
+        let header_b = SessionHeader::new(91, 1, 2000.0, 1.0);
+        let mut tx_b = Packetizer::new(header_b);
+        socket.send(&tx_b.hello()).unwrap();
+        for f in tx_b.data_frames(&test_events(&header_b, 10)) {
+            socket.send(&f).unwrap();
+        }
+        socket.send(&tx_b.bye()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].session_id, 90);
+        assert_eq!(sessions[0].report.stats.events_decoded, 25);
+        assert!(
+            !sessions[0].report.stats.closed,
+            "evicted with open books (no BYE)"
+        );
+        assert_eq!(sessions[1].session_id, 91);
+        assert_eq!(sessions[1].report.stats.events_decoded, 10);
+        assert!(sessions[1].report.stats.closed);
+    }
+
+    #[test]
+    fn active_peer_outlives_the_idle_timeout() {
+        // Activity resets the clock: a slow-but-alive sender whose
+        // session spans many timeouts is not evicted mid-session.
+        let config = HubConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..HubConfig::default()
+        };
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(95, 1, 2000.0, 1.0);
+        let events = test_events(&header, 40);
+        let mut tx = Packetizer::new(header).with_events_per_frame(5);
+        let hello = tx.hello();
+        let data = tx.data_frames(&events);
+        let bye = tx.bye();
+        assert_eq!(data.len(), 8);
+
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        socket.send(&hello).unwrap();
+        for f in &data {
+            // each gap is well under the timeout (3× margin against CI
+            // scheduler stalls); the whole session spans multiple
+            // timeouts
+            std::thread::sleep(Duration::from_millis(50));
+            socket.send(f).unwrap();
+        }
+        socket.send(&bye).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1, "one session, never split by eviction");
+        assert_eq!(sessions[0].report.stats.events_decoded, 40);
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert!(sessions[0].report.stats.closed);
+    }
+
+    #[test]
+    fn zero_idle_timeout_rejected_at_bind() {
+        let bad = HubConfig {
+            idle_timeout: Some(Duration::ZERO),
+            ..HubConfig::default()
+        };
+        let err = UdpTelemetryHub::bind("127.0.0.1:0", bad);
+        assert_eq!(
+            err.err().map(|e| e.kind()),
+            Some(std::io::ErrorKind::InvalidInput)
+        );
     }
 
     #[test]

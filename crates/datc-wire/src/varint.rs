@@ -16,6 +16,7 @@ pub const MAX_VARINT_LEN: usize = 10;
 /// assert_eq!(buf, [0xAC, 0x02]);
 /// assert_eq!(read_varint(&buf), Some((300, 2)));
 /// ```
+#[inline]
 pub fn write_varint(mut value: u64, out: &mut Vec<u8>) {
     loop {
         let byte = (value & 0x7F) as u8;
@@ -32,6 +33,11 @@ pub fn write_varint(mut value: u64, out: &mut Vec<u8>) {
 /// the number of bytes consumed, or `None` when `bytes` is truncated or
 /// the encoding overflows 64 bits.
 ///
+/// Structured for the decode hot loop: the overwhelmingly common
+/// single-byte case (tick deltas ≤ 127, small indices) is one branch
+/// inlined at the call site; the multi-byte tail stays out of line so
+/// the fast path costs no code-size at the callers.
+///
 /// # Example
 ///
 /// ```
@@ -39,17 +45,31 @@ pub fn write_varint(mut value: u64, out: &mut Vec<u8>) {
 /// assert_eq!(read_varint(&[0x7F]), Some((127, 1)));
 /// assert_eq!(read_varint(&[0x80]), None); // truncated
 /// ```
+#[inline]
 pub fn read_varint(bytes: &[u8]) -> Option<(u64, usize)> {
-    let mut value = 0u64;
-    for (i, &byte) in bytes.iter().enumerate().take(MAX_VARINT_LEN) {
+    let &first = bytes.first()?;
+    if first & 0x80 == 0 {
+        return Some((u64::from(first), 1));
+    }
+    read_varint_multi(bytes, first)
+}
+
+/// The multi-byte continuation of [`read_varint`]: `first` already
+/// consumed with its continuation bit set.
+#[inline(never)]
+fn read_varint_multi(bytes: &[u8], first: u8) -> Option<(u64, usize)> {
+    let mut value = u64::from(first & 0x7F);
+    let mut shift = 7u32;
+    for (i, &byte) in bytes[1..].iter().enumerate().take(MAX_VARINT_LEN - 1) {
         let payload = u64::from(byte & 0x7F);
-        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+        if i == MAX_VARINT_LEN - 2 && payload > 1 {
             return None; // would overflow the 64th bit
         }
-        value |= payload << (7 * i);
+        value |= payload << shift;
         if byte & 0x80 == 0 {
-            return Some((value, i + 1));
+            return Some((value, i + 2));
         }
+        shift += 7;
     }
     None
 }

@@ -28,6 +28,7 @@ fn main() {
             recon: OnlineReconSelect::paper_threshold_track(),
             ..HubConfig::default().session
         },
+        ..HubConfig::default()
     };
     let table = SessionTable::shared();
     let tcp_hub = TelemetryHub::bind_with("127.0.0.1:0", config.clone(), table.clone(), None)

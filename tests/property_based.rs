@@ -2,7 +2,8 @@
 //! arbitrary signals, event streams and bit streams.
 
 use datc::core::atc::AtcEncoder;
-use datc::core::bank::{BankEventSink, BankStream};
+use datc::core::bank::{BankEventSink, BankStream, SimdPolicy, TilePolicy};
+use datc::core::comparator::Comparator;
 use datc::core::config::{Arithmetic, DatcConfig, FrameSize};
 use datc::core::dtc::Dtc;
 use datc::core::encoder::{EventSink, SpikeEncoder, TraceLevel};
@@ -40,6 +41,39 @@ fn arb_config() -> impl Strategy<Value = DatcConfig> {
                 .with_arithmetic(arith)
                 .with_trace_level(trace)
         })
+}
+
+fn arb_comparator() -> impl Strategy<Value = Comparator> {
+    // ideal, offset-only, hysteresis, noise, and the full combination —
+    // the populations the SoA non-ideal bank path must reproduce
+    (
+        -0.08f64..0.08,
+        0.0f64..0.15,
+        0.0f64..0.05,
+        any::<u64>(),
+        0u8..5,
+    )
+        .prop_map(|(offset, hyst, sigma, seed, kind)| match kind {
+            0 => Comparator::ideal(),
+            1 => Comparator::ideal().with_offset(offset),
+            2 => Comparator::ideal().with_hysteresis(hyst),
+            3 => Comparator::ideal().with_noise(sigma, seed),
+            _ => Comparator::ideal()
+                .with_offset(offset)
+                .with_hysteresis(hyst)
+                .with_noise(sigma, seed),
+        })
+}
+
+fn arb_tiling() -> impl Strategy<Value = TilePolicy> {
+    (0u8..3, 1usize..5, 1024usize..32768).prop_map(|(kind, ch, bytes)| match kind {
+        0 => TilePolicy::auto(),
+        1 => TilePolicy::none(),
+        _ => TilePolicy {
+            max_tile_channels: ch,
+            target_tile_bytes: bytes,
+        },
+    })
 }
 
 fn arb_signal() -> impl Strategy<Value = Signal> {
@@ -134,6 +168,57 @@ proptest! {
             let solo_ticks = solo.push_signal(s, &mut es);
             prop_assert_eq!(solo_ticks, bank_ticks);
             prop_assert_eq!(sink.events(c), es.events(), "channel {}", c);
+        }
+    }
+
+    #[test]
+    fn bank_paths_are_bit_exact_with_solo_streams_under_any_comparator(
+        config in arb_config(),
+        signals in proptest::collection::vec(arb_signal(), 1..5),
+        comparators in proptest::collection::vec(arb_comparator(), 5..6),
+        tiling in arb_tiling(),
+    ) {
+        // The PR-5 acceptance property: SIMD and scalar kernels, any
+        // tile shape, ideal AND non-ideal (offset/hysteresis/noise)
+        // comparators — the bank reproduces N independent DatcStreams
+        // carrying the same comparator configs bit for bit (events,
+        // codes, duty counters).
+        let n = signals.len();
+        let len = signals.iter().map(datc::signal::Signal::len).min().unwrap();
+        let signals: Vec<datc::signal::Signal> = signals
+            .iter()
+            .map(|s| s.slice(0, len).unwrap())
+            .collect();
+        let comparators = &comparators[..n];
+
+        // reference: independent per-channel streams
+        let mut solo_events = Vec::new();
+        let mut solo_ones = Vec::new();
+        for (s, comp) in signals.iter().zip(comparators) {
+            let mut stream = DatcStream::new(config).unwrap().with_comparator(comp.clone());
+            let mut count = datc::core::encoder::CountingSink::default();
+            let mut probe = DatcStream::new(config).unwrap().with_comparator(comp.clone());
+            let mut es = EventSink::new(config.clock_hz);
+            stream.push_signal(s, &mut count);
+            probe.push_signal(s, &mut es);
+            solo_events.push(es.events().to_vec());
+            solo_ones.push(count.ones);
+        }
+
+        for simd in [SimdPolicy::Auto, SimdPolicy::ForceScalar] {
+            let mut bank = BankStream::new(config, n)
+                .unwrap()
+                .with_comparators(comparators)
+                .unwrap()
+                .with_simd_policy(simd)
+                .with_tiling(tiling);
+            let mut sink = BankEventSink::new(config.clock_hz, n);
+            bank.push_signals(&signals, &mut sink);
+            let (events, ones, _) = sink.into_parts();
+            for c in 0..n {
+                prop_assert_eq!(&events[c], &solo_events[c], "events ch {} {:?}", c, simd);
+                prop_assert_eq!(ones[c], solo_ones[c], "ones ch {} {:?}", c, simd);
+            }
         }
     }
 

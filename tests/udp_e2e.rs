@@ -15,7 +15,7 @@ use datc::engine::{FleetOutput, FleetRunner};
 use datc::rx::online::OnlineReconSelect;
 use datc::rx::reconstruct::{Reconstructor, ThresholdTrackReconstructor};
 use datc::signal::generator::semg_fleet;
-use datc::wire::udp::{udp_stream_fleet, UdpSessionSender, UdpTelemetryHub};
+use datc::wire::udp::{udp_stream_fleet, UdpPacing, UdpSessionSender, UdpTelemetryHub};
 use datc::wire::{
     capture_store, stream_fleet, HubConfig, HubSession, MemorySink, SessionRxConfig, SessionSender,
     SessionTable, SinkFactory, TelemetryHub,
@@ -33,6 +33,7 @@ fn threshold_track_config() -> HubConfig {
             force_window: None,
             ..SessionRxConfig::default()
         },
+        ..HubConfig::default()
     }
 }
 
@@ -248,6 +249,71 @@ fn tcp_shutdown_under_load_drains_every_event_exactly_once_to_the_sink() {
         // the sink's force traces carry every emitted sample
         for (ch, trace) in cap.force.iter().enumerate() {
             assert_eq!(trace.len(), s.report.force_emitted[ch]);
+        }
+    }
+}
+
+#[test]
+fn udp_sender_pacing_is_configurable_end_to_end() {
+    // The sender's pacing (burst size + inter-burst pause) is a knob
+    // now: a gentle 4-datagram / 500 µs cadence and an unpaced
+    // firehose must both deliver a loopback session losslessly, and
+    // the gentle cadence must observably bound the send rate.
+    let hub = UdpTelemetryHub::bind("127.0.0.1:0", threshold_track_config()).expect("bind");
+    let addr = hub.local_addr();
+    let fleet = encode_fleet(9000);
+    let merged = fleet.merge_aer(DEAD_TIME).merged;
+
+    let gentle = UdpPacing {
+        burst: 4,
+        inter_burst: Duration::from_micros(500),
+    };
+    assert!(gentle.datagrams_per_s() < UdpPacing::default().datagrams_per_s());
+    let firehose = UdpPacing {
+        burst: 1,
+        inter_burst: Duration::ZERO,
+    };
+    assert_eq!(firehose.datagrams_per_s(), f64::INFINITY);
+
+    for (id, pacing) in [(1u32, gentle), (2, firehose)] {
+        let header = datc::wire::SessionHeader::new(
+            id,
+            CHANNELS as u16,
+            fleet.channels[0].events.tick_rate_hz(),
+            fleet.channels[0].events.duration_s(),
+        );
+        let start = std::time::Instant::now();
+        let mut tx = UdpSessionSender::connect_with(addr, header, pacing).expect("connect");
+        assert_eq!(tx.pacing(), pacing);
+        tx.send_events(&merged).expect("send");
+        let client = tx.finish().expect("finish");
+        let elapsed = start.elapsed();
+        assert_eq!(client.events_sent, merged.len() as u64);
+        if pacing == gentle {
+            // frames_sent datagrams at ≤ burst/pause rate: the session
+            // cannot complete faster than the pacing floor allows
+            let min_pauses = (client.frames_sent / u64::from(pacing.burst)).saturating_sub(1);
+            assert!(
+                elapsed >= pacing.inter_burst * min_pauses as u32,
+                "paced send finished too fast: {elapsed:?} for {} frames",
+                client.frames_sent
+            );
+        }
+    }
+
+    let sessions = hub.shutdown();
+    assert_eq!(sessions.len(), 2);
+    for s in &sessions {
+        // loopback with either pacing: everything sent is decoded or —
+        // once the BYE closed the books — exactly accounted as lost
+        // (the kernel may drop datagrams under CI load)
+        if s.report.stats.closed {
+            assert_eq!(
+                s.report.stats.events_decoded + s.report.stats.events_lost,
+                merged.len() as u64,
+                "session {} accounting",
+                s.session_id
+            );
         }
     }
 }
