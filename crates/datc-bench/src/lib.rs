@@ -304,7 +304,11 @@ pub mod regression {
         fn committed_baselines_parse_and_self_compare_clean() {
             // The real committed quick baselines must pass against
             // themselves — guards the parser against format drift.
-            for name in ["BENCH_wire.quick.json", "BENCH_fleet.quick.json"] {
+            for name in [
+                "BENCH_wire.quick.json",
+                "BENCH_fleet.quick.json",
+                "BENCH_workload.quick.json",
+            ] {
                 let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
                 let text = std::fs::read_to_string(&path).expect("committed baseline");
                 let report = compare_artifacts(&text, &text, 0.40);

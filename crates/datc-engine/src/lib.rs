@@ -323,6 +323,173 @@ impl FleetRunner {
         let report = out.merge_aer(dead_time_s);
         (out, report)
     }
+
+    /// Builds a reusable [`FleetEncoder`] that keeps one bank kernel and
+    /// one event sink per shard alive across encodes.
+    ///
+    /// [`encode`](FleetRunner::encode) constructs fresh kernels and
+    /// sinks on every call — megabytes of cold allocation per 64-channel
+    /// fleet, which dominates once the same runner is driven repeatedly
+    /// (workload scenarios, gateways, benches; the ROADMAP's
+    /// `fleet_64ch_vs_16ch_cold_encode_ratio` item). The sustained
+    /// encoder recycles that storage: each call resets the kernels to
+    /// power-on state ([`BankStream::reset`]) and clears the sinks
+    /// keeping their capacity ([`BankEventSink::clear`]), so output is
+    /// **bit-identical** to a cold [`encode`](FleetRunner::encode) while
+    /// steady-state allocation drops to the per-call output buffers.
+    pub fn sustained(&self) -> FleetEncoder {
+        let workers = self
+            .threads
+            .min(available_parallelism())
+            .clamp(1, self.channels);
+        let ranges = shard_ranges(self.channels, workers);
+        let comps = self.comparators.as_deref();
+        let shards = ranges
+            .iter()
+            .map(|range| {
+                let mut bank = BankStream::new(self.config, range.len())
+                    .expect("validated in FleetRunner::new")
+                    .with_tiling(self.tiling)
+                    .with_simd_policy(self.simd);
+                if let Some(c) = comps {
+                    bank = bank
+                        .with_comparators(&c[range.clone()])
+                        .expect("validated in FleetRunner::with_comparators");
+                }
+                ShardState {
+                    bank,
+                    sink: BankEventSink::new(self.config.clock_hz, range.len()),
+                }
+            })
+            .collect();
+        FleetEncoder {
+            config: self.config,
+            channels: self.channels,
+            ranges,
+            shards,
+        }
+    }
+}
+
+/// A long-lived fleet encoder that recycles per-shard kernels and event
+/// sinks across calls — see [`FleetRunner::sustained`].
+#[derive(Debug)]
+pub struct FleetEncoder {
+    config: DatcConfig,
+    channels: usize,
+    ranges: Vec<std::ops::Range<usize>>,
+    shards: Vec<ShardState>,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    bank: BankStream,
+    sink: BankEventSink,
+}
+
+impl ShardState {
+    /// One recycled encode over this shard's signals: reset to power-on,
+    /// clear the sink (keeping capacity), stream, and copy the events
+    /// out (exact-sized allocations — the only per-call allocation that
+    /// remains).
+    fn encode(&mut self, signals: &[Signal], config: &DatcConfig) -> ShardResult {
+        self.bank.reset();
+        self.sink.clear();
+        if let Some(first) = signals.first() {
+            let expected_ticks =
+                ZohResampler::new(first.sample_rate(), config.clock_hz).ticks_for_len(first.len());
+            // after clear() the buffers are empty but keep capacity, so
+            // this is a no-op from the second call on
+            self.sink
+                .reserve_events((expected_ticks / 14).min(1 << 15) as usize);
+        }
+        let ticks = self.bank.push_signals(signals, &mut self.sink);
+        ShardResult {
+            events: (0..signals.len())
+                .map(|c| self.sink.events(c).to_vec())
+                .collect(),
+            ones: self.sink.ones().to_vec(),
+            ticks,
+        }
+    }
+}
+
+impl FleetEncoder {
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Encodes one signal per channel, recycling the shard kernels and
+    /// sinks. Output is bit-identical to
+    /// [`FleetRunner::encode`] of the same signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signal count differs from the channel count or
+    /// the signals disagree on sample rate/length (same contract as
+    /// [`FleetRunner::encode`]).
+    pub fn encode(&mut self, signals: &[Signal]) -> FleetOutput {
+        assert_eq!(signals.len(), self.channels, "one signal per channel");
+        if let Some(first) = signals.first() {
+            assert!(
+                signals
+                    .iter()
+                    .all(|s| s.sample_rate() == first.sample_rate()),
+                "signals must share a sample rate"
+            );
+            assert!(
+                signals.iter().all(|s| s.len() == first.len()),
+                "signals must share a length"
+            );
+        }
+        let duration = signals.first().map_or(0.0, Signal::duration);
+        let config = self.config;
+
+        let mut per_shard: Vec<ShardResult> = Vec::with_capacity(self.ranges.len());
+        if self.shards.len() == 1 {
+            per_shard.push(self.shards[0].encode(&signals[self.ranges[0].clone()], &config));
+        } else {
+            let (first_range, rest_ranges) = self.ranges.split_first().expect("at least one shard");
+            let (first_shard, rest_shards) = self.shards.split_first_mut().expect("shards");
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rest_ranges
+                    .iter()
+                    .zip(rest_shards)
+                    .map(|(range, shard)| {
+                        let shard_signals = &signals[range.clone()];
+                        scope.spawn(move || shard.encode(shard_signals, &config))
+                    })
+                    .collect();
+                per_shard.push(first_shard.encode(&signals[first_range.clone()], &config));
+                for h in handles {
+                    per_shard.push(h.join().expect("shard worker panicked"));
+                }
+            });
+        }
+
+        let ticks = per_shard.first().map_or(0, |s| s.ticks);
+        let mut channels = Vec::with_capacity(self.channels);
+        for shard in per_shard {
+            debug_assert_eq!(shard.ticks, ticks, "shards run in lock-step");
+            for (events, ones) in shard.events.into_iter().zip(shard.ones) {
+                channels.push(DatcOutput {
+                    events: EventStream::from_ordered(
+                        events,
+                        config.clock_hz,
+                        duration.max(f64::MIN_POSITIVE),
+                    ),
+                    vth_code_trace: Vec::new(),
+                    vth_volt_trace: Vec::new(),
+                    d_out: Vec::new(),
+                    frame_codes: Vec::new(),
+                    ticks,
+                    ones,
+                });
+            }
+        }
+        FleetOutput { channels, ticks }
+    }
 }
 
 struct ShardResult {
@@ -602,5 +769,60 @@ mod tests {
     #[test]
     fn zero_channels_rejected() {
         assert!(FleetRunner::new(DatcConfig::paper(), 0).is_err());
+    }
+
+    #[test]
+    fn sustained_encoder_is_bit_exact_with_cold_encode_across_calls() {
+        let runner = FleetRunner::new(DatcConfig::paper(), 6)
+            .unwrap()
+            .with_threads(3);
+        let mut sustained = runner.sustained();
+        // repeated encodes over different signals: every call must match
+        // a cold encode of the same input (reset/clear leaves no state)
+        for round in 0..3 {
+            let signals = fleet_signals(6, 1.0 + 0.4 * round as f64);
+            assert_eq!(
+                sustained.encode(&signals),
+                runner.encode(&signals),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_encoder_recycles_nonideal_fleets_bit_exactly() {
+        use datc_core::comparator::Comparator;
+        let comps: Vec<Comparator> = (0..5)
+            .map(|c| {
+                Comparator::ideal()
+                    .with_offset(0.004 * c as f64)
+                    .with_noise(0.015, 70 + c as u64)
+            })
+            .collect();
+        let runner = FleetRunner::new(DatcConfig::paper(), 5)
+            .unwrap()
+            .with_comparators(comps)
+            .unwrap()
+            .with_threads(2);
+        let signals = fleet_signals(5, 1.5);
+        let cold = runner.encode(&signals);
+        let mut sustained = runner.sustained();
+        // same input twice: noise lanes rewind on reset, so the second
+        // pass is identical to the first and to the cold path
+        assert_eq!(sustained.encode(&signals), cold);
+        assert_eq!(sustained.encode(&signals), cold);
+    }
+
+    #[test]
+    fn sustained_encoder_drives_motor_workloads() {
+        use datc_signal::motor::{motor_fleet, WorkloadScenario};
+        let runner = FleetRunner::new(DatcConfig::paper(), 3).unwrap();
+        let mut sustained = runner.sustained();
+        for (round, scenario) in WorkloadScenario::all().into_iter().take(2).enumerate() {
+            let signals = motor_fleet(scenario, 3, 1.0, 50 + round as u64);
+            let out = sustained.encode(&signals);
+            assert_eq!(out, runner.encode(&signals), "{}", scenario.name());
+            assert!(out.total_events() > 0, "{}", scenario.name());
+        }
     }
 }

@@ -8,3 +8,4 @@ pub mod fig6;
 pub mod fig7;
 pub mod symbols;
 pub mod table1;
+pub mod workloads;

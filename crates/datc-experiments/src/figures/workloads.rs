@@ -1,0 +1,191 @@
+//! Workloads — reconstruction accuracy on physiological motor-pool
+//! trajectories.
+//!
+//! Not a paper artefact: the DATE 2015 evaluation uses grip-protocol
+//! recordings whose force trajectory is slow and plateau-heavy. The
+//! Fuglevand motor-pool scenarios (`datc_signal::motor`) stress the
+//! regimes that protocol never visits — rest-dominated ballistic bursts,
+//! fatigue-compensating drives, continuous tracking — so this runner
+//! answers the question the paper leaves open: does the D-ATC link's
+//! reconstruction quality survive physiologically bursty inputs?
+//!
+//! Each scenario is scored twice: against the ARV envelope of the
+//! transmitted sEMG (the paper's convention, shared with every other
+//! figure) and against the motor pool's summed twitch-force ground
+//! truth — a reference no recorded-signal evaluation can have.
+//!
+//! What the sweep shows (and the tests pin):
+//!
+//! * **ramp-and-hold / fatigue-ramp** reconstruct at the paper's ≈96 %
+//!   level — plateau-heavy drives are exactly what the hybrid receiver
+//!   was tuned for;
+//! * **sine tracking** scores high against force but poorly against
+//!   ARV: the 0.25 s ARV window phase-lags a periodic envelope by more
+//!   than the scorer's ±0.3 s lag search can recover, so the force
+//!   ground truth is the honest reference there;
+//! * **ballistic** is the breakdown regime: rest-dominated traffic
+//!   leaves ~15 events/s and the paper's smoothing window smears the
+//!   0.15 s bursts, so correlation collapses against *both* references.
+//!   A receiver change that fixes this should flip the pinned ordering
+//!   below deliberately, not silently.
+
+use crate::reference::{ReferenceCase, MAX_LAG_S, RECON_FS};
+use datc_core::config::DatcConfig;
+use datc_core::datc::DatcEncoder;
+use datc_rx::pipeline::Link;
+use datc_rx::reconstruct::HybridReconstructor;
+use datc_signal::motor::{MotorWorkload, WorkloadScenario};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Scores for one workload scenario through the D-ATC link.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadRow {
+    /// Scenario name (`WorkloadScenario::name`).
+    pub scenario: &'static str,
+    /// Transmitted D-ATC events.
+    pub events: usize,
+    /// Mean event rate over the run (events/s).
+    pub events_per_s: f64,
+    /// Correlation vs the ARV envelope of the transmitted sEMG (%).
+    pub corr_arv_pct: f64,
+    /// Correlation vs the motor pool's twitch-force ground truth (%).
+    pub corr_force_pct: f64,
+}
+
+/// Runs every [`WorkloadScenario`] through the paper-configuration
+/// D-ATC link (hybrid receiver) for `seconds` of signal and scores the
+/// reconstruction against both references.
+pub fn run(seconds: f64) -> Vec<WorkloadRow> {
+    let fs = 2500.0;
+    let link = Link::builder()
+        .encoder(DatcEncoder::new(DatcConfig::paper()))
+        .reconstructor(HybridReconstructor::paper())
+        .output_fs(RECON_FS)
+        .build();
+    WorkloadScenario::all()
+        .into_iter()
+        .map(|scenario| {
+            let motor = MotorWorkload::new(scenario, fs).run(seconds, 42);
+            let case = ReferenceCase::from_rectified(motor.semg.to_scaled(0.45).to_rectified());
+            let run = link.run(&case.rectified);
+            let score = |reference| {
+                run.score(reference, MAX_LAG_S)
+                    .map(|r| r.percent)
+                    .unwrap_or(0.0)
+            };
+            WorkloadRow {
+                scenario: scenario.name(),
+                events: run.transmission.encoded.events.len(),
+                events_per_s: run.transmission.encoded.events.len() as f64 / seconds,
+                corr_arv_pct: score(&case.arv),
+                corr_force_pct: score(&motor.force),
+            }
+        })
+        .collect()
+}
+
+/// Text report for the workload sweep.
+pub fn report(seconds: f64) -> String {
+    let rows = run(seconds);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Workloads — D-ATC reconstruction on motor-pool trajectories ({seconds:.0} s) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<14}  {:>7}  {:>9}  {:>9}  {:>11}",
+        "scenario", "events", "events/s", "corr ARV", "corr force"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<14}  {:>7}  {:>9.1}  {:>7.1} %  {:>9.1} %",
+            r.scenario, r.events, r.events_per_s, r.corr_arv_pct, r.corr_force_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateau_scenarios_hold_the_papers_accuracy() {
+        let rows = run(6.0);
+        let get = |n: &str| rows.iter().find(|r| r.scenario == n).unwrap();
+        let ramp = get("ramp_hold");
+        assert!(
+            ramp.corr_arv_pct > 90.0 && ramp.corr_force_pct > 90.0,
+            "ramp_hold fell below the paper's regime: ARV {:.1} %, force {:.1} %",
+            ramp.corr_arv_pct,
+            ramp.corr_force_pct
+        );
+        assert!(
+            get("fatigue_ramp").corr_arv_pct > 85.0,
+            "fatigue_ramp ARV {:.1} %",
+            get("fatigue_ramp").corr_arv_pct
+        );
+    }
+
+    #[test]
+    fn sine_tracking_needs_the_force_reference() {
+        // The ARV window phase-lags a periodic envelope beyond the lag
+        // search; the force ground truth shows the link actually works.
+        let rows = run(6.0);
+        let sine = rows.iter().find(|r| r.scenario == "sine_tracking").unwrap();
+        assert!(
+            sine.corr_force_pct > 80.0,
+            "sine_tracking vs force only {:.1} %",
+            sine.corr_force_pct
+        );
+        assert!(
+            sine.corr_force_pct > sine.corr_arv_pct,
+            "force {:.1} % should beat the lag-biased ARV {:.1} %",
+            sine.corr_force_pct,
+            sine.corr_arv_pct
+        );
+    }
+
+    #[test]
+    fn ballistic_is_the_documented_breakdown_regime() {
+        // Rest-dominated bursts defeat the paper's smoothing window. If
+        // a future receiver fixes this, update the module docs and flip
+        // this pin on purpose.
+        let rows = run(6.0);
+        let get = |n: &str| rows.iter().find(|r| r.scenario == n).unwrap();
+        assert!(
+            get("ballistic").corr_force_pct < get("ramp_hold").corr_force_pct - 30.0,
+            "ballistic {:.1} % no longer far below ramp_hold {:.1} % — breakdown fixed?",
+            get("ballistic").corr_force_pct,
+            get("ramp_hold").corr_force_pct
+        );
+    }
+
+    #[test]
+    fn ballistic_is_the_sparsest_scenario() {
+        let rows = run(6.0);
+        let ballistic = rows.iter().find(|r| r.scenario == "ballistic").unwrap();
+        for r in &rows {
+            if r.scenario != "ballistic" {
+                assert!(
+                    ballistic.events < r.events,
+                    "ballistic {} >= {} {}",
+                    ballistic.events,
+                    r.scenario,
+                    r.events
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_all_scenarios() {
+        let s = report(6.0);
+        for scenario in WorkloadScenario::all() {
+            assert!(s.contains(scenario.name()), "missing {}", scenario.name());
+        }
+    }
+}

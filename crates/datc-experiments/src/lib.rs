@@ -15,6 +15,7 @@
 //! | [`figures::fig7`]  | Fig. 7 — events-vs-correlation trade-off |
 //! | [`figures::table1`] | Table I — synthesis and power |
 //! | [`figures::ablations`] | frame size / DAC bits / weights / reconstructor sweeps |
+//! | [`figures::workloads`] | (extension) reconstruction on Fuglevand motor-pool trajectories |
 //!
 //! Run everything with [`runner::run_all`]; the `quick` flag shrinks the
 //! corpus for CI-speed smoke runs.

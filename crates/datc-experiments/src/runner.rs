@@ -1,6 +1,6 @@
 //! Batch execution of all experiments.
 
-use crate::figures::{ablations, fig2, fig3, fig5, fig6, fig7, symbols, table1};
+use crate::figures::{ablations, fig2, fig3, fig5, fig6, fig7, symbols, table1, workloads};
 
 /// A rendered experiment report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +76,10 @@ pub fn run_all(quick: bool) -> Vec<NamedReport> {
             id: "ablations",
             text: ablations::report(),
         },
+        NamedReport {
+            id: "workloads",
+            text: workloads::report(if quick { 6.0 } else { 20.0 }),
+        },
     ]
 }
 
@@ -97,7 +101,8 @@ mod tests {
                 "symbols",
                 "fig7",
                 "table1",
-                "ablations"
+                "ablations",
+                "workloads"
             ]
         );
         for r in &reports {

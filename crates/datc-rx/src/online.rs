@@ -596,11 +596,22 @@ impl OnlineReconstructor for OnlineThresholdTrackReconstructor {
 /// ## The normalisation rate `rate₀`
 ///
 /// The batch hybrid normalises by the stream's *mean* event rate, which
-/// a streaming receiver only knows once the session closes. Two modes:
+/// a streaming receiver only knows once the session closes. Three
+/// modes:
 ///
 /// * **pinned** ([`with_rate0`](OnlineHybridReconstructor::with_rate0)):
 ///   the caller supplies `rate₀` (from calibration, the session header,
 ///   or a previous session) and samples stream out with bounded latency;
+/// * **auto-calibrated**
+///   ([`with_auto_rate0`](OnlineHybridReconstructor::with_auto_rate0)):
+///   `rate₀` is measured from the first `calib_s` seconds of the live
+///   session itself and pinned once the watermark passes the
+///   calibration window — emission lags by at most `calib_s`, then
+///   streams with bounded latency. On a non-stationary workload this
+///   tracks the session's own operating point where a rate pinned from
+///   a *different* workload would bias every sample; a session that
+///   ends inside the calibration window falls back to the deferred
+///   exact mean;
 /// * **deferred** (default): combined samples are withheld until
 ///   [`finish`](OnlineReconstructor::finish), where `rate₀` is computed
 ///   from the exact event count and duration — **bit-identical** to the
@@ -630,6 +641,11 @@ pub struct OnlineHybridReconstructor {
     alpha: f64,
     lsb: f64,
     rate0: Option<f64>,
+    /// Auto-calibration window (seconds); `rate₀` pins itself from the
+    /// events of the first `calib_s` seconds once the watermark passes.
+    auto_calib_s: Option<f64>,
+    /// Events with `time ≤ auto_calib_s` seen so far.
+    calib_events: u64,
     events_seen: u64,
     /// Sub-estimator outputs staged until they can be combined.
     vth_stage: VecDeque<f64>,
@@ -662,6 +678,8 @@ impl OnlineHybridReconstructor {
             alpha,
             lsb,
             rate0: None,
+            auto_calib_s: None,
+            calib_events: 0,
             events_seen: 0,
             vth_stage: VecDeque::new(),
             rate_stage: VecDeque::new(),
@@ -686,6 +704,46 @@ impl OnlineHybridReconstructor {
         assert!(rate0_hz > 0.0, "normalisation rate must be positive");
         self.rate0 = Some(rate0_hz);
         self
+    }
+
+    /// Auto-calibrates the normalisation rate from the first `calib_s`
+    /// seconds of the session: once the watermark passes `calib_s`,
+    /// `rate₀` is pinned to the event rate observed over that window
+    /// and emission streams with bounded latency from then on. A
+    /// session that closes before the window fills falls back to the
+    /// deferred exact mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `calib_s` is not positive.
+    pub fn with_auto_rate0(mut self, calib_s: f64) -> Self {
+        assert!(
+            calib_s > 0.0 && calib_s.is_finite(),
+            "calibration window must be positive and finite"
+        );
+        self.auto_calib_s = Some(calib_s);
+        self
+    }
+
+    /// The pinned normalisation rate, once known (immediately for
+    /// [`with_rate0`](OnlineHybridReconstructor::with_rate0), after the
+    /// calibration window for
+    /// [`with_auto_rate0`](OnlineHybridReconstructor::with_auto_rate0),
+    /// never in deferred mode).
+    pub fn rate0_hz(&self) -> Option<f64> {
+        self.rate0
+    }
+
+    /// Pins `rate₀` from the calibration window if the watermark (or
+    /// session close at `at_s`) has passed it.
+    fn try_calibrate(&mut self, at_s: f64) {
+        if self.rate0.is_none() {
+            if let Some(calib) = self.auto_calib_s {
+                if at_s >= calib {
+                    self.rate0 = Some((self.calib_events as f64 / calib).max(f64::MIN_POSITIVE));
+                }
+            }
+        }
     }
 
     /// Caps the output at `floor(duration_s * output_fs)` samples up
@@ -736,6 +794,12 @@ impl OnlineReconstructor for OnlineHybridReconstructor {
 
     fn push_coded(&mut self, time_s: f64, vth_code: Option<u8>) {
         self.events_seen += 1;
+        if self
+            .auto_calib_s
+            .is_some_and(|c| self.rate0.is_none() && time_s <= c)
+        {
+            self.calib_events += 1;
+        }
         self.track.push_coded(time_s, vth_code);
         self.rate.push_event(time_s);
     }
@@ -744,6 +808,7 @@ impl OnlineReconstructor for OnlineHybridReconstructor {
         self.track.advance_to(watermark_s);
         self.rate.advance_to(watermark_s);
         self.stage();
+        self.try_calibrate(watermark_s);
         if let Some(rate0) = self.rate0 {
             self.combine(rate0);
         }
@@ -753,9 +818,12 @@ impl OnlineReconstructor for OnlineHybridReconstructor {
         self.track.finish(duration_s);
         self.rate.finish(duration_s);
         self.stage();
+        self.try_calibrate(duration_s);
         let rate0 = self.rate0.unwrap_or_else(|| {
             // The batch normalisation, computed from exact session
-            // totals: mean_rate_hz().max(MIN_POSITIVE).
+            // totals: mean_rate_hz().max(MIN_POSITIVE). Auto mode lands
+            // here too when the session closed inside its calibration
+            // window.
             (self.events_seen as f64 / duration_s).max(f64::MIN_POSITIVE)
         });
         self.combine(rate0);
@@ -823,8 +891,15 @@ pub enum OnlineReconSelect {
         /// Rate-refinement weight, DAC-LSB units.
         alpha: f64,
         /// Pinned normalisation rate; `None` defers to session totals
-        /// (bit-exact with batch, emission at session close).
+        /// (bit-exact with batch, emission at session close) unless
+        /// `rate0_calib_s` auto-calibrates it.
         rate0_hz: Option<f64>,
+        /// Auto-calibration window (seconds): with `rate0_hz: None`,
+        /// measure `rate₀` from the first seconds of the session and
+        /// stream from then on
+        /// ([`OnlineHybridReconstructor::with_auto_rate0`]). Ignored
+        /// when `rate0_hz` is pinned.
+        rate0_calib_s: Option<f64>,
     },
 }
 
@@ -852,6 +927,22 @@ impl OnlineReconSelect {
             rate_window_s: 0.75,
             alpha: 1.0,
             rate0_hz: None,
+            rate0_calib_s: None,
+        }
+    }
+
+    /// The default hybrid with `rate₀` auto-calibrated from the first
+    /// `calib_s` seconds of each session — the long-running-hub
+    /// configuration: bounded staging, and the normalisation tracks
+    /// each session's own workload.
+    pub fn paper_hybrid_auto_rate0(calib_s: f64) -> Self {
+        OnlineReconSelect::Hybrid {
+            dac: Dac::paper(),
+            smooth_window_s: 0.75,
+            rate_window_s: 0.75,
+            alpha: 1.0,
+            rate0_hz: None,
+            rate0_calib_s: Some(calib_s),
         }
     }
 
@@ -878,6 +969,7 @@ impl OnlineReconSelect {
                 rate_window_s,
                 alpha,
                 rate0_hz,
+                rate0_calib_s,
             } => {
                 let mut hybrid = OnlineHybridReconstructor::new(
                     dac.clone(),
@@ -888,6 +980,8 @@ impl OnlineReconSelect {
                 );
                 if let Some(r0) = rate0_hz {
                     hybrid = hybrid.with_rate0(*r0);
+                } else if let Some(c) = rate0_calib_s {
+                    hybrid = hybrid.with_auto_rate0(*c);
                 }
                 AnyOnlineReconstructor::Hybrid(Box::new(hybrid))
             }
@@ -1162,6 +1256,92 @@ mod tests {
         rx.finish(s.duration_s());
         rx.drain_into(&mut trace);
         assert_eq!(trace, batch.samples());
+    }
+
+    #[test]
+    fn hybrid_auto_rate0_calibrates_then_streams_with_bounded_latency() {
+        let s = bursty_stream(23, 3.0);
+        let calib_s = 0.5;
+        // Expected calibration: the rate over the first calib_s seconds.
+        let calib_events = s.iter().filter(|e| e.time_s <= calib_s).count();
+        let expected_rate0 = (calib_events as f64 / calib_s).max(f64::MIN_POSITIVE);
+
+        let mut rx = OnlineHybridReconstructor::paper(100.0).with_auto_rate0(calib_s);
+        let mut trace = Vec::new();
+        let mut streamed_before_finish = 0usize;
+        for e in &s {
+            rx.push_coded(e.time_s, e.vth_code);
+            rx.advance_to(e.time_s);
+            if e.time_s < calib_s {
+                assert_eq!(rx.emitted(), 0, "holds back inside the calibration window");
+                assert_eq!(rx.rate0_hz(), None);
+            }
+            rx.drain_into(&mut trace);
+            streamed_before_finish = trace.len();
+        }
+        assert_eq!(rx.rate0_hz(), Some(expected_rate0));
+        assert!(
+            streamed_before_finish > 0,
+            "auto mode streams once calibrated"
+        );
+        rx.finish(s.duration_s());
+        rx.drain_into(&mut trace);
+
+        // Identical to pinning the measured rate up front.
+        let pinned = OnlineHybridReconstructor::paper(100.0)
+            .with_rate0(expected_rate0)
+            .run_batch(&s);
+        assert_eq!(trace, pinned);
+    }
+
+    #[test]
+    fn hybrid_auto_rate0_tracks_a_nonstationary_session_better_than_a_misfit_pin() {
+        use crate::reconstruct::{HybridReconstructor, Reconstructor};
+        // A session whose operating point differs 8× from whatever a
+        // previous session would have pinned: the deferred batch trace
+        // is the reference; auto-calibration lands near it, the foreign
+        // pin does not.
+        let s = bursty_stream(61, 4.0);
+        let reference = HybridReconstructor::paper().reconstruct(&s, 100.0);
+        let auto = OnlineHybridReconstructor::paper(100.0)
+            .with_auto_rate0(1.0)
+            .run_batch(&s);
+        let foreign_rate = s.mean_rate_hz() / 8.0;
+        let pinned = OnlineHybridReconstructor::paper(100.0)
+            .with_rate0(foreign_rate)
+            .run_batch(&s);
+        let rmse = |a: &[f64], b: &[f64]| {
+            (a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64).sqrt()
+        };
+        let auto_err = rmse(&auto, reference.samples());
+        let pin_err = rmse(&pinned, reference.samples());
+        assert!(
+            auto_err < 0.2 * pin_err,
+            "auto rmse {auto_err} vs misfit-pin rmse {pin_err}"
+        );
+    }
+
+    #[test]
+    fn hybrid_auto_rate0_falls_back_to_deferred_on_a_short_session() {
+        use crate::reconstruct::{HybridReconstructor, Reconstructor};
+        let s = bursty_stream(13, 1.5);
+        let batch = HybridReconstructor::paper().reconstruct(&s, 100.0);
+        // Calibration window longer than the session: exact deferred
+        // semantics, bit-identical to batch.
+        let online = OnlineHybridReconstructor::paper(100.0)
+            .with_auto_rate0(10.0)
+            .run_batch(&s);
+        assert_eq!(online, batch.samples());
+    }
+
+    #[test]
+    fn recon_select_auto_hybrid_builds_the_auto_mode() {
+        let select = OnlineReconSelect::paper_hybrid_auto_rate0(0.5);
+        let AnyOnlineReconstructor::Hybrid(h) = select.build(100.0) else {
+            panic!("hybrid select must build a hybrid");
+        };
+        assert_eq!(h.auto_calib_s, Some(0.5));
+        assert_eq!(h.rate0_hz(), None);
     }
 
     #[test]

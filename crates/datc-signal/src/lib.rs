@@ -12,6 +12,10 @@
 //! * [`fft`] — radix-2 FFT and Welch power-spectral-density estimation;
 //! * [`generator`] — force profiles, synthetic sEMG (modulated-noise and
 //!   MUAP-train models), subject variability and artifacts;
+//! * [`motor`] — the Fuglevand motor-unit pool: size-principle
+//!   recruitment, twitch-force ground truth, MUAP sEMG and the
+//!   [`WorkloadScenario`](motor::WorkloadScenario) library of bursty
+//!   physiological workloads;
 //! * [`dataset`] — the deterministic 190-pattern dataset mirroring the
 //!   paper's corpus (20 s, 50 000 samples per pattern).
 //!
@@ -42,6 +46,7 @@ pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod generator;
+pub mod motor;
 pub mod noise;
 pub mod resample;
 pub mod signal;

@@ -1,0 +1,78 @@
+//! # Physiological workload engine — a Fuglevand motor-unit pool
+//!
+//! The [`generator`](crate::generator) module's modulated-noise sEMG is
+//! statistically faithful but *stationary*: its event rate through a
+//! threshold-crossing encoder barely moves. Real muscle is bursty. This
+//! module synthesizes that burstiness from first principles with the
+//! motor-unit pool model of **Fuglevand, Winter & Patla (1993)**,
+//! *"Models of recruitment and rate coding organization in motor-unit
+//! pools"* (J. Neurophysiol. 70), producing two aligned outputs per
+//! run:
+//!
+//! * a **surface EMG** (MUAP-kernel-convolved spike trains plus a
+//!   noise floor) — what the D-ATC encoder sees;
+//! * a **summed twitch-force ground truth** — what the receiver is
+//!   ultimately trying to reconstruct.
+//!
+//! ## The Fuglevand parameterization
+//!
+//! A pool of `n` units (default 120) is organized by the **size
+//! principle**:
+//!
+//! | Quantity | Law | Default |
+//! |---|---|---|
+//! | recruitment threshold of unit *i* | `RTE(i) = exp(ln RR · i/n) / RR · recruit_max` (eq. 1) | `RR = 30`, last unit at 75 % excitation |
+//! | peak twitch force | `P(i) = exp(ln RP · i/n)` (eq. 13) | `RP = 100` |
+//! | twitch rise time | `T(i) = T_L · (1/P(i))^(1/c)`, `c = ln RP / ln RT` (eq. 14) | `T_L = 90 ms`, `RT = 3` |
+//! | firing rate above threshold | `min + g·(E − RTE)`, capped at peak (eq. 15) | 8 → 35 Hz |
+//! | ISI variability | Gaussian, CV fixed | `CV = 0.2` |
+//! | twitch | `P·(t/T)·e^(1−t/T)` (eq. 10) | — |
+//! | rate-gain nonlinearity | per-twitch gain `g(T/ISI)`: 1 up to `T/ISI = 0.4`, then a saturating sigmoid (eqs. 16–17) | — |
+//!
+//! Excitation is driven **open-loop from a target-force trajectory**:
+//! the pool precomputes its static excitation→force curve (the
+//! jitter-free steady-state expectation of the twitch summation) and
+//! inverts it, so holding a 0.5-MVC target actually produces ≈ 0.5 MVC
+//! of summed twitch force. All stochasticity (ISI jitter, sEMG noise
+//! floor) flows through the vendored seeded RNG — identical seeds give
+//! **bit-identical** runs on every platform, which the wire tests rely
+//! on.
+//!
+//! ## Scenarios
+//!
+//! [`WorkloadScenario`] wraps the pool in named tasks — trapezoidal
+//! [`ramp_and_hold`](WorkloadScenario::ramp_and_hold), rest-dominated
+//! [`ballistic`](WorkloadScenario::ballistic) bursts, a
+//! [`fatigue_ramp`](WorkloadScenario::fatigue_ramp) whose twitch
+//! amplitudes decay while the sEMG keeps firing, and sinusoidal
+//! [`sine_tracking`](WorkloadScenario::sine_tracking) — and
+//! [`motor_fleet`] produces multi-channel fleets with the exact shape
+//! of [`semg_fleet`](crate::generator::semg_fleet) (2.5 kHz, rectified,
+//! per-channel subject gains, per-channel [`SubjectPreset`] unit
+//! counts), so `FleetRunner`, the benches and the wire e2e tests can
+//! swap the stationary envelope for physiological traffic with one
+//! call.
+//!
+//! ```
+//! use datc_signal::motor::{motor_fleet, MotorWorkload, WorkloadScenario};
+//!
+//! // a fleet for the encoder…
+//! let fleet = motor_fleet(WorkloadScenario::ballistic(), 4, 1.0, 42);
+//! assert_eq!(fleet.len(), 4);
+//!
+//! // …or a single channel with its force ground truth
+//! let run = MotorWorkload::new(WorkloadScenario::ramp_and_hold(), 2500.0).run(1.0, 42);
+//! assert_eq!(run.semg.len(), run.force.len());
+//! ```
+
+mod emg;
+mod pool;
+mod scenario;
+mod train;
+mod twitch;
+
+pub use emg::{EmgParams, MuapBank};
+pub use pool::{MotorUnit, MotorUnitPool, PoolParams};
+pub use scenario::{motor_fleet, MotorRun, MotorWorkload, SubjectPreset, WorkloadScenario};
+pub use train::{generate_spike_trains, SpikeTrains};
+pub use twitch::{isi_gain, synthesize_force, FatigueModel, TWITCH_INTEGRAL};

@@ -1,0 +1,333 @@
+//! The motor-unit pool: size-principle recruitment and the static
+//! excitation→force curve.
+//!
+//! Parameterization follows Fuglevand, Winter & Patla (1993), *Models of
+//! recruitment and rate coding organization in motor-unit pools*:
+//!
+//! * recruitment thresholds are exponentially distributed across the
+//!   pool (eq. 1): many low-threshold units, few high-threshold ones —
+//!   the size principle;
+//! * peak twitch forces follow the same exponential shape (eq. 13) with
+//!   an independent range;
+//! * twitch contraction times are tied to twitch force by an inverse
+//!   power law (eq. 14): the strongest units are the fastest.
+
+use super::twitch::{isi_gain, TWITCH_INTEGRAL};
+
+/// Parameters of a [`MotorUnitPool`] (Fuglevand 1993 notation in
+/// brackets).
+///
+/// The defaults model a medium-sized limb muscle: 120 units, a 30-fold
+/// recruitment-threshold range, a 100-fold twitch-force range, 90 ms
+/// longest twitch rise time with a 3-fold range, onset firing at 8 Hz
+/// ramping to a 35 Hz peak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolParams {
+    /// Number of motor units in the pool.
+    pub n_units: usize,
+    /// Recruitment range `RR`: ratio between the largest and smallest
+    /// recruitment threshold. Larger values front-load recruitment into
+    /// low forces.
+    pub recruit_range: f64,
+    /// Excitation fraction at which the last unit recruits; excitation
+    /// above it only increases firing rates (pure rate coding).
+    pub recruit_max: f64,
+    /// Twitch-force range `RP`: ratio between the strongest and weakest
+    /// unit's peak twitch force (eq. 13).
+    pub twitch_force_range: f64,
+    /// Longest twitch contraction (rise) time `T_L`, seconds — the
+    /// weakest unit's time-to-peak (eq. 14). Fuglevand uses 90 ms.
+    pub longest_rise_time_s: f64,
+    /// Contraction-time range `RT`: ratio between the slowest and
+    /// fastest unit's rise time (eq. 14). Fuglevand uses 3.
+    pub rise_time_range: f64,
+    /// Firing rate at recruitment, Hz.
+    pub min_rate_hz: f64,
+    /// Peak firing rate, Hz (all units share one peak rate — Fuglevand's
+    /// first rate-coding scheme).
+    pub peak_rate_hz: f64,
+    /// Coefficient of variation of the inter-spike interval (Gaussian
+    /// ISI jitter; Fuglevand uses 0.2).
+    pub isi_cv: f64,
+}
+
+impl Default for PoolParams {
+    fn default() -> Self {
+        PoolParams {
+            n_units: 120,
+            recruit_range: 30.0,
+            recruit_max: 0.75,
+            twitch_force_range: 100.0,
+            longest_rise_time_s: 0.090,
+            rise_time_range: 3.0,
+            min_rate_hz: 8.0,
+            peak_rate_hz: 35.0,
+            isi_cv: 0.2,
+        }
+    }
+}
+
+impl PoolParams {
+    /// Preset with a different pool size, keeping every other default.
+    pub fn with_units(n_units: usize) -> Self {
+        PoolParams {
+            n_units,
+            ..PoolParams::default()
+        }
+    }
+}
+
+/// One motor unit of the pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotorUnit {
+    /// Recruitment threshold as an excitation fraction in `(0,
+    /// recruit_max]`; units are ordered by threshold (the size
+    /// principle).
+    pub threshold: f64,
+    /// Peak twitch force, arbitrary units in `[1, RP]` (eq. 13).
+    pub twitch_peak: f64,
+    /// Twitch contraction (time-to-peak) time, seconds (eq. 14).
+    pub rise_time_s: f64,
+}
+
+/// A pool of motor units with the Fuglevand recruitment/rate-coding
+/// organization and its precomputed static excitation→force curve.
+///
+/// The pool itself is deterministic in its parameters; stochasticity
+/// (ISI jitter, sEMG noise) enters only in spike generation
+/// ([`generate_spike_trains`](super::generate_spike_trains)) through
+/// explicit seeds.
+#[derive(Debug, Clone)]
+pub struct MotorUnitPool {
+    params: PoolParams,
+    units: Vec<MotorUnit>,
+    /// Static normalized force at excitation `i / (GRID-1)`.
+    static_curve: Vec<f64>,
+    /// `static_curve` value at excitation 1 before normalization —
+    /// converts summed twitch trains to MVC fraction.
+    force_norm: f64,
+}
+
+/// Grid resolution of the static excitation→force curve.
+const GRID: usize = 1024;
+
+impl MotorUnitPool {
+    /// Builds the pool from `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_units == 0` or any range/rate parameter is not
+    /// strictly positive.
+    pub fn new(params: PoolParams) -> Self {
+        assert!(params.n_units > 0, "pool needs at least one unit");
+        assert!(
+            params.recruit_range > 1.0
+                && params.twitch_force_range >= 1.0
+                && params.rise_time_range >= 1.0,
+            "distribution ranges must exceed 1"
+        );
+        assert!(
+            params.recruit_max > 0.0 && params.recruit_max <= 1.0,
+            "recruit_max must lie in (0, 1]"
+        );
+        assert!(
+            params.longest_rise_time_s > 0.0
+                && params.min_rate_hz > 0.0
+                && params.peak_rate_hz > params.min_rate_hz,
+            "rates and rise times must be positive, peak above min"
+        );
+
+        let n = params.n_units as f64;
+        let a = params.recruit_range.ln();
+        let b = params.twitch_force_range.ln();
+        // eq. 14 exponent: T_i = T_L * (1 / P_i)^(1/c), c = ln RP / ln RT
+        let c = if params.rise_time_range > 1.0 {
+            b / params.rise_time_range.ln()
+        } else {
+            f64::INFINITY
+        };
+        let units: Vec<MotorUnit> = (1..=params.n_units)
+            .map(|i| {
+                let frac = i as f64 / n;
+                let threshold = (a * frac).exp() / params.recruit_range * params.recruit_max;
+                let twitch_peak = (b * frac).exp();
+                let rise_time_s = params.longest_rise_time_s * (1.0 / twitch_peak).powf(1.0 / c);
+                MotorUnit {
+                    threshold,
+                    twitch_peak,
+                    rise_time_s,
+                }
+            })
+            .collect();
+
+        let mut pool = MotorUnitPool {
+            params,
+            units,
+            static_curve: Vec::new(),
+            force_norm: 1.0,
+        };
+        let curve: Vec<f64> = (0..GRID)
+            .map(|k| pool.analytic_force(k as f64 / (GRID - 1) as f64))
+            .collect();
+        pool.force_norm = curve[GRID - 1].max(f64::MIN_POSITIVE);
+        pool.static_curve = curve.iter().map(|f| f / pool.force_norm).collect();
+        pool
+    }
+
+    /// The pool's parameters.
+    pub fn params(&self) -> &PoolParams {
+        &self.params
+    }
+
+    /// The units, ordered by recruitment threshold (ascending).
+    pub fn units(&self) -> &[MotorUnit] {
+        &self.units
+    }
+
+    /// Number of units.
+    pub fn n_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Converts summed raw twitch trains to MVC fraction (the
+    /// normalization constant of the static curve).
+    pub fn force_norm(&self) -> f64 {
+        self.force_norm
+    }
+
+    /// The firing rate of unit `i` at excitation `e` (0 when the unit is
+    /// not recruited). Linear rate coding from `min_rate_hz` at the
+    /// unit's threshold, saturating at `peak_rate_hz`; one common gain
+    /// chosen so the last-recruited unit reaches the peak rate at full
+    /// excitation.
+    pub fn firing_rate(&self, i: usize, e: f64) -> f64 {
+        let u = &self.units[i];
+        if e < u.threshold {
+            return 0.0;
+        }
+        let gain = (self.params.peak_rate_hz - self.params.min_rate_hz)
+            / (1.0 - self.params.recruit_max).max(1e-9);
+        (self.params.min_rate_hz + gain * (e - u.threshold)).min(self.params.peak_rate_hz)
+    }
+
+    /// Mean (jitter-free) normalized force at constant excitation `e`:
+    /// `Σ P_i · T_i · e¹ · r_i · gain(T_i · r_i)` over recruited units,
+    /// normalized to 1 at `e = 1` — the steady-state expectation of the
+    /// sampled twitch summation.
+    fn analytic_force(&self, e: f64) -> f64 {
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| e >= u.threshold)
+            .map(|(i, u)| {
+                let r = self.firing_rate(i, e);
+                u.twitch_peak * u.rise_time_s * TWITCH_INTEGRAL * r * isi_gain(u.rise_time_s * r)
+            })
+            .sum()
+    }
+
+    /// Normalized steady-state force (MVC fraction) at excitation `e`.
+    pub fn static_force(&self, e: f64) -> f64 {
+        let x = (e.clamp(0.0, 1.0) * (GRID - 1) as f64).min((GRID - 1) as f64);
+        let k = x.floor() as usize;
+        if k + 1 >= GRID {
+            return self.static_curve[GRID - 1];
+        }
+        let frac = x - k as f64;
+        self.static_curve[k] * (1.0 - frac) + self.static_curve[k + 1] * frac
+    }
+
+    /// Inverts the static curve: the excitation that produces steady
+    /// force `target` (MVC fraction, clamped to `[0, 1]`). The curve is
+    /// monotone, so a binary search over the grid suffices.
+    pub fn excitation_for_force(&self, target: f64) -> f64 {
+        let target = target.clamp(0.0, 1.0);
+        if target <= 0.0 {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0usize, GRID - 1);
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.static_curve[mid] < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (f_lo, f_hi) = (self.static_curve[lo], self.static_curve[hi]);
+        let frac = if f_hi > f_lo {
+            (target - f_lo) / (f_hi - f_lo)
+        } else {
+            0.0
+        };
+        (lo as f64 + frac.clamp(0.0, 1.0)) / (GRID - 1) as f64
+    }
+
+    /// Maps a target-force trajectory (MVC fraction per sample) to the
+    /// excitation drive that tracks it in steady state.
+    pub fn excitation_drive(&self, target: &[f64]) -> Vec<f64> {
+        target
+            .iter()
+            .map(|&f| self.excitation_for_force(f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_match_fuglevand_ranges() {
+        let pool = MotorUnitPool::new(PoolParams::default());
+        let u = pool.units();
+        assert_eq!(u.len(), 120);
+        // thresholds ascend, spanning ~recruit_max/RR .. recruit_max
+        assert!(u.windows(2).all(|w| w[0].threshold < w[1].threshold));
+        let last = u.last().unwrap();
+        assert!((last.threshold - 0.75).abs() < 1e-12);
+        // twitch forces span ~1..RP (eq. 13)
+        assert!((last.twitch_peak - 100.0).abs() < 1e-9);
+        assert!(u[0].twitch_peak < 1.1);
+        // rise times: strongest unit is fastest, range ~RT (eq. 14)
+        assert!(u[0].rise_time_s > last.rise_time_s);
+        let ratio = u[0].rise_time_s / last.rise_time_s;
+        assert!((ratio - 3.0).abs() < 0.2, "RT ratio {ratio}");
+    }
+
+    #[test]
+    fn firing_rate_is_zero_below_threshold_and_saturates() {
+        let pool = MotorUnitPool::new(PoolParams::default());
+        let mid = pool.n_units() / 2;
+        let thr = pool.units()[mid].threshold;
+        assert_eq!(pool.firing_rate(mid, thr * 0.99), 0.0);
+        assert!((pool.firing_rate(mid, thr) - 8.0).abs() < 1e-12);
+        assert_eq!(pool.firing_rate(mid, 1.0), 35.0);
+    }
+
+    #[test]
+    fn static_curve_is_monotone_and_normalized() {
+        let pool = MotorUnitPool::new(PoolParams::with_units(60));
+        let mut prev = -1.0;
+        for k in 0..=100 {
+            let f = pool.static_force(k as f64 / 100.0);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((pool.static_force(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(pool.static_force(0.0), 0.0);
+    }
+
+    #[test]
+    fn excitation_inversion_round_trips() {
+        let pool = MotorUnitPool::new(PoolParams::default());
+        for target in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let e = pool.excitation_for_force(target);
+            let back = pool.static_force(e);
+            assert!(
+                (back - target).abs() < 5e-3,
+                "target {target} -> e {e} -> {back}"
+            );
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The workload-scenario library: named physiological force tasks that
+//! drive the pool, plus the fleet constructor benches and e2e tests
+//! plug into `FleetRunner`/`Link`.
+//!
+//! Every scenario defines a cyclic target-force trajectory (fractions
+//! of MVC) and optionally a fatigue model; [`MotorWorkload`] turns a
+//! scenario into bit-reproducible sEMG + force-ground-truth pairs, and
+//! [`motor_fleet`] produces multi-channel [`Signal`] fleets with the
+//! same shape (2.5 kHz, rectified, per-channel subject gain spread) as
+//! the stationary [`semg_fleet`](crate::generator::semg_fleet) it
+//! replaces.
+
+use super::emg::{EmgParams, MuapBank};
+use super::pool::{MotorUnitPool, PoolParams};
+use super::train::{generate_spike_trains, SpikeTrains};
+use super::twitch::{synthesize_force, FatigueModel};
+use crate::generator::ForceProfile;
+use crate::Signal;
+
+/// A named physiological workload: a target-force task shape.
+///
+/// The cycle repeats to fill any requested duration, so scenario choice
+/// and session length are independent knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadScenario {
+    /// Ramp up to `peak`, hold, ramp down, rest — the classic
+    /// trapezoidal contraction protocol.
+    RampHold {
+        /// Plateau force (MVC fraction).
+        peak: f64,
+        /// Up/down ramp duration, seconds.
+        ramp_s: f64,
+        /// Plateau duration, seconds.
+        hold_s: f64,
+        /// Inter-contraction rest, seconds.
+        rest_s: f64,
+    },
+    /// Short maximal bursts separated by rest — the most bursty event
+    /// traffic a muscle produces (rapid goal-directed movements).
+    Ballistic {
+        /// Burst force (MVC fraction).
+        peak: f64,
+        /// Burst duration, seconds.
+        burst_s: f64,
+        /// Rest between bursts, seconds.
+        rest_s: f64,
+    },
+    /// A sustained hold whose *twitch amplitudes* decay with a fatigue
+    /// time constant: the sEMG keeps firing while the produced force
+    /// fades — the classic EMG/force dissociation.
+    FatigueRamp {
+        /// Held target force (MVC fraction).
+        level: f64,
+        /// Twitch-amplitude decay time constant, seconds.
+        decay_tau_s: f64,
+    },
+    /// Slow sinusoidal force tracking (continuous exoskeleton-style
+    /// control).
+    SineTracking {
+        /// Centre force (MVC fraction).
+        center: f64,
+        /// Oscillation amplitude (MVC fraction).
+        amplitude: f64,
+        /// Tracking frequency, Hz.
+        freq_hz: f64,
+    },
+}
+
+impl WorkloadScenario {
+    /// The default trapezoidal ramp-and-hold (0.6 MVC, 1 s ramps, 2 s
+    /// hold, 1.5 s rest).
+    pub fn ramp_and_hold() -> Self {
+        WorkloadScenario::RampHold {
+            peak: 0.6,
+            ramp_s: 1.0,
+            hold_s: 2.0,
+            rest_s: 1.5,
+        }
+    }
+
+    /// The default ballistic-burst task (0.9 MVC for 150 ms, 850 ms
+    /// rest — ~6.5× peak/mean force ratio).
+    pub fn ballistic() -> Self {
+        WorkloadScenario::Ballistic {
+            peak: 0.9,
+            burst_s: 0.15,
+            rest_s: 0.85,
+        }
+    }
+
+    /// The default fatigue protocol (hold 0.5 MVC, twitch decay τ =
+    /// 20 s).
+    pub fn fatigue_ramp() -> Self {
+        WorkloadScenario::FatigueRamp {
+            level: 0.5,
+            decay_tau_s: 20.0,
+        }
+    }
+
+    /// The default sinusoidal tracking task (0.4 ± 0.25 MVC at 0.5 Hz).
+    pub fn sine_tracking() -> Self {
+        WorkloadScenario::SineTracking {
+            center: 0.4,
+            amplitude: 0.25,
+            freq_hz: 0.5,
+        }
+    }
+
+    /// All default scenarios, for sweeps (benches, reports).
+    pub fn all() -> [WorkloadScenario; 4] {
+        [
+            WorkloadScenario::ramp_and_hold(),
+            WorkloadScenario::ballistic(),
+            WorkloadScenario::fatigue_ramp(),
+            WorkloadScenario::sine_tracking(),
+        ]
+    }
+
+    /// Stable scenario name (bench JSON keys, CLI selection).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadScenario::RampHold { .. } => "ramp_hold",
+            WorkloadScenario::Ballistic { .. } => "ballistic",
+            WorkloadScenario::FatigueRamp { .. } => "fatigue_ramp",
+            WorkloadScenario::SineTracking { .. } => "sine_tracking",
+        }
+    }
+
+    /// Looks a default scenario up by [`name`](Self::name) (CLI /
+    /// bench selection).
+    pub fn by_name(name: &str) -> Option<Self> {
+        WorkloadScenario::all()
+            .into_iter()
+            .find(|s| s.name() == name)
+    }
+
+    /// One cycle of the target trajectory as a [`ForceProfile`].
+    pub fn cycle(&self) -> ForceProfile {
+        match *self {
+            WorkloadScenario::RampHold {
+                peak,
+                ramp_s,
+                hold_s,
+                rest_s,
+            } => ForceProfile::builder()
+                .ramp(0.0, peak, ramp_s)
+                .hold(peak, hold_s)
+                .ramp(peak, 0.0, ramp_s)
+                .rest(rest_s)
+                .build(),
+            WorkloadScenario::Ballistic {
+                peak,
+                burst_s,
+                rest_s,
+            } => ForceProfile::builder()
+                .ramp(0.0, peak, burst_s * 0.3)
+                .hold(peak, burst_s * 0.4)
+                .ramp(peak, 0.0, burst_s * 0.3)
+                .rest(rest_s)
+                .build(),
+            WorkloadScenario::FatigueRamp { level, .. } => ForceProfile::builder()
+                .ramp(0.0, level, 1.0)
+                .hold(level, 19.0)
+                .build(),
+            WorkloadScenario::SineTracking {
+                center,
+                amplitude,
+                freq_hz,
+            } => ForceProfile::tracking(center, amplitude, freq_hz, (1.0 / freq_hz).max(1.0)),
+        }
+    }
+
+    /// The scenario's fatigue model (twitch-amplitude decay).
+    pub fn fatigue(&self) -> FatigueModel {
+        match *self {
+            WorkloadScenario::FatigueRamp { decay_tau_s, .. } => FatigueModel::decay(decay_tau_s),
+            _ => FatigueModel::none(),
+        }
+    }
+
+    /// Samples the cyclic target trajectory at `fs` Hz for `seconds`
+    /// (the cycle repeats; a final partial cycle is truncated).
+    pub fn target(&self, fs: f64, seconds: f64) -> Vec<f64> {
+        let cycle = self.cycle();
+        let period = cycle.duration().max(f64::MIN_POSITIVE);
+        let n = (fs * seconds).round() as usize;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                cycle.value_at(t % period)
+            })
+            .collect()
+    }
+}
+
+/// Per-subject pool-size presets: the unit count is the dominant
+/// between-subject difference a surface electrode sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubjectPreset {
+    /// Small distal muscle / low innervation (~60 units).
+    Small,
+    /// Average limb muscle (~120 units).
+    Average,
+    /// Large proximal muscle (~200 units).
+    Strong,
+}
+
+impl SubjectPreset {
+    /// The preset's motor-unit count.
+    pub fn n_units(self) -> usize {
+        match self {
+            SubjectPreset::Small => 60,
+            SubjectPreset::Average => 120,
+            SubjectPreset::Strong => 200,
+        }
+    }
+
+    /// Cycles presets across a fleet's channels.
+    pub fn for_channel(c: usize) -> Self {
+        match c % 3 {
+            0 => SubjectPreset::Average,
+            1 => SubjectPreset::Small,
+            _ => SubjectPreset::Strong,
+        }
+    }
+}
+
+/// One generated channel: the sEMG the encoder sees and the summed
+/// twitch-force ground truth it is ultimately trying to convey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotorRun {
+    /// Synthesized surface EMG (not rectified; volts-ish, ARV ≈ 1 at
+    /// MVC).
+    pub semg: Signal,
+    /// Normalized twitch-force ground truth (MVC fraction).
+    pub force: Signal,
+    /// The per-unit discharge times behind both.
+    pub trains: SpikeTrains,
+}
+
+/// A scenario bound to a pool: the physiological signal source.
+#[derive(Debug, Clone)]
+pub struct MotorWorkload {
+    pool: MotorUnitPool,
+    bank: MuapBank,
+    scenario: WorkloadScenario,
+    fs: f64,
+}
+
+impl MotorWorkload {
+    /// Builds the workload at sample rate `fs` with an
+    /// [`Average`](SubjectPreset::Average) subject.
+    pub fn new(scenario: WorkloadScenario, fs: f64) -> Self {
+        MotorWorkload::with_pool(scenario, fs, PoolParams::default())
+    }
+
+    /// Builds the workload over an explicit pool parameterization.
+    pub fn with_pool(scenario: WorkloadScenario, fs: f64, params: PoolParams) -> Self {
+        let pool = MotorUnitPool::new(params);
+        let bank = MuapBank::new(&pool, fs, EmgParams::default());
+        MotorWorkload {
+            pool,
+            bank,
+            scenario,
+            fs,
+        }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &MotorUnitPool {
+        &self.pool
+    }
+
+    /// The bound scenario.
+    pub fn scenario(&self) -> WorkloadScenario {
+        self.scenario
+    }
+
+    /// Generates `seconds` of sEMG + force ground truth. Same seed ⇒
+    /// bit-identical output (ISI jitter and the noise floor are the
+    /// only stochastic elements, both seeded).
+    pub fn run(&self, seconds: f64, seed: u64) -> MotorRun {
+        let target = self.scenario.target(self.fs, seconds);
+        let drive = self.pool.excitation_drive(&target);
+        let trains = generate_spike_trains(&self.pool, &drive, self.fs, seed);
+        let force = synthesize_force(&self.pool, &trains, self.scenario.fatigue());
+        let semg = self.bank.synthesize(&trains, seed ^ 0xE31A_1D2F_9C67_55AB);
+        MotorRun {
+            semg,
+            force,
+            trains,
+        }
+    }
+}
+
+/// The physiological counterpart of
+/// [`semg_fleet`](crate::generator::semg_fleet): `channels` rectified
+/// motor-pool sEMG channels of `scenario` at 2.5 kHz, per-channel
+/// subject presets (unit counts cycle small/average/strong) and the
+/// same 0.3–0.6 subject-gain spread, seeded from `base_seed`. Drop-in
+/// for `FleetRunner::encode`, benches and the wire e2e tests.
+pub fn motor_fleet(
+    scenario: WorkloadScenario,
+    channels: usize,
+    seconds: f64,
+    base_seed: u64,
+) -> Vec<Signal> {
+    let fs = 2500.0;
+    (0..channels)
+        .map(|c| {
+            let preset = SubjectPreset::for_channel(c);
+            let workload =
+                MotorWorkload::with_pool(scenario, fs, PoolParams::with_units(preset.n_units()));
+            workload
+                .run(seconds, base_seed + c as u64)
+                .semg
+                .to_scaled(0.3 + 0.3 * (c as f64 / channels.max(1) as f64))
+                .to_rectified()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in WorkloadScenario::all() {
+            assert_eq!(WorkloadScenario::by_name(s.name()), Some(s));
+        }
+        assert_eq!(WorkloadScenario::by_name("nope"), None);
+    }
+
+    #[test]
+    fn targets_are_cyclic_and_bounded() {
+        for s in WorkloadScenario::all() {
+            let fs = 500.0;
+            let t = s.target(fs, 6.0);
+            assert_eq!(t.len(), 3000);
+            assert!(t.iter().all(|&f| (0.0..=1.0).contains(&f)), "{}", s.name());
+            let period = s.cycle().duration();
+            if period < 6.0 {
+                let k = (period * fs).round() as usize;
+                assert!((t[0] - t[k]).abs() < 2e-2, "{} cycles", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ballistic_is_mostly_silent() {
+        let t = WorkloadScenario::ballistic().target(1000.0, 4.0);
+        let quiet = t.iter().filter(|&&f| f == 0.0).count();
+        assert!(quiet * 2 > t.len(), "rest should dominate: {quiet}");
+    }
+
+    #[test]
+    fn motor_fleet_matches_semg_fleet_shape() {
+        let fleet = motor_fleet(WorkloadScenario::ramp_and_hold(), 3, 1.0, 42);
+        assert_eq!(fleet.len(), 3);
+        for s in &fleet {
+            assert_eq!(s.sample_rate(), 2500.0);
+            assert_eq!(s.len(), 2500);
+            assert!(s.samples().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let w = MotorWorkload::new(WorkloadScenario::sine_tracking(), 2000.0);
+        let a = w.run(1.5, 9);
+        let b = w.run(1.5, 9);
+        assert_eq!(a, b);
+        let c = w.run(1.5, 10);
+        assert_ne!(a.semg.samples(), c.semg.samples());
+    }
+
+    #[test]
+    fn ramp_hold_force_tracks_target() {
+        let w = MotorWorkload::new(WorkloadScenario::ramp_and_hold(), 2000.0);
+        let run = w.run(4.0, 3);
+        // mean force over the hold plateau (t in [1.5, 2.5]) near 0.6
+        let s = run.force.samples();
+        let (a, b) = (3000, 5000);
+        let mean = s[a..b].iter().sum::<f64>() / (b - a) as f64;
+        assert!((mean - 0.6).abs() < 0.12, "plateau mean {mean}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Twitch-force synthesis: the Fuglevand impulse response and
+//! rate-gain nonlinearity, summed over the pool's spike trains.
+//!
+//! Each discharge of unit *i* contributes one twitch
+//! `f(t) = P_i · g · (t/T_i) · e^(1 − t/T_i)` (Fuglevand eq. 10), where
+//! the gain `g` implements the nonlinear force–frequency relation
+//! (eqs. 16–17): at low normalized stimulus rates (`T/ISI ≤ 0.4`)
+//! twitches sum linearly (`g = 1`); above it the per-twitch gain
+//! follows a saturating sigmoid of the *preceding* inter-spike
+//! interval, so force saturates toward fused tetanus instead of
+//! growing without bound.
+
+use super::pool::MotorUnitPool;
+use super::train::SpikeTrains;
+use crate::Signal;
+
+/// `∫₀^∞ (t/T)·e^(1−t/T) dt = e·T` — the unit-peak twitch integral per
+/// second of rise time (Euler's number).
+pub const TWITCH_INTEGRAL: f64 = std::f64::consts::E;
+
+/// The normalized stimulus rate below which twitches sum linearly
+/// (Fuglevand eq. 16 breakpoint).
+const LINEAR_SUMMATION_LIMIT: f64 = 0.4;
+
+/// The Fuglevand per-twitch gain for normalized stimulus rate
+/// `s = T / ISI` (equivalently rise time × instantaneous firing rate).
+/// `1` in the linear-summation region, saturating above it; continuous
+/// at the breakpoint.
+pub fn isi_gain(s: f64) -> f64 {
+    if s <= LINEAR_SUMMATION_LIMIT {
+        return 1.0;
+    }
+    let sigmoid = |x: f64| (1.0 - (-2.0 * x.powi(3)).exp()) / x;
+    sigmoid(s) / sigmoid(LINEAR_SUMMATION_LIMIT)
+}
+
+/// Twitch-amplitude modulation over session time — the fatigue model.
+/// `None` keeps twitch amplitudes constant; `Some(tau)` decays every
+/// unit's twitch peak as `e^(−t/τ)` (sEMG keeps firing, force fades).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FatigueModel {
+    /// Exponential twitch-amplitude decay time constant, seconds.
+    pub decay_tau_s: Option<f64>,
+}
+
+impl FatigueModel {
+    /// No fatigue: twitch amplitudes stay constant.
+    pub fn none() -> Self {
+        FatigueModel { decay_tau_s: None }
+    }
+
+    /// Exponential twitch-amplitude decay with time constant `tau_s`.
+    pub fn decay(tau_s: f64) -> Self {
+        assert!(tau_s > 0.0, "fatigue tau must be positive");
+        FatigueModel {
+            decay_tau_s: Some(tau_s),
+        }
+    }
+
+    /// The twitch-amplitude multiplier at session time `t`.
+    pub fn amplitude_at(&self, t: f64) -> f64 {
+        match self.decay_tau_s {
+            Some(tau) => (-t / tau).exp(),
+            None => 1.0,
+        }
+    }
+}
+
+/// Sums the pool's twitch responses to `trains` into the normalized
+/// (MVC-fraction) force ground truth, one sample per tick of the
+/// trains' sample rate.
+///
+/// Per spike: the preceding ISI selects the Fuglevand gain (the first
+/// discharge after recruitment sums linearly), the fatigue model scales
+/// the amplitude, and the unit's sampled twitch kernel is accumulated.
+pub fn synthesize_force(
+    pool: &MotorUnitPool,
+    trains: &SpikeTrains,
+    fatigue: FatigueModel,
+) -> Signal {
+    let fs = trains.sample_rate();
+    let n = trains.len_samples();
+    let mut force = vec![0.0f64; n];
+    for (i, unit) in pool.units().iter().enumerate() {
+        let spikes = trains.train(i);
+        if spikes.is_empty() {
+            continue;
+        }
+        // Sampled twitch kernel, truncated where it falls below 1e-4 of
+        // peak (t ≈ 12·T covers that comfortably).
+        let kernel_len = ((12.0 * unit.rise_time_s * fs).ceil() as usize).clamp(2, n.max(2));
+        let inv_t = 1.0 / (unit.rise_time_s * fs);
+        let kernel: Vec<f64> = (0..kernel_len)
+            .map(|k| {
+                let u = k as f64 * inv_t;
+                u * (1.0 - u).exp()
+            })
+            .collect();
+        let mut prev: Option<u64> = None;
+        for &s in spikes {
+            let gain = match prev {
+                Some(p) => {
+                    let isi_s = (s - p) as f64 / fs;
+                    isi_gain(unit.rise_time_s / isi_s.max(1.0 / fs))
+                }
+                None => 1.0,
+            };
+            prev = Some(s);
+            let amp = unit.twitch_peak * gain * fatigue.amplitude_at(s as f64 / fs);
+            let start = s as usize;
+            let end = (start + kernel.len()).min(n);
+            for (dst, k) in force[start..end].iter_mut().zip(&kernel) {
+                *dst += amp * k;
+            }
+        }
+    }
+    // Spike trains deliver force per discharge; the analytic
+    // normalization converts the summed train to MVC fraction.
+    let norm = pool.force_norm();
+    for v in &mut force {
+        *v /= norm;
+    }
+    Signal::from_samples(force, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motor::pool::PoolParams;
+    use crate::motor::train::generate_spike_trains;
+
+    #[test]
+    fn gain_is_continuous_and_saturating() {
+        assert_eq!(isi_gain(0.2), 1.0);
+        assert!((isi_gain(0.4) - 1.0).abs() < 1e-12);
+        assert!((isi_gain(0.400001) - 1.0).abs() < 1e-3);
+        // mid-rate potentiation (> 1 near S ≈ 1), then a 1/S tail so
+        // that force r·g(T·r) saturates instead of growing linearly
+        assert!(isi_gain(1.0) > 1.0);
+        assert!(isi_gain(3.0) < isi_gain(1.0));
+        // S·g(S) (∝ steady force) stays monotone in the firing rate
+        assert!(2.0 * isi_gain(2.0) > 1.0 * isi_gain(1.0));
+    }
+
+    #[test]
+    fn fatigue_decays_force_but_not_spike_count() {
+        let pool = MotorUnitPool::new(PoolParams::with_units(40));
+        let fs = 2000.0;
+        let target = vec![0.5; (6.0 * fs) as usize];
+        let drive = pool.excitation_drive(&target);
+        let trains = generate_spike_trains(&pool, &drive, fs, 7);
+        let fresh = synthesize_force(&pool, &trains, FatigueModel::none());
+        let tired = synthesize_force(&pool, &trains, FatigueModel::decay(4.0));
+        let mean =
+            |s: &Signal, a: usize, b: usize| s.samples()[a..b].iter().sum::<f64>() / (b - a) as f64;
+        let n = fresh.len();
+        // same trains, but the fatigued tail has visibly lower force
+        assert!(mean(&tired, 4 * n / 5, n) < 0.6 * mean(&fresh, 4 * n / 5, n));
+        // fresh steady state sits near the target
+        assert!((mean(&fresh, n / 2, n) - 0.5).abs() < 0.1);
+    }
+}

@@ -14,7 +14,13 @@
 //!   beats completeness, exactly as the paper's "artifacts effect is
 //!   similar to pulse missing" argument goes);
 //! * **duplication** — a packet whose index span was already delivered
-//!   is counted and dropped.
+//!   is counted and dropped;
+//! * **session misattribution** — DATA-V2 frames carry a one-byte
+//!   session nonce (a CRC-8 of the HELLO, see
+//!   [`SessionHeader::nonce`]); a frame whose nonce disagrees with the
+//!   decoded HELLO is counted as *foreign* and dropped instead of
+//!   polluting the stream. Revision-1 DATA frames (no nonce) are still
+//!   accepted.
 //!
 //! The BYE frame closes the books: it carries per-channel sent totals,
 //! turning the receiver's tallies into exact per-channel loss figures.
@@ -70,6 +76,10 @@ pub struct WireStats {
     pub malformed_frames: u64,
     /// DATA/BYE frames that arrived before any HELLO.
     pub orphan_frames: u64,
+    /// DATA-V2 frames whose session nonce did not match this session's
+    /// HELLO — traffic from another session leaking in over a reused
+    /// transport address.
+    pub foreign_frames: u64,
     /// Events delivered to the application, in time order.
     pub events_decoded: u64,
     /// Events known lost: declared gaps, plus — once the BYE closes the
@@ -129,6 +139,9 @@ pub struct StreamDecoder {
     buf: Vec<u8>,
     consumed: usize,
     session: Option<SessionHeader>,
+    /// The session nonce (derived from the HELLO) DATA-V2 frames must
+    /// carry.
+    nonce: Option<u8>,
     bye: Option<ByeSummary>,
     /// Reorder buffer keyed by first event index.
     pending: BTreeMap<u64, PendingPacket>,
@@ -146,6 +159,7 @@ pub struct StreamDecoder {
     resync_bytes: u64,
     malformed_frames: u64,
     orphan_frames: u64,
+    foreign_frames: u64,
     events_decoded: u64,
     events_lost: u64,
     gaps: u64,
@@ -178,6 +192,7 @@ impl StreamDecoder {
             buf: Vec::new(),
             consumed: 0,
             session: None,
+            nonce: None,
             bye: None,
             pending: BTreeMap::new(),
             pending_events: 0,
@@ -191,6 +206,7 @@ impl StreamDecoder {
             resync_bytes: 0,
             malformed_frames: 0,
             orphan_frames: 0,
+            foreign_frames: 0,
             events_decoded: 0,
             events_lost: 0,
             gaps: 0,
@@ -250,6 +266,7 @@ impl StreamDecoder {
                     match ftype {
                         FrameType::Hello => self.on_hello(payload),
                         FrameType::Data => self.on_data(payload),
+                        FrameType::DataV2 => self.on_data_v2(payload),
                         FrameType::Bye => self.on_bye(payload),
                     }
                 }
@@ -310,6 +327,7 @@ impl StreamDecoder {
             resync_bytes: self.resync_bytes,
             malformed_frames: self.malformed_frames,
             orphan_frames: self.orphan_frames,
+            foreign_frames: self.foreign_frames,
             events_decoded: self.events_decoded,
             events_lost: self.events_lost,
             gaps: self.gaps,
@@ -327,6 +345,7 @@ impl StreamDecoder {
         match &self.session {
             None => {
                 self.per_channel_received = vec![0; usize::from(header.n_channels)];
+                self.nonce = Some(header.nonce());
                 self.session = Some(header);
             }
             Some(existing) if *existing == header => self.duplicate_frames += 1,
@@ -423,6 +442,24 @@ impl StreamDecoder {
             debug_assert_eq!(first, self.next_index, "caller checked contiguity");
             self.release(first, pkt.events);
         }
+    }
+
+    /// DATA-V2: the leading nonce byte must match this session's before
+    /// the rest of the payload is decoded exactly like revision 1.
+    fn on_data_v2(&mut self, payload: std::ops::Range<usize>) {
+        let Some(expected) = self.nonce else {
+            self.orphan_frames += 1;
+            return;
+        };
+        let Some(&nonce) = self.buf[payload.clone()].first() else {
+            self.malformed_frames += 1;
+            return;
+        };
+        if nonce != expected {
+            self.foreign_frames += 1;
+            return;
+        }
+        self.on_data(payload.start + 1..payload.end);
     }
 
     fn on_bye(&mut self, payload: std::ops::Range<usize>) {
@@ -687,6 +724,80 @@ mod tests {
         assert!(out
             .windows(2)
             .all(|w| w[0].event.time_s <= w[1].event.time_s));
+    }
+
+    #[test]
+    fn legacy_revision_1_data_frames_are_still_accepted() {
+        let header = SessionHeader::new(11, 4, 2000.0, 30.0);
+        let events: Vec<AddressedEvent> = (0..64)
+            .map(|i| AddressedEvent {
+                channel: (i % 4) as u8,
+                event: Event::at_tick(i * 13, header.tick_period_s, Some((i % 16) as u8)),
+            })
+            .collect();
+        let mut tx = Packetizer::new(header)
+            .with_events_per_frame(16)
+            .with_legacy_data_frames();
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&tx.hello());
+        for f in tx.data_frames(&events) {
+            rx.push_bytes(&f);
+        }
+        rx.push_bytes(&tx.bye());
+        assert_eq!(decoded(&mut rx), events);
+        let s = rx.stats();
+        assert_eq!(s.events_lost, 0);
+        assert_eq!(s.foreign_frames, 0);
+    }
+
+    #[test]
+    fn foreign_session_nonce_is_dropped_and_counted() {
+        // A second session's DATA-V2 frames leak into this decoder (the
+        // reused-transport-address corner): every one is dropped as
+        // foreign, the real stream is untouched, and loss accounting
+        // stays exact.
+        let (_, frames, events) = session_frames(40, 10);
+        let foreign_header = SessionHeader::new(99, 4, 2000.0, 30.0);
+        let mut foreign_tx = Packetizer::new(foreign_header).with_events_per_frame(10);
+        let foreign_events: Vec<AddressedEvent> = (0..20)
+            .map(|i| AddressedEvent {
+                channel: (i % 4) as u8,
+                event: Event::at_tick(i * 17, foreign_header.tick_period_s, None),
+            })
+            .collect();
+        let foreign_frames = foreign_tx.data_frames(&foreign_events);
+
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&frames[0]); // hello
+        for (own, foreign) in frames[1..frames.len() - 1].iter().zip(
+            foreign_frames
+                .iter()
+                .chain(std::iter::repeat(&foreign_frames[0])),
+        ) {
+            rx.push_bytes(foreign);
+            rx.push_bytes(own);
+        }
+        rx.push_bytes(&frames[frames.len() - 1]); // bye
+        assert_eq!(decoded(&mut rx), events);
+        let s = rx.stats();
+        assert_eq!(s.events_lost, 0);
+        assert_eq!(s.foreign_frames, (frames.len() - 2) as u64);
+        assert_eq!(s.malformed_frames, 0);
+        assert_eq!(s.duplicate_frames, 0);
+    }
+
+    #[test]
+    fn empty_v2_payload_is_malformed_and_v2_before_hello_is_orphaned() {
+        use crate::frame::encode_frame;
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&encode_frame(FrameType::DataV2, 0, &[0x5A]));
+        assert_eq!(rx.stats().orphan_frames, 1);
+
+        let (_, frames, _) = session_frames(0, 10);
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&frames[0]); // hello
+        rx.push_bytes(&encode_frame(FrameType::DataV2, 1, &[]));
+        assert_eq!(rx.stats().malformed_frames, 1);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! ```text
 //!  offset  size  field
 //!  0       2     sync word 0xD4 0x7C
-//!  2       1     frame type (0x01 HELLO, 0x02 DATA, 0x03 BYE)
+//!  2       1     frame type (0x01 HELLO, 0x02 DATA, 0x03 BYE,
+//!                0x04 DATA-V2)
 //!  3       2     sequence number, u16 LE (wraps)
 //!  5       2     payload length, u16 LE
 //!  7       n     payload
@@ -38,6 +39,11 @@ pub enum FrameType {
     Data,
     /// Session close: per-channel sent totals for exact loss accounting.
     Bye,
+    /// Revision 2 of DATA: a one-byte session nonce precedes the event
+    /// payload, pinning every DATA frame to the HELLO it belongs to
+    /// (closes the reused-transport-address misattribution corner).
+    /// Revision-1 decoders skip it whole — CRC-valid unknown type.
+    DataV2,
 }
 
 impl FrameType {
@@ -47,6 +53,7 @@ impl FrameType {
             FrameType::Hello => 0x01,
             FrameType::Data => 0x02,
             FrameType::Bye => 0x03,
+            FrameType::DataV2 => 0x04,
         }
     }
 
@@ -56,6 +63,7 @@ impl FrameType {
             0x01 => Some(FrameType::Hello),
             0x02 => Some(FrameType::Data),
             0x03 => Some(FrameType::Bye),
+            0x04 => Some(FrameType::DataV2),
             _ => None,
         }
     }
@@ -234,6 +242,7 @@ mod tests {
             (FrameType::Hello, 0u16),
             (FrameType::Data, 41),
             (FrameType::Bye, u16::MAX),
+            (FrameType::DataV2, 1000),
         ] {
             let payload: Vec<u8> = (0..37).collect();
             let bytes = encode_frame(ftype, seq, &payload);

@@ -22,11 +22,14 @@
 //!
 //! One reconstructor selection opts out of the bound: a
 //! [`Hybrid`](datc_rx::online::OnlineReconSelect::Hybrid) with
-//! `rate0_hz: None` *defers* emission to session close (that is what
-//! makes it bit-exact with the batch hybrid), staging
-//! `O(duration · output_fs)` samples per channel and delivering no
-//! force to the sink until the session ends. Pin `rate0_hz` for
-//! long-running hub sessions; deferred mode is for bounded replays.
+//! `rate0_hz: None` and no calibration window *defers* emission to
+//! session close (that is what makes it bit-exact with the batch
+//! hybrid), staging `O(duration · output_fs)` samples per channel and
+//! delivering no force to the sink until the session ends. For
+//! long-running hub sessions, pin `rate0_hz`, or set `rate0_calib_s`
+//! to auto-calibrate `rate₀` from each session's first seconds
+//! (staging stays bounded by the calibration window); pure deferred
+//! mode is for bounded replays.
 
 use crate::packet::{Packetizer, SessionHeader};
 use crate::session::{SessionReport, SessionRx, SessionRxConfig};
@@ -486,12 +489,14 @@ pub(crate) fn validate_config(config: &HubConfig) -> std::io::Result<()> {
             smooth_window_s,
             rate_window_s,
             rate0_hz,
+            rate0_calib_s,
             ..
         } if !positive(*smooth_window_s)
             || !positive(*rate_window_s)
-            || rate0_hz.is_some_and(|r| !positive(r)) =>
+            || rate0_hz.is_some_and(|r| !positive(r))
+            || rate0_calib_s.is_some_and(|c| !positive(c)) =>
         {
-            invalid("hybrid windows and rate0_hz must be positive and finite")
+            invalid("hybrid windows, rate0_hz and rate0_calib_s must be positive and finite")
         }
         _ => Ok(()),
     }

@@ -25,6 +25,16 @@
 //! D-ATC event costs 3 bytes (address + key + code) plus one
 //! `delta_ext` byte when the gap exceeds 63 ticks.
 //!
+//! **DATA-V2** (variable): one `nonce:u8` byte, then the DATA payload
+//! unchanged. The nonce is [`SessionHeader::nonce`] — a CRC-8 of the
+//! encoded HELLO — computed independently by both ends, so the HELLO
+//! format itself never changes. It pins every DATA frame to its
+//! session: a receiver that sees a stale or foreign frame arrive over a
+//! reused transport address drops it instead of misattributing its
+//! events. [`Packetizer`] emits DATA-V2; decoders accept both
+//! revisions, and revision-1 decoders skip V2 frames whole (CRC-valid
+//! unknown type).
+//!
 //! **BYE** (variable): `total_events:varint`, `n_channels:varint`, then
 //! one sent-count varint per channel — the receiver subtracts its own
 //! tallies for exact per-channel loss.
@@ -125,6 +135,26 @@ impl SessionHeader {
             && header.duration_s > 0.0
             && header.duration_s.is_finite();
         valid.then_some(header)
+    }
+
+    /// The one-byte session nonce DATA-V2 frames carry: a CRC-8 of the
+    /// encoded HELLO payload. Both ends derive it independently from
+    /// the header they already hold, so the handshake format is
+    /// untouched. Distinct sessions on a reused transport address
+    /// almost surely disagree in at least one header field, giving the
+    /// receiver a cheap per-frame session check (an 8-bit check — a
+    /// misattribution guard, not an authenticator).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use datc_wire::packet::SessionHeader;
+    /// let a = SessionHeader::new(1, 4, 2000.0, 20.0);
+    /// let b = SessionHeader::new(2, 4, 2000.0, 20.0);
+    /// assert_ne!(a.nonce(), b.nonce());
+    /// ```
+    pub fn nonce(&self) -> u8 {
+        datc_uwb::crc::crc8(&self.encode())
     }
 }
 
@@ -247,6 +277,34 @@ pub fn decode_data(payload: &[u8]) -> Option<DataPacket> {
     })
 }
 
+/// Serialises one DATA-V2 payload: the session nonce, then the DATA
+/// payload unchanged.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::packet::{decode_data_v2, encode_data_v2, WireEvent};
+/// let events = vec![WireEvent { addr: 0, tick: 70, code: Some(3) }];
+/// let payload = encode_data_v2(0x5A, 7, &events);
+/// let (nonce, packet) = decode_data_v2(&payload).unwrap();
+/// assert_eq!(nonce, 0x5A);
+/// assert_eq!(packet.first_index, 7);
+/// assert_eq!(packet.events, events);
+/// ```
+pub fn encode_data_v2(nonce: u8, first_index: u64, events: &[WireEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 + 4 * events.len());
+    out.push(nonce);
+    out.extend_from_slice(&encode_data(first_index, events));
+    out
+}
+
+/// Parses a DATA-V2 payload into its nonce and packet; `None` on an
+/// empty payload or any DATA-format violation.
+pub fn decode_data_v2(payload: &[u8]) -> Option<(u8, DataPacket)> {
+    let (&nonce, rest) = payload.split_first()?;
+    Some((nonce, decode_data(rest)?))
+}
+
 /// Per-channel sent totals announced at session close.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ByeSummary {
@@ -327,6 +385,8 @@ impl ByeSummary {
 #[derive(Debug, Clone)]
 pub struct Packetizer {
     header: SessionHeader,
+    nonce: u8,
+    legacy_data: bool,
     seq: u16,
     next_index: u64,
     last_tick: Option<u64>,
@@ -344,6 +404,8 @@ impl Packetizer {
     pub fn new(header: SessionHeader) -> Self {
         Packetizer {
             header,
+            nonce: header.nonce(),
+            legacy_data: false,
             seq: 0,
             next_index: 0,
             last_tick: None,
@@ -358,9 +420,17 @@ impl Packetizer {
     /// the frame's worst-case encoding must fit `MAX_PAYLOAD`).
     pub fn with_events_per_frame(mut self, n: usize) -> Self {
         // addr + key + 10-byte delta ext + code = 13 bytes worst case,
-        // plus ~22 bytes of indices.
-        let cap = (MAX_PAYLOAD - 22) / 13;
+        // plus ~22 bytes of indices and the V2 nonce byte.
+        let cap = (MAX_PAYLOAD - 23) / 13;
         self.max_events_per_frame = n.clamp(1, cap);
+        self
+    }
+
+    /// Emits revision-1 DATA frames (no session nonce) instead of
+    /// DATA-V2 — for interoperating with, and testing against,
+    /// revision-1 receivers.
+    pub fn with_legacy_data_frames(mut self) -> Self {
+        self.legacy_data = true;
         self
     }
 
@@ -406,9 +476,16 @@ impl Packetizer {
                     }
                 })
                 .collect();
-            let payload = encode_data(self.next_index, &wire_events);
+            let (ftype, payload) = if self.legacy_data {
+                (FrameType::Data, encode_data(self.next_index, &wire_events))
+            } else {
+                (
+                    FrameType::DataV2,
+                    encode_data_v2(self.nonce, self.next_index, &wire_events),
+                )
+            };
             self.next_index += wire_events.len() as u64;
-            frames.push(self.frame(FrameType::Data, &payload));
+            frames.push(self.frame(ftype, &payload));
         }
         frames
     }

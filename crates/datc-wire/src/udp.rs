@@ -47,13 +47,17 @@
 //!   allocation, but the frame format is not authenticated — a hub
 //!   exposed to untrusted networks should sit behind address
 //!   filtering.
-//! * DATA frames carry no session tag (only the cumulative event
-//!   index), so when a reused address hands over from session A to
-//!   session B, an A-tail datagram reordered *past* B's HELLO can be
-//!   misattributed to B's books (it parks as a far-future hole and is
-//!   declared lost at close). The BYE grace window absorbs the common
-//!   tail reorder; fully closing this corner needs a session nonce in
-//!   the framing — a wire-format follow-up, tracked in the ROADMAP.
+//! * DATA-V2 frames carry a one-byte session nonce (a CRC-8 of the
+//!   HELLO, [`SessionHeader::nonce`]): when a reused address hands over
+//!   from session A to session B, an A-tail datagram reordered *past*
+//!   B's HELLO is counted as a **foreign frame** and dropped instead of
+//!   being misattributed to B's books. Legacy revision-1 DATA frames
+//!   (no nonce) are still accepted for old transmitters, and for those
+//!   the misattribution corner remains: the BYE grace window absorbs
+//!   the common tail reorder, everything else parks as a far-future
+//!   hole and is declared lost at close. The 8-bit nonce is a
+//!   misattribution guard, not an authenticator (1/256 collision odds
+//!   between unrelated sessions).
 //! * A session whose HELLO never arrives is unidentifiable: its DATA
 //!   is booked as orphan frames, and the first HELLO that does reach
 //!   the address is adopted by that decoder (indistinguishable from
@@ -940,6 +944,53 @@ mod tests {
     }
 
     #[test]
+    fn session_tail_reordered_past_the_next_hello_is_foreign_not_misattributed() {
+        // The corner the DATA-V2 nonce closes: session A's last DATA
+        // datagram is reordered past session B's HELLO on the same
+        // reused address. Without the nonce it would park in B's
+        // reorder buffer as a far-future hole and be declared lost at
+        // close; with it, B counts one foreign frame and its books
+        // close with zero loss and zero gaps.
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+
+        let header_a = SessionHeader::new(90, 1, 2000.0, 1.0);
+        let mut tx_a = Packetizer::new(header_a).with_events_per_frame(10);
+        let data_a = tx_a.data_frames(&test_events(&header_a, 20));
+        assert_eq!(data_a.len(), 2);
+        socket.send(&tx_a.hello()).unwrap();
+        socket.send(&data_a[0]).unwrap();
+        // data_a[1] is still in flight; A's BYE is lost on air.
+
+        let header_b = SessionHeader::new(91, 1, 2000.0, 1.0);
+        let mut tx_b = Packetizer::new(header_b);
+        socket.send(&tx_b.hello()).unwrap(); // takeover retires A
+        socket.send(&data_a[1]).unwrap(); // A's tail lands in B's decoder
+        for f in tx_b.data_frames(&test_events(&header_b, 10)) {
+            socket.send(&f).unwrap();
+        }
+        socket.send(&tx_b.bye()).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].session_id, 90);
+        assert_eq!(sessions[0].report.stats.events_decoded, 10);
+        assert!(!sessions[0].report.stats.closed);
+        let b = &sessions[1].report.stats;
+        assert_eq!(sessions[1].session_id, 91);
+        assert_eq!(b.events_decoded, 10);
+        assert_eq!(b.foreign_frames, 1, "A's straggler dropped as foreign");
+        assert_eq!(b.events_lost, 0, "no phantom far-future hole");
+        assert_eq!(b.gaps, 0);
+        assert!(b.closed);
+    }
+
+    #[test]
     fn junk_datagrams_do_not_allocate_peer_state() {
         let made = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let factory: SinkFactory = {
@@ -1019,6 +1070,18 @@ mod tests {
                     rate_window_s: 0.75,
                     alpha: 1.0,
                     rate0_hz: Some(0.0),
+                    rate0_calib_s: None,
+                }),
+                ..HubConfig::default()
+            },
+            HubConfig {
+                session: session(OnlineReconSelect::Hybrid {
+                    dac: datc_core::dac::Dac::paper(),
+                    smooth_window_s: 0.75,
+                    rate_window_s: 0.75,
+                    alpha: 1.0,
+                    rate0_hz: None,
+                    rate0_calib_s: Some(-1.0),
                 }),
                 ..HubConfig::default()
             },

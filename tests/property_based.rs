@@ -347,6 +347,78 @@ proptest! {
     }
 
     #[test]
+    fn recruitment_is_monotone_in_excitation(
+        n_units in 20usize..90,
+        level in 0.2f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // The size principle, as an invariant of the generated trains:
+        // whenever a higher-threshold unit fires at all, every
+        // lower-threshold unit fires too, and is recruited no later.
+        use datc::signal::motor::{generate_spike_trains, MotorUnitPool, PoolParams};
+        let pool = MotorUnitPool::new(PoolParams::with_units(n_units));
+        let fs = 2000.0;
+        // ramp up to `level` then hold — recruitment order plays out on
+        // the ramp
+        let n = (1.5 * fs) as usize;
+        let drive: Vec<f64> = (0..n)
+            .map(|k| level * (3.0 * k as f64 / n as f64).min(1.0))
+            .collect();
+        let trains = generate_spike_trains(&pool, &drive, fs, seed);
+        for i in 1..n_units {
+            let (lower, higher) = (trains.train(i - 1), trains.train(i));
+            if let Some(&h_first) = higher.first() {
+                let l_first = lower.first().copied();
+                prop_assert!(
+                    l_first.is_some_and(|l| l <= h_first),
+                    "unit {} fired (first {}) while smaller unit {} had {:?}",
+                    i, h_first, i - 1, l_first
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_force_tracks_the_target(
+        n_units in 40usize..120,
+        level in 0.25f64..0.85,
+        seed in any::<u64>(),
+    ) {
+        // Open-loop drive inversion: holding a target produces that much
+        // summed twitch force, for any pool size and seed.
+        use datc::signal::motor::{
+            generate_spike_trains, synthesize_force, FatigueModel, MotorUnitPool, PoolParams,
+        };
+        let pool = MotorUnitPool::new(PoolParams::with_units(n_units));
+        let fs = 2000.0;
+        let target = vec![level; (4.0 * fs) as usize];
+        let drive = pool.excitation_drive(&target);
+        let trains = generate_spike_trains(&pool, &drive, fs, seed);
+        let force = synthesize_force(&pool, &trains, FatigueModel::none());
+        let half = force.len() / 2;
+        let mean =
+            force.samples()[half..].iter().sum::<f64>() / (force.len() - half) as f64;
+        prop_assert!(
+            (mean - level).abs() < 0.15,
+            "steady force {mean} vs target {level} ({n_units} units, seed {seed})"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_bit_identical_semg(
+        scenario_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use datc::signal::motor::{MotorWorkload, WorkloadScenario};
+        let scenario = WorkloadScenario::all()[scenario_idx]; // Copy
+        let a = MotorWorkload::new(scenario, 2000.0).run(1.0, seed);
+        let b = MotorWorkload::new(scenario, 2000.0).run(1.0, seed);
+        prop_assert_eq!(a.semg.samples(), b.semg.samples());
+        prop_assert_eq!(a.force.samples(), b.force.samples());
+        prop_assert_eq!(a.trains.total_spikes(), b.trains.total_spikes());
+    }
+
+    #[test]
     fn crc8_detects_any_single_bit_flip(
         msg in proptest::collection::vec(any::<u8>(), 1..32),
         byte_idx in any::<prop::sample::Index>(),
