@@ -19,6 +19,7 @@ use datc_core::encoder::TraceLevel;
 use datc_engine::FleetRunner;
 use datc_signal::generator::semg_fleet;
 use datc_uwb::aer::AddressedEvent;
+use datc_wire::chaos::{ChaosLink, ChaosProfile};
 use datc_wire::gateway::{stream_fleet, HubConfig, TelemetryHub};
 use datc_wire::packet::{encode_session, Packetizer, SessionHeader};
 use datc_wire::StreamDecoder;
@@ -125,6 +126,53 @@ fn main() {
     let decode_rate = n_events as f64 / decode_secs;
     println!("streaming decode          {decode_rate:>14.0} events/s");
 
+    // --- codec: degraded-path decode --------------------------------------
+    // The same session mangled once (outside the timed region) by the
+    // deterministic chaos layer — ~5 % drop, 2 % duplication, 5 %
+    // bounded reorder — then decoded from the damaged unit stream: the
+    // resync/reorder/hole-accounting machinery is on the hot path here,
+    // not the happy path measured above.
+    let degraded: Vec<u8> = {
+        // 16-event frames: enough chaos units for the 5 % rates to
+        // bite even in the short --quick session.
+        let mut tx = Packetizer::new(header).with_events_per_frame(16);
+        let mut bytes = tx.hello();
+        let data = tx.data_frames(&merged);
+        let mut link = ChaosLink::new(0xD47C_BEEF, ChaosProfile::lossy());
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for f in &data {
+            link.push(f, &mut out);
+        }
+        link.flush(&mut out);
+        for unit in &out {
+            bytes.extend_from_slice(unit);
+        }
+        bytes.extend_from_slice(&tx.bye());
+        bytes
+    };
+    let degraded_events = {
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&degraded);
+        let mut out = Vec::new();
+        rx.drain_events(&mut out);
+        assert!(rx.stats().events_lost > 0, "chaos must cost something");
+        out.len() as u64
+    };
+    let degraded_secs = measure(
+        || {
+            let mut rx = StreamDecoder::new();
+            rx.push_bytes(&degraded);
+            let mut out = Vec::new();
+            rx.drain_events(&mut out);
+            assert_eq!(out.len() as u64, degraded_events, "deterministic chaos");
+            out.len() as u64
+        },
+        samples,
+        40,
+    );
+    let degraded_rate = degraded_events as f64 / degraded_secs;
+    println!("degraded decode           {degraded_rate:>14.0} events/s (5% loss + reorder)");
+
     // --- gateway: n concurrent sessions over TCP loopback ----------------
     let rounds = if quick { 2 } else { 3 };
     let mut best_sessions_per_s = 0.0f64;
@@ -187,6 +235,9 @@ fn main() {
     ));
     json.push_str(&format!("  \"packetize_events_per_s\": {pack_rate:.0},\n"));
     json.push_str(&format!("  \"decode_events_per_s\": {decode_rate:.0},\n"));
+    json.push_str(&format!(
+        "  \"degraded_decode_events_per_s\": {degraded_rate:.0},\n"
+    ));
     json.push_str(&format!("  \"gateway_sessions\": {n_sessions},\n"));
     json.push_str(&format!(
         "  \"gateway_sessions_per_s\": {best_sessions_per_s:.2},\n"

@@ -1,0 +1,764 @@
+//! Deterministic fault injection for the wire transports.
+//!
+//! Every robustness claim in this crate — exact loss accounting,
+//! duplicate suppression, bounded reorder, resync after corruption,
+//! session resume across an outage — needs a hostile link to prove it
+//! against. This module is that link, built so that **any failure
+//! replays from a logged seed**:
+//!
+//! * [`FaultPlan`] maps a `(seed, profile)` pair and a unit counter to
+//!   a [`Fate`] through counter-based splitmix64 lanes (the same
+//!   discipline as the non-ideal comparator RNG in `datc-core`): the
+//!   fate of unit `k` is a pure function of `(seed, profile, k)`,
+//!   independent of call order, thread timing, or wall clock.
+//! * [`ChaosLink`] is the stateful wrapper that applies a plan to a
+//!   sequence of transport units — frames on the byte-stream (TCP)
+//!   path, datagrams on the UDP path — injecting drop, duplication,
+//!   bounded reorder, single-bit corruption, truncation, stall
+//!   (delay-burst) windows, and mid-session disconnect boundaries. It
+//!   logs the [`Fate`] of every unit so a test can compute *exactly*
+//!   which events must survive and which must be booked as loss.
+//!
+//! Both senders accept a link via `with_chaos`
+//! ([`SessionSender`](crate::gateway::SessionSender),
+//! [`UdpSessionSender`](crate::udp::UdpSessionSender)); chaos applies
+//! to DATA units only, so session books (HELLO / BYE) always arrive
+//! and loss accounting stays decidable.
+//!
+//! # Example
+//!
+//! ```
+//! use datc_wire::chaos::{ChaosLink, ChaosProfile, Fate};
+//! let mut link = ChaosLink::new(42, ChaosProfile::lossy());
+//! let mut out = Vec::new();
+//! for k in 0u8..100 {
+//!     link.push(&[k; 16], &mut out);
+//! }
+//! link.flush(&mut out);
+//! let stats = link.stats();
+//! assert_eq!(stats.units, 100);
+//! // Everything not dropped was delivered (possibly late / twice).
+//! assert_eq!(out.len() as u64, stats.units - stats.dropped + stats.duplicated);
+//! // Replaying the same seed reproduces the same fates, bit for bit.
+//! let mut replay = ChaosLink::new(42, ChaosProfile::lossy());
+//! let mut out2 = Vec::new();
+//! for k in 0u8..100 {
+//!     replay.push(&[k; 16], &mut out2);
+//! }
+//! replay.flush(&mut out2);
+//! assert_eq!(out, out2);
+//! assert_eq!(link.fates(), replay.fates());
+//! ```
+
+/// Golden-ratio increment for splitmix-style counter hashing.
+pub(crate) const PHI: u64 = 0x9E3779B97F4A7C15;
+
+/// splitmix64 finalizer: a high-quality 64-bit mix.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One independent random lane: pure in `(seed, unit, lane)`.
+pub(crate) fn lane(seed: u64, unit: u64, lane: u64) -> u64 {
+    mix64(
+        seed.wrapping_add(PHI)
+            ^ unit.wrapping_mul(0xD1B54A32D192ED03)
+            ^ lane.wrapping_mul(0x8CB92BA72F3D8DD7),
+    )
+}
+
+/// Maps a 64-bit lane value onto `[0, 1)`.
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A periodic hold-and-release window: the link buffers every unit in
+/// the last `hold` slots of each `period`-unit cycle and releases the
+/// whole burst, in order, when the window passes. Models a duty-cycled
+/// or congested link that goes quiet and then floods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// Cycle length in units; must be greater than `hold`.
+    pub period: u32,
+    /// Units held back at the end of each cycle.
+    pub hold: u32,
+}
+
+/// A periodic mid-session disconnect: every `every` units the link
+/// reports a connection break (see [`ChaosLink::take_disconnect`]) and
+/// the next `outage` units are dropped on the floor — the frames a
+/// real-time sender would have emitted into the dead link while
+/// reconnecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisconnectPlan {
+    /// Units between disconnects; must be non-zero.
+    pub every: u32,
+    /// Units lost during each outage.
+    pub outage: u32,
+}
+
+/// A named fault mix. Probabilities are per-unit and mutually
+/// exclusive by precedence (drop ≻ corrupt ≻ truncate ≻ duplicate ≻
+/// reorder); their sum must stay at or below 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProfile {
+    /// Short name, printed in replay instructions on test failure.
+    pub name: &'static str,
+    /// Probability a unit is silently dropped.
+    pub drop: f64,
+    /// Probability a unit has one bit flipped (always caught by the
+    /// frame CRC when the unit is an isolated frame/datagram).
+    pub corrupt: f64,
+    /// Probability a unit is truncated to a strict prefix.
+    pub truncate: f64,
+    /// Probability a unit is delivered twice back to back.
+    pub duplicate: f64,
+    /// Probability a unit is held back and released out of order.
+    pub reorder: f64,
+    /// Maximum displacement (in later units) of a reordered unit;
+    /// a reordered unit lands at most `reorder_span` units late.
+    pub reorder_span: u32,
+    /// Optional periodic delay-burst window.
+    pub stall: Option<StallWindow>,
+    /// Optional periodic mid-session disconnect.
+    pub disconnect: Option<DisconnectPlan>,
+}
+
+impl ChaosProfile {
+    /// A fault-free link (useful as a control).
+    pub fn ideal() -> Self {
+        ChaosProfile {
+            name: "ideal",
+            drop: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_span: 0,
+            stall: None,
+            disconnect: None,
+        }
+    }
+
+    /// A lossy radio hop: 5 % drop, 2 % duplication, 5 % reorder
+    /// within a span of 4. Loss accounting stays exact (no byte
+    /// damage).
+    pub fn lossy() -> Self {
+        ChaosProfile {
+            name: "lossy",
+            drop: 0.05,
+            duplicate: 0.02,
+            reorder: 0.05,
+            reorder_span: 4,
+            ..ChaosProfile::ideal()
+        }
+    }
+
+    /// A duty-cycled link: light drop plus a periodic stall window
+    /// that delays bursts of units (released in order, so nothing is
+    /// lost to the stall itself).
+    pub fn bursty() -> Self {
+        ChaosProfile {
+            name: "bursty",
+            drop: 0.02,
+            stall: Some(StallWindow {
+                period: 64,
+                hold: 8,
+            }),
+            ..ChaosProfile::ideal()
+        }
+    }
+
+    /// A byte-mangling link: corruption and truncation on top of
+    /// drops. Damaged units are rejected by the frame CRC, so on
+    /// datagram transports they are indistinguishable from drops.
+    pub fn mangler() -> Self {
+        ChaosProfile {
+            name: "mangler",
+            drop: 0.02,
+            corrupt: 0.02,
+            truncate: 0.01,
+            ..ChaosProfile::ideal()
+        }
+    }
+
+    /// A link that hard-disconnects every `every` units, losing
+    /// `outage` units per break — the TCP retry/resume scenario.
+    pub fn outage(every: u32, outage: u32) -> Self {
+        ChaosProfile {
+            name: "outage",
+            disconnect: Some(DisconnectPlan { every, outage }),
+            ..ChaosProfile::ideal()
+        }
+    }
+
+    /// `true` when the profile never damages bytes (no corruption or
+    /// truncation), so every delivered unit is intact and loss
+    /// accounting can be asserted exactly from the fate log alone.
+    pub fn is_byte_exact(&self) -> bool {
+        self.corrupt == 0.0 && self.truncate == 0.0
+    }
+}
+
+/// What the plan decided for one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered intact, in order.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Dropped because it fell inside a disconnect outage.
+    OutageDrop,
+    /// Delivered with one bit flipped.
+    Corrupt,
+    /// Delivered as a strict prefix of the original bytes.
+    Truncate,
+    /// Delivered twice back to back.
+    Duplicate,
+    /// Held back and delivered after the next `n` units.
+    Hold(u32),
+    /// Buffered in a stall window, delivered (in order) when the
+    /// window passed.
+    Stall,
+}
+
+impl Fate {
+    /// `true` when the unit never reaches the receiver intact: the
+    /// events it carried must be booked as loss.
+    pub fn is_lost(self) -> bool {
+        matches!(
+            self,
+            Fate::Drop | Fate::OutageDrop | Fate::Corrupt | Fate::Truncate
+        )
+    }
+}
+
+/// The pure decision function: `(seed, profile)` in, per-unit
+/// [`Fate`]s out. Holds no mutable state — [`ChaosLink`] layers the
+/// buffering (reorder holds, stall windows, outage countdowns) on top.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    seed: u64,
+    profile: ChaosProfile,
+}
+
+impl FaultPlan {
+    /// Builds a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profile is inconsistent: probabilities outside
+    /// `[0, 1]` or summing above 1, `reorder > 0` with
+    /// `reorder_span == 0`, a stall window with `hold >= period`, or a
+    /// disconnect with `every == 0`.
+    pub fn new(seed: u64, profile: ChaosProfile) -> Self {
+        let probs = [
+            profile.drop,
+            profile.corrupt,
+            profile.truncate,
+            profile.duplicate,
+            profile.reorder,
+        ];
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "chaos profile {:?}: probabilities must lie in [0, 1]",
+            profile.name
+        );
+        assert!(
+            probs.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "chaos profile {:?}: fault probabilities sum above 1",
+            profile.name
+        );
+        assert!(
+            profile.reorder == 0.0 || profile.reorder_span > 0,
+            "chaos profile {:?}: reorder needs a non-zero span",
+            profile.name
+        );
+        if let Some(s) = profile.stall {
+            assert!(
+                s.hold > 0 && s.hold < s.period,
+                "chaos profile {:?}: stall hold must be in 1..period",
+                profile.name
+            );
+        }
+        if let Some(d) = profile.disconnect {
+            assert!(
+                d.every > 0,
+                "chaos profile {:?}: disconnect interval must be non-zero",
+                profile.name
+            );
+        }
+        FaultPlan { seed, profile }
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &ChaosProfile {
+        &self.profile
+    }
+
+    /// The fate of unit `unit` — pure in `(seed, profile, unit)`.
+    /// Stall windows and disconnect outages are positional overlays
+    /// applied by [`ChaosLink`] *before* this dice roll.
+    pub fn fate(&self, unit: u64) -> Fate {
+        let u = unit_f64(lane(self.seed, unit, 0));
+        let p = &self.profile;
+        let mut edge = p.drop;
+        if u < edge {
+            return Fate::Drop;
+        }
+        edge += p.corrupt;
+        if u < edge {
+            return Fate::Corrupt;
+        }
+        edge += p.truncate;
+        if u < edge {
+            return Fate::Truncate;
+        }
+        edge += p.duplicate;
+        if u < edge {
+            return Fate::Duplicate;
+        }
+        edge += p.reorder;
+        if u < edge {
+            let span = u64::from(self.profile.reorder_span.max(1));
+            let d = 1 + (lane(self.seed, unit, 1) % span) as u32;
+            return Fate::Hold(d);
+        }
+        Fate::Deliver
+    }
+
+    /// Which bit to flip when unit `unit` is corrupted (bit index into
+    /// the unit's `len * 8` bits).
+    pub fn corrupt_bit(&self, unit: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (lane(self.seed, unit, 2) % (len as u64 * 8)) as usize
+    }
+
+    /// How many bytes survive when unit `unit` is truncated: a strict
+    /// prefix of at least one byte (a zero-length unit stays empty).
+    pub fn truncated_len(&self, unit: u64, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        1 + (lane(self.seed, unit, 3) % (len as u64 - 1)) as usize
+    }
+}
+
+/// Counters over everything a [`ChaosLink`] did. `delivered` counts
+/// byte-units actually emitted (late releases and duplicate copies
+/// included), so `delivered == units - dropped + duplicated` once the
+/// link is flushed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Units pushed through the link.
+    pub units: u64,
+    /// Units emitted to the receiver (including duplicate copies and
+    /// delayed releases; damaged units count — they were delivered,
+    /// just not intact).
+    pub delivered: u64,
+    /// Units lost (random drops plus outage drops).
+    pub dropped: u64,
+    /// Extra copies emitted by duplication.
+    pub duplicated: u64,
+    /// Units delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Units delivered truncated.
+    pub truncated: u64,
+    /// Units delivered out of order.
+    pub reordered: u64,
+    /// Units delayed by a stall window (delivered in order).
+    pub stalled: u64,
+    /// Disconnect boundaries crossed.
+    pub disconnects: u64,
+}
+
+/// A deterministic hostile link: push transport units in, collect the
+/// surviving (possibly damaged, duplicated, or re-sequenced) units
+/// out. See the [module docs](self) for the model; every decision
+/// replays from `(seed, profile)`.
+#[derive(Debug)]
+pub struct ChaosLink {
+    plan: FaultPlan,
+    next_unit: u64,
+    /// Reordered units waiting for their release slot:
+    /// `(release_after_unit, bytes)`.
+    held: Vec<(u64, Vec<u8>)>,
+    /// Units buffered by the current stall window.
+    stalled: Vec<Vec<u8>>,
+    outage_left: u32,
+    pending_disconnect: bool,
+    fates: Vec<Fate>,
+    stats: ChaosStats,
+}
+
+impl ChaosLink {
+    /// Builds a link over a fresh [`FaultPlan`]; panics on the same
+    /// inconsistent profiles as [`FaultPlan::new`].
+    pub fn new(seed: u64, profile: ChaosProfile) -> Self {
+        ChaosLink {
+            plan: FaultPlan::new(seed, profile),
+            next_unit: 0,
+            held: Vec::new(),
+            stalled: Vec::new(),
+            outage_left: 0,
+            pending_disconnect: false,
+            fates: Vec::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.plan.seed()
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &ChaosProfile {
+        self.plan.profile()
+    }
+
+    /// The decision log: `fates()[k]` is what happened to unit `k`.
+    pub fn fates(&self) -> &[Fate] {
+        &self.fates
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// `true` when the link crossed a disconnect boundary since the
+    /// last call; clears the flag. A transport wrapper maps this onto
+    /// an actual socket teardown.
+    pub fn take_disconnect(&mut self) -> bool {
+        std::mem::take(&mut self.pending_disconnect)
+    }
+
+    /// Pushes one transport unit; surviving units (zero or more, not
+    /// necessarily this one) are appended to `out`.
+    pub fn push(&mut self, unit: &[u8], out: &mut Vec<Vec<u8>>) {
+        let k = self.next_unit;
+        self.next_unit += 1;
+        self.stats.units += 1;
+
+        if let Some(d) = self.plan.profile.disconnect {
+            if k > 0 && k.is_multiple_of(u64::from(d.every)) {
+                self.pending_disconnect = true;
+                self.stats.disconnects += 1;
+                self.outage_left = d.outage;
+            }
+        }
+        if self.outage_left > 0 {
+            self.outage_left -= 1;
+            self.fates.push(Fate::OutageDrop);
+            self.stats.dropped += 1;
+            self.release_due(k, out);
+            return;
+        }
+
+        if let Some(s) = self.plan.profile.stall {
+            let pos = k % u64::from(s.period);
+            let in_window = pos >= u64::from(s.period - s.hold);
+            if !in_window && !self.stalled.is_empty() {
+                for u in self.stalled.drain(..) {
+                    self.stats.delivered += 1;
+                    out.push(u);
+                }
+            }
+            if in_window {
+                self.stalled.push(unit.to_vec());
+                self.fates.push(Fate::Stall);
+                self.stats.stalled += 1;
+                self.release_due(k, out);
+                return;
+            }
+        }
+
+        let fate = self.plan.fate(k);
+        self.fates.push(fate);
+        match fate {
+            Fate::Deliver => {
+                self.stats.delivered += 1;
+                out.push(unit.to_vec());
+            }
+            Fate::Drop | Fate::OutageDrop => {
+                self.stats.dropped += 1;
+            }
+            Fate::Corrupt => {
+                let mut damaged = unit.to_vec();
+                if !damaged.is_empty() {
+                    let bit = self.plan.corrupt_bit(k, damaged.len());
+                    damaged[bit / 8] ^= 1 << (bit % 8);
+                }
+                self.stats.corrupted += 1;
+                self.stats.delivered += 1;
+                out.push(damaged);
+            }
+            Fate::Truncate => {
+                let keep = self.plan.truncated_len(k, unit.len());
+                self.stats.truncated += 1;
+                self.stats.delivered += 1;
+                out.push(unit[..keep].to_vec());
+            }
+            Fate::Duplicate => {
+                self.stats.duplicated += 1;
+                self.stats.delivered += 2;
+                out.push(unit.to_vec());
+                out.push(unit.to_vec());
+            }
+            Fate::Hold(d) => {
+                self.stats.reordered += 1;
+                self.held.push((k + u64::from(d), unit.to_vec()));
+            }
+            Fate::Stall => unreachable!("stall is positional, not a dice fate"),
+        }
+        self.release_due(k, out);
+    }
+
+    /// Releases everything still buffered (stalled windows, pending
+    /// reorder holds) in order. Call when the sender is done, before
+    /// closing the session.
+    pub fn flush(&mut self, out: &mut Vec<Vec<u8>>) {
+        for u in self.stalled.drain(..) {
+            self.stats.delivered += 1;
+            out.push(u);
+        }
+        self.held.sort_by_key(|(at, _)| *at);
+        for (_, u) in self.held.drain(..) {
+            self.stats.delivered += 1;
+            out.push(u);
+        }
+    }
+
+    fn release_due(&mut self, now: u64, out: &mut Vec<Vec<u8>>) {
+        if self.held.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 <= now {
+                let (_, u) = self.held.remove(i);
+                self.stats.delivered += 1;
+                out.push(u);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seed: u64, profile: ChaosProfile, n: usize) -> (Vec<Vec<u8>>, ChaosStats, Vec<Fate>) {
+        let mut link = ChaosLink::new(seed, profile);
+        let mut out = Vec::new();
+        for k in 0..n {
+            let unit = vec![(k % 251) as u8; 8 + k % 32];
+            link.push(&unit, &mut out);
+        }
+        link.flush(&mut out);
+        (out, link.stats(), link.fates().to_vec())
+    }
+
+    #[test]
+    fn ideal_profile_is_a_no_op() {
+        let (out, stats, fates) = run(7, ChaosProfile::ideal(), 50);
+        assert_eq!(out.len(), 50);
+        assert_eq!(stats.delivered, 50);
+        assert_eq!(stats.dropped + stats.duplicated + stats.reordered, 0);
+        assert!(fates.iter().all(|f| *f == Fate::Deliver));
+    }
+
+    #[test]
+    fn same_seed_replays_bit_for_bit() {
+        for profile in [
+            ChaosProfile::lossy(),
+            ChaosProfile::bursty(),
+            ChaosProfile::mangler(),
+            ChaosProfile::outage(20, 5),
+        ] {
+            let a = run(0xDEAD_BEEF, profile, 300);
+            let b = run(0xDEAD_BEEF, profile, 300);
+            assert_eq!(a.0, b.0, "profile {}", profile.name);
+            assert_eq!(a.1, b.1, "profile {}", profile.name);
+            assert_eq!(a.2, b.2, "profile {}", profile.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run(1, ChaosProfile::lossy(), 300);
+        let b = run(2, ChaosProfile::lossy(), 300);
+        assert_ne!(a.2, b.2);
+    }
+
+    #[test]
+    fn delivered_reconciles_with_units_after_flush() {
+        for seed in 0..20u64 {
+            for profile in [
+                ChaosProfile::lossy(),
+                ChaosProfile::bursty(),
+                ChaosProfile::mangler(),
+                ChaosProfile::outage(17, 4),
+            ] {
+                let (out, stats, fates) = run(seed, profile, 257);
+                assert_eq!(stats.units, 257);
+                assert_eq!(
+                    stats.delivered,
+                    stats.units - stats.dropped + stats.duplicated,
+                    "seed {seed} profile {}",
+                    profile.name
+                );
+                assert_eq!(out.len() as u64, stats.delivered);
+                // `is_lost` fates = units whose payload cannot survive
+                // decode: never delivered (drops) plus delivered
+                // damaged (corrupt/truncate fail the receiver's CRC).
+                assert_eq!(
+                    fates.iter().filter(|f| f.is_lost()).count() as u64,
+                    stats.dropped + stats.corrupted + stats.truncated,
+                    "seed {seed} profile {} counts lost fates",
+                    profile.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded_by_span() {
+        let profile = ChaosProfile {
+            name: "reorder-heavy",
+            reorder: 0.5,
+            reorder_span: 3,
+            ..ChaosProfile::ideal()
+        };
+        // Tag units with their index and check displacement on output.
+        let mut link = ChaosLink::new(99, profile);
+        let mut out = Vec::new();
+        let n = 500u64;
+        for k in 0..n {
+            link.push(&k.to_le_bytes(), &mut out);
+        }
+        link.flush(&mut out);
+        for (pos, unit) in out.iter().enumerate() {
+            let k = u64::from_le_bytes(unit.as_slice().try_into().unwrap());
+            // A held unit lands at most `span` slots late, and a unit
+            // can slide at most `span` slots early when the units just
+            // before it were all held past it.
+            let displacement = (pos as i64 - k as i64).unsigned_abs();
+            assert!(displacement <= 4, "unit {k} displaced by {displacement}");
+        }
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_and_truncation_keeps_a_strict_prefix() {
+        let profile = ChaosProfile {
+            name: "damage-only",
+            corrupt: 0.5,
+            truncate: 0.5,
+            ..ChaosProfile::ideal()
+        };
+        let mut link = ChaosLink::new(5, profile);
+        let original = vec![0xA5u8; 64];
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            link.push(&original, &mut out);
+        }
+        link.flush(&mut out);
+        for (unit, fate) in out.iter().zip(link.fates()) {
+            match fate {
+                Fate::Corrupt => {
+                    assert_eq!(unit.len(), original.len());
+                    let flipped: u32 = unit
+                        .iter()
+                        .zip(&original)
+                        .map(|(a, b)| (a ^ b).count_ones())
+                        .sum();
+                    assert_eq!(flipped, 1);
+                }
+                Fate::Truncate => {
+                    assert!(unit.len() < original.len());
+                    assert!(!unit.is_empty());
+                    assert_eq!(unit[..], original[..unit.len()]);
+                }
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outage_drops_exactly_the_planned_units_and_signals_disconnects() {
+        let mut link = ChaosLink::new(0, ChaosProfile::outage(10, 3));
+        let mut out = Vec::new();
+        let mut disconnects = 0;
+        for k in 0u64..40 {
+            link.push(&k.to_le_bytes(), &mut out);
+            if link.take_disconnect() {
+                disconnects += 1;
+            }
+        }
+        link.flush(&mut out);
+        let stats = link.stats();
+        // Breaks at units 10, 20, 30; each eats 3 units.
+        assert_eq!(disconnects, 3);
+        assert_eq!(stats.disconnects, 3);
+        assert_eq!(stats.dropped, 9);
+        let lost: Vec<u64> = link
+            .fates()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_lost())
+            .map(|(k, _)| k as u64)
+            .collect();
+        assert_eq!(lost, vec![10, 11, 12, 20, 21, 22, 30, 31, 32]);
+    }
+
+    #[test]
+    fn stall_window_delays_but_never_loses_or_reorders() {
+        let profile = ChaosProfile {
+            name: "stall-only",
+            stall: Some(StallWindow {
+                period: 16,
+                hold: 4,
+            }),
+            ..ChaosProfile::ideal()
+        };
+        let mut link = ChaosLink::new(3, profile);
+        let mut out = Vec::new();
+        for k in 0u64..100 {
+            link.push(&k.to_le_bytes(), &mut out);
+        }
+        link.flush(&mut out);
+        assert_eq!(out.len(), 100);
+        let order: Vec<u64> = out
+            .iter()
+            .map(|u| u64::from_le_bytes(u.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        assert!(link.stats().stalled > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities sum above 1")]
+    fn overcommitted_profile_is_rejected() {
+        let _ = FaultPlan::new(
+            0,
+            ChaosProfile {
+                name: "bad",
+                drop: 0.6,
+                duplicate: 0.6,
+                ..ChaosProfile::ideal()
+            },
+        );
+    }
+}

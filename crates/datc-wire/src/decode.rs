@@ -80,6 +80,15 @@ pub struct WireStats {
     /// HELLO — traffic from another session leaking in over a reused
     /// transport address.
     pub foreign_frames: u64,
+    /// Revision-1 DATA frames decoded (no session nonce). Legacy
+    /// traffic from [`Packetizer::with_legacy_data_frames`]
+    /// (deprecated): it still carries the reused-address
+    /// misattribution hazard DATA-V2 closed — monitor this counter to
+    /// find senders that need upgrading.
+    ///
+    /// [`Packetizer::with_legacy_data_frames`]:
+    ///     crate::packet::Packetizer::with_legacy_data_frames
+    pub legacy_frames: u64,
     /// Events delivered to the application, in time order.
     pub events_decoded: u64,
     /// Events known lost: declared gaps, plus — once the BYE closes the
@@ -160,6 +169,7 @@ pub struct StreamDecoder {
     malformed_frames: u64,
     orphan_frames: u64,
     foreign_frames: u64,
+    legacy_frames: u64,
     events_decoded: u64,
     events_lost: u64,
     gaps: u64,
@@ -207,6 +217,7 @@ impl StreamDecoder {
             malformed_frames: 0,
             orphan_frames: 0,
             foreign_frames: 0,
+            legacy_frames: 0,
             events_decoded: 0,
             events_lost: 0,
             gaps: 0,
@@ -229,6 +240,15 @@ impl StreamDecoder {
     /// [`stats`](StreamDecoder::stats) for per-datagram polling).
     pub fn is_closed(&self) -> bool {
         self.closed
+    }
+
+    /// Cheap framing-garbage score for quarantine budgeting: CRC
+    /// failures plus malformed frames plus one point per 64 bytes
+    /// skipped resynchronising. Honest lossy links score near zero;
+    /// a garbage flood scores at least one point per read/datagram
+    /// (see [`HubConfig::malformed_budget`](crate::gateway::HubConfig::malformed_budget)).
+    pub fn framing_garbage(&self) -> u64 {
+        self.crc_failures + self.malformed_frames + self.resync_bytes / 64
     }
 
     /// Highest event timestamp released so far — a valid watermark for
@@ -265,7 +285,13 @@ impl StreamDecoder {
                     self.frames += 1;
                     match ftype {
                         FrameType::Hello => self.on_hello(payload),
-                        FrameType::Data => self.on_data(payload),
+                        FrameType::Data => {
+                            // Count revision-1 traffic here, not in
+                            // on_data: the V2 path delegates to
+                            // on_data after its nonce check.
+                            self.legacy_frames += 1;
+                            self.on_data(payload);
+                        }
                         FrameType::DataV2 => self.on_data_v2(payload),
                         FrameType::Bye => self.on_bye(payload),
                     }
@@ -328,6 +354,7 @@ impl StreamDecoder {
             malformed_frames: self.malformed_frames,
             orphan_frames: self.orphan_frames,
             foreign_frames: self.foreign_frames,
+            legacy_frames: self.legacy_frames,
             events_decoded: self.events_decoded,
             events_lost: self.events_lost,
             gaps: self.gaps,
@@ -748,6 +775,20 @@ mod tests {
         let s = rx.stats();
         assert_eq!(s.events_lost, 0);
         assert_eq!(s.foreign_frames, 0);
+        // Revision-1 traffic is flagged so operators can hunt down
+        // senders still exposed to the reused-address hazard.
+        assert_eq!(s.legacy_frames, 4, "one per DATA frame");
+    }
+
+    #[test]
+    fn v2_data_frames_do_not_count_as_legacy() {
+        let (_, frames, events) = session_frames(40, 10);
+        let mut rx = StreamDecoder::new();
+        for f in &frames {
+            rx.push_bytes(f);
+        }
+        assert_eq!(decoded(&mut rx), events);
+        assert_eq!(rx.stats().legacy_frames, 0);
     }
 
     #[test]

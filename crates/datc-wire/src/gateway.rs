@@ -12,6 +12,23 @@
 //! (one session per connection) plus the [`stream_fleet`] convenience
 //! that pushes a whole [`FleetOutput`] through one session.
 //!
+//! ## Degrading gracefully
+//!
+//! The hub assumes a hostile fleet: workers carry a per-connection
+//! read timeout so a stalled socket retires through the same drain
+//! path as an idle UDP peer ([`HubConfig::idle_timeout`]), a global
+//! session cap sheds-and-counts excess connections
+//! ([`HubConfig::max_sessions`]), and a per-session framing-garbage
+//! budget quarantines floods ([`HubConfig::malformed_budget`]) — all
+//! surfaced in the [`HubHealth`] snapshot both hubs share. Senders
+//! carry a [`RetryPolicy`] (capped exponential backoff, decorrelated
+//! jitter); a TCP sender that reconnects mid-session re-sends its
+//! HELLO and the hub **resumes** the parked session
+//! ([`HubConfig::resume_window`]): the decoder keeps its cumulative
+//! event index, so the outage is booked as exactly-counted loss
+//! rather than a new session. All of it is exercised deterministically
+//! by [`chaos`] links via [`SessionSender::with_chaos`].
+//!
 //! ## Memory model
 //!
 //! Workers run in `O(channels · force_window)` memory per session: the
@@ -31,6 +48,8 @@
 //! (staging stays bounded by the calibration window); pure deferred
 //! mode is for bounded replays.
 
+use crate::chaos::{self, ChaosLink, ChaosStats};
+use crate::frame::{parse_frame, FrameType, ParseOutcome};
 use crate::packet::{Packetizer, SessionHeader};
 use crate::session::{SessionReport, SessionRx, SessionRxConfig};
 use crate::sink::SessionSink;
@@ -42,6 +61,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Per-channel force samples a hub session retains by default (≈ 20 s
 /// at the default 100 Hz output) — the bounded-memory guarantee for
@@ -50,7 +70,31 @@ pub const DEFAULT_HUB_FORCE_WINDOW: usize = 2048;
 
 /// How long a UDP peer may stay silent before the hub retires it
 /// (see [`HubConfig::idle_timeout`]).
-pub const DEFAULT_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default framing-garbage budget before a session is quarantined
+/// (see [`HubConfig::malformed_budget`]). Generous: honest lossy links
+/// score a handful of points, a framing-garbage flood scores one or
+/// more per datagram/read.
+pub const DEFAULT_MALFORMED_BUDGET: u64 = 1024;
+
+/// How long the TCP hub keeps a disconnected-but-unclosed session
+/// parked waiting for the sender to reconnect and resume it
+/// (see [`HubConfig::resume_window`]).
+pub const DEFAULT_RESUME_WINDOW: Duration = Duration::from_secs(5);
+
+/// How long a freshly accepted connection announcing an in-flight
+/// session identity waits for the previous worker to notice its dead
+/// socket and park the session (reconnects race the old worker's EOF).
+const RESUME_HANDOFF: Duration = Duration::from_secs(2);
+
+/// Longest preamble the TCP worker buffers while waiting for the first
+/// frame to complete (a HELLO is ~40 bytes; anything bigger is not a
+/// resume candidate).
+const PREFRAME_CAP: usize = 8192;
+
+/// How often the acceptor sweeps expired parked sessions.
+const SWEEP_EVERY: Duration = Duration::from_millis(50);
 
 /// Gateway tuning.
 ///
@@ -62,20 +106,49 @@ pub const DEFAULT_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_
 /// assert_eq!(cfg.session.output_fs, 100.0);
 /// assert_eq!(cfg.session.force_window, Some(DEFAULT_HUB_FORCE_WINDOW));
 /// assert!(cfg.idle_timeout.is_some());
+/// assert!(cfg.max_sessions.is_none());
+/// assert!(cfg.malformed_budget.is_some());
+/// assert!(cfg.resume_window.is_some());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct HubConfig {
     /// Per-session receive pipeline settings.
     pub session: SessionRxConfig,
-    /// UDP hubs only: a peer that has sent nothing for this long is
-    /// retired as if the hub were shutting down — its decoded events are
-    /// delivered and its session lands in the table with the books left
-    /// open (no BYE). Bounds the in-flight peer table when a sensor dies
-    /// or its BYE is lost (a live 2 kHz sensor is never this quiet).
-    /// `None` disables eviction: a silent peer stays in flight until hub
-    /// shutdown. The TCP hub ignores this — connection EOF is its
-    /// lifetime signal. Default: [`DEFAULT_IDLE_TIMEOUT`].
-    pub idle_timeout: Option<std::time::Duration>,
+    /// A peer that has sent nothing for this long is retired as if the
+    /// hub were shutting down — its decoded events are delivered and
+    /// its session lands in the table with the books left open (no
+    /// BYE). On UDP it bounds the in-flight peer table when a sensor
+    /// dies or its BYE is lost; on TCP it is the per-connection read
+    /// timeout, so a stalled (slowloris) socket retires through the
+    /// same drain path instead of pinning its worker thread forever.
+    /// `None` disables eviction: a silent peer stays in flight until
+    /// hub shutdown. Default: [`DEFAULT_IDLE_TIMEOUT`].
+    pub idle_timeout: Option<Duration>,
+    /// Global cap on concurrently *in-flight* sessions. At the cap the
+    /// TCP hub accepts-and-drops new connections and the UDP hub
+    /// ignores datagrams from unknown peers; both count the overflow
+    /// in [`HubHealth::shed`] instead of growing without bound.
+    /// `Some(0)` sheds everything (drain mode). `None` (the default)
+    /// accepts unboundedly.
+    pub max_sessions: Option<usize>,
+    /// Per-session framing-garbage budget: when a session's
+    /// [`framing garbage score`](crate::decode::StreamDecoder::framing_garbage)
+    /// (CRC failures + malformed frames + resync volume) exceeds this,
+    /// the hub quarantines it — the connection is closed (TCP) or the
+    /// peer is retired into the straggler filter (UDP), the partial
+    /// session lands in the table, and [`HubHealth::quarantined`] is
+    /// bumped. Protects decoder throughput from framing-garbage
+    /// floods. `None` disables the budget.
+    /// Default: [`DEFAULT_MALFORMED_BUDGET`].
+    pub malformed_budget: Option<u64>,
+    /// TCP hubs only: how long a connection that dropped *without* a
+    /// BYE stays parked awaiting a sender reconnect. A reconnect whose
+    /// first frame is a HELLO with the same session identity
+    /// (`session_id` + DATA-V2 nonce) adopts the parked decoder, so
+    /// the outage is booked as exactly-counted loss instead of a
+    /// second session. Expired parks retire through the normal drain
+    /// path. `None` disables resume. Default: [`DEFAULT_RESUME_WINDOW`].
+    pub resume_window: Option<Duration>,
 }
 
 impl Default for HubConfig {
@@ -86,6 +159,9 @@ impl Default for HubConfig {
                 ..SessionRxConfig::default()
             },
             idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
+            max_sessions: None,
+            malformed_budget: Some(DEFAULT_MALFORMED_BUDGET),
+            resume_window: Some(DEFAULT_RESUME_WINDOW),
         }
     }
 }
@@ -101,6 +177,59 @@ pub struct HubSession {
     pub report: SessionReport,
 }
 
+/// An operator-facing health snapshot aggregated across every hub
+/// sharing one [`SessionTable`]: how many sessions are in flight, how
+/// many were turned away or force-retired, and the decode-quality
+/// counters rolled up from every finished session. Cheap to read
+/// (atomic counters, no table lock) — poll it from a watchdog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubHealth {
+    /// Sessions the hubs started serving (fresh connections / peers;
+    /// resume adoptions do not count twice).
+    pub sessions_started: u64,
+    /// Sessions that finished and landed in the table.
+    pub sessions_finished: u64,
+    /// Sessions currently being served (started − finished; TCP
+    /// sessions parked for resume count as in flight).
+    pub in_flight: u64,
+    /// TCP reconnects that successfully adopted a parked session.
+    pub resumed: u64,
+    /// Connections/peers turned away at the [`HubConfig::max_sessions`]
+    /// cap.
+    pub shed: u64,
+    /// Sessions force-retired with open books: idle/stalled peers and
+    /// parked sessions whose resume window expired.
+    pub evicted: u64,
+    /// Sessions quarantined for exceeding the
+    /// [`HubConfig::malformed_budget`] framing-garbage budget.
+    pub quarantined: u64,
+    /// DATA-V2 frames rejected for a foreign session nonce, summed
+    /// over finished sessions.
+    pub foreign_frames: u64,
+    /// CRC failures + malformed + orphan frames, summed over finished
+    /// sessions.
+    pub decode_errors: u64,
+    /// Events decoded, summed over finished sessions.
+    pub events_decoded: u64,
+    /// Events booked as lost, summed over finished sessions.
+    pub events_lost: u64,
+}
+
+/// Shared atomic tallies behind [`HubHealth`].
+#[derive(Debug, Default)]
+struct HealthCounters {
+    started: AtomicU64,
+    finished: AtomicU64,
+    resumed: AtomicU64,
+    shed: AtomicU64,
+    evicted: AtomicU64,
+    quarantined: AtomicU64,
+    foreign_frames: AtomicU64,
+    decode_errors: AtomicU64,
+    events_decoded: AtomicU64,
+    events_lost: AtomicU64,
+}
+
 /// The finished-session table, shareable between hubs (TCP + UDP) so a
 /// mixed-transport deployment has one operator view and one
 /// connection-id space.
@@ -111,6 +240,7 @@ pub struct SessionTable {
     // session id cannot overwrite each other; the counter lives here so
     // hubs sharing the table also share the id space.
     next_conn_id: AtomicU64,
+    health: HealthCounters,
 }
 
 impl SessionTable {
@@ -124,12 +254,71 @@ impl SessionTable {
         self.next_conn_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Records a finished session.
+    /// Records a finished session and rolls its decode-quality
+    /// counters into the shared [`HubHealth`] tallies.
     pub fn insert(&self, conn_id: u64, session: HubSession) {
+        let stats = &session.report.stats;
+        let h = &self.health;
+        h.finished.fetch_add(1, Ordering::Relaxed);
+        h.foreign_frames
+            .fetch_add(stats.foreign_frames, Ordering::Relaxed);
+        h.decode_errors.fetch_add(
+            stats.crc_failures + stats.malformed_frames + stats.orphan_frames,
+            Ordering::Relaxed,
+        );
+        h.events_decoded
+            .fetch_add(stats.events_decoded, Ordering::Relaxed);
+        h.events_lost
+            .fetch_add(stats.events_lost, Ordering::Relaxed);
         self.sessions
             .lock()
             .expect("session table poisoned")
             .insert(conn_id, session);
+    }
+
+    /// Aggregated health snapshot across every hub sharing this table.
+    pub fn health(&self) -> HubHealth {
+        let h = &self.health;
+        let started = h.started.load(Ordering::Relaxed);
+        let finished = h.finished.load(Ordering::Relaxed);
+        HubHealth {
+            sessions_started: started,
+            sessions_finished: finished,
+            in_flight: started.saturating_sub(finished),
+            resumed: h.resumed.load(Ordering::Relaxed),
+            shed: h.shed.load(Ordering::Relaxed),
+            evicted: h.evicted.load(Ordering::Relaxed),
+            quarantined: h.quarantined.load(Ordering::Relaxed),
+            foreign_frames: h.foreign_frames.load(Ordering::Relaxed),
+            decode_errors: h.decode_errors.load(Ordering::Relaxed),
+            events_decoded: h.events_decoded.load(Ordering::Relaxed),
+            events_lost: h.events_lost.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A fresh session entered service.
+    pub(crate) fn note_started(&self) {
+        self.health.started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A reconnect adopted a parked session.
+    pub(crate) fn note_resumed(&self) {
+        self.health.resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection/peer was turned away at the session cap.
+    pub(crate) fn note_shed(&self) {
+        self.health.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session was force-retired with open books (idle or stalled).
+    pub(crate) fn note_evicted(&self) {
+        self.health.evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session blew its framing-garbage budget.
+    pub(crate) fn note_quarantined(&self) {
+        self.health.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of finished sessions recorded.
@@ -247,6 +436,12 @@ impl TelemetryHub {
         self.table.len()
     }
 
+    /// Aggregated [`HubHealth`] snapshot (shared with every hub using
+    /// the same session table).
+    pub fn health(&self) -> HubHealth {
+        self.table.health()
+    }
+
     /// Clones the current session table (finished sessions only;
     /// in-flight connections appear once their socket closes).
     pub fn snapshot(&self) -> Vec<HubSession> {
@@ -275,6 +470,131 @@ impl Drop for TelemetryHub {
     }
 }
 
+/// A disconnected-but-unclosed TCP session waiting for its sender to
+/// reconnect and resume.
+struct ParkedSession {
+    conn_id: u64,
+    rx: SessionRx,
+    bytes_received: u64,
+    expires: Instant,
+}
+
+/// Tracks which session identities `(session_id, nonce)` are live on a
+/// worker and which are parked between connections, so a reconnecting
+/// sender's re-HELLO lands on the decoder that already holds its
+/// cumulative index.
+#[derive(Default)]
+struct ResumeRegistry {
+    in_flight: Mutex<HashMap<(u32, u8), u32>>,
+    parked: Mutex<HashMap<(u32, u8), ParkedSession>>,
+}
+
+impl ResumeRegistry {
+    fn enter(&self, key: (u32, u8)) {
+        *self
+            .in_flight
+            .lock()
+            .expect("resume registry poisoned")
+            .entry(key)
+            .or_insert(0) += 1;
+    }
+
+    fn leave(&self, key: (u32, u8)) {
+        let mut map = self.in_flight.lock().expect("resume registry poisoned");
+        if let Some(n) = map.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                map.remove(&key);
+            }
+        }
+    }
+
+    /// Claims the parked session for `key` if there is one. When the
+    /// key is still in flight (the reconnect beat the old worker to
+    /// its EOF), waits up to `handoff` for the park to appear.
+    fn try_adopt(&self, key: (u32, u8), handoff: Duration) -> Option<ParkedSession> {
+        let deadline = Instant::now() + handoff;
+        loop {
+            if let Some(p) = self
+                .parked
+                .lock()
+                .expect("resume registry poisoned")
+                .remove(&key)
+            {
+                return Some(p);
+            }
+            let racing = self
+                .in_flight
+                .lock()
+                .expect("resume registry poisoned")
+                .contains_key(&key);
+            if !racing || Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn park(&self, key: (u32, u8), session: ParkedSession) {
+        self.parked
+            .lock()
+            .expect("resume registry poisoned")
+            .insert(key, session);
+    }
+
+    fn parked_len(&self) -> usize {
+        self.parked.lock().expect("resume registry poisoned").len()
+    }
+
+    /// Retires parked sessions whose resume window expired: their
+    /// decoded events are delivered and the session lands in the table
+    /// with open books, exactly like an idle UDP peer.
+    fn sweep(&self, table: &SessionTable) {
+        let expired: Vec<ParkedSession> = {
+            let mut parked = self.parked.lock().expect("resume registry poisoned");
+            if parked.is_empty() {
+                return;
+            }
+            let now = Instant::now();
+            let keys: Vec<(u32, u8)> = parked
+                .iter()
+                .filter(|(_, p)| p.expires <= now)
+                .map(|(k, _)| *k)
+                .collect();
+            keys.into_iter().filter_map(|k| parked.remove(&k)).collect()
+        };
+        for p in expired {
+            table.note_evicted();
+            finish_session(p.conn_id, p.bytes_received, p.rx, table);
+        }
+    }
+
+    /// Retires every parked session (hub shutdown).
+    fn drain(&self, table: &SessionTable) {
+        let all: Vec<ParkedSession> = {
+            let mut parked = self.parked.lock().expect("resume registry poisoned");
+            parked.drain().map(|(_, p)| p).collect()
+        };
+        for p in all {
+            table.note_evicted();
+            finish_session(p.conn_id, p.bytes_received, p.rx, table);
+        }
+    }
+}
+
+fn finish_session(conn_id: u64, bytes_received: u64, rx: SessionRx, table: &SessionTable) {
+    let report = rx.finish();
+    let session_id = report.header.map_or(0, |h| h.session_id);
+    table.insert(
+        conn_id,
+        HubSession {
+            session_id,
+            bytes_received,
+            report,
+        },
+    );
+}
+
 fn accept_loop(
     listener: TcpListener,
     config: HubConfig,
@@ -288,9 +608,15 @@ fn accept_loop(
     if listener.set_nonblocking(true).is_err() {
         return;
     }
+    let resume = Arc::new(ResumeRegistry::default());
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     let mut stopping = false;
+    let mut last_sweep = Instant::now();
     loop {
+        if last_sweep.elapsed() >= SWEEP_EVERY {
+            resume.sweep(&table);
+            last_sweep = Instant::now();
+        }
         match listener.accept() {
             Ok((socket, _peer)) => {
                 // Workers must block on reads regardless of what the
@@ -298,16 +624,27 @@ fn accept_loop(
                 if socket.set_nonblocking(false).is_err() {
                     continue;
                 }
+                // Reap finished workers so long-running hubs don't
+                // accumulate handles (and so the cap below counts only
+                // live sessions).
+                workers.retain(|h| !h.is_finished());
+                if let Some(cap) = config.max_sessions {
+                    if workers.len() + resume.parked_len() >= cap {
+                        // Shed: accept-and-drop keeps the backlog
+                        // moving and sends the peer a clean close.
+                        table.note_shed();
+                        drop(socket);
+                        continue;
+                    }
+                }
                 let table = Arc::clone(&table);
+                let resume = Arc::clone(&resume);
                 let conn_id = table.next_conn_id();
                 let config = config.clone();
                 let sink = sink_factory.as_ref().map(|f| f(conn_id));
                 workers.push(std::thread::spawn(move || {
-                    serve_connection(conn_id, socket, config, &table, sink)
+                    serve_connection(conn_id, socket, config, &table, sink, &resume)
                 }));
-                // Reap finished workers so long-running hubs don't
-                // accumulate handles.
-                workers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if stopping {
@@ -317,7 +654,7 @@ fn accept_loop(
                     stopping = true; // one more pass to drain the backlog
                     continue;
                 }
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -329,6 +666,32 @@ fn accept_loop(
     for h in workers {
         let _ = h.join();
     }
+    // Workers parked during shutdown have nobody left to resume them.
+    resume.drain(&table);
+}
+
+/// How a TCP worker's read loop ended.
+enum ConnEnd {
+    /// EOF or a hard socket error — resumable when the books are open.
+    Closed,
+    /// The per-connection read timeout fired (stalled peer).
+    Stalled,
+    /// The session blew its framing-garbage budget.
+    Quarantined,
+}
+
+fn is_read_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// What the preamble peek found at the front of a fresh connection.
+enum Peek {
+    Hello(SessionHeader),
+    NotHello,
+    More,
 }
 
 fn serve_connection(
@@ -337,33 +700,208 @@ fn serve_connection(
     config: HubConfig,
     table: &SessionTable,
     sink: Option<Box<dyn SessionSink>>,
+    resume: &ResumeRegistry,
 ) {
-    let mut rx = SessionRx::new(config.session);
-    if let Some(sink) = sink {
-        rx = rx.with_sink(sink);
-    }
-    let mut bytes_received = 0u64;
+    // The idle timeout doubles as the per-connection read timeout, so
+    // a stalled (slowloris) socket retires through the same drain path
+    // as an idle UDP peer instead of pinning this worker forever.
+    let _ = socket.set_read_timeout(config.idle_timeout);
+
+    // Peek the first complete frame so a re-HELLO from a reconnecting
+    // sender can adopt its parked session before any bytes hit a
+    // fresh decoder.
+    let mut pre: Vec<u8> = Vec::new();
     let mut buf = [0u8; 4096];
-    loop {
-        match socket.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                bytes_received += n as u64;
-                rx.push_bytes(&buf[..n]);
+    let mut early_end: Option<ConnEnd> = None;
+    let hello: Option<SessionHeader> = loop {
+        let peek = match parse_frame(&pre) {
+            ParseOutcome::Frame { frame, .. } if frame.ftype == FrameType::Hello => {
+                SessionHeader::decode(frame.payload).map_or(Peek::NotHello, Peek::Hello)
             }
-            Err(_) => break,
+            ParseOutcome::Frame { .. } => Peek::NotHello,
+            ParseOutcome::NeedMore if pre.len() <= PREFRAME_CAP => Peek::More,
+            _ => Peek::NotHello,
+        };
+        match peek {
+            Peek::Hello(h) => break Some(h),
+            Peek::NotHello => break None,
+            Peek::More => match socket.read(&mut buf) {
+                Ok(0) => {
+                    early_end = Some(ConnEnd::Closed);
+                    break None;
+                }
+                Ok(n) => pre.extend_from_slice(&buf[..n]),
+                Err(e) if is_read_timeout(&e) => {
+                    early_end = Some(ConnEnd::Stalled);
+                    break None;
+                }
+                Err(_) => {
+                    early_end = Some(ConnEnd::Closed);
+                    break None;
+                }
+            },
+        }
+    };
+
+    let key = hello.as_ref().map(|h| (h.session_id, h.nonce()));
+    let adopted = match (key, config.resume_window) {
+        (Some(k), Some(_)) => resume.try_adopt(k, RESUME_HANDOFF),
+        _ => None,
+    };
+    let (conn_id, mut rx, mut bytes_received) = match adopted {
+        Some(p) => {
+            table.note_resumed();
+            (p.conn_id, p.rx, p.bytes_received)
+        }
+        None => {
+            table.note_started();
+            let mut rx = SessionRx::new(config.session.clone());
+            if let Some(sink) = sink {
+                rx = rx.with_sink(sink);
+            }
+            (conn_id, rx, 0u64)
+        }
+    };
+    if let Some(k) = key {
+        resume.enter(k);
+    }
+
+    bytes_received += pre.len() as u64;
+    rx.push_bytes(&pre);
+
+    let over_budget = |rx: &SessionRx| {
+        config
+            .malformed_budget
+            .is_some_and(|b| rx.framing_garbage() > b)
+    };
+
+    let end = if let Some(end) = early_end {
+        end
+    } else if over_budget(&rx) {
+        ConnEnd::Quarantined
+    } else {
+        loop {
+            match socket.read(&mut buf) {
+                Ok(0) => break ConnEnd::Closed,
+                Ok(n) => {
+                    bytes_received += n as u64;
+                    rx.push_bytes(&buf[..n]);
+                    if over_budget(&rx) {
+                        break ConnEnd::Quarantined;
+                    }
+                }
+                Err(e) if is_read_timeout(&e) => break ConnEnd::Stalled,
+                Err(_) => break ConnEnd::Closed,
+            }
+        }
+    };
+
+    if let Some(k) = key {
+        resume.leave(k);
+    }
+    match end {
+        ConnEnd::Stalled => table.note_evicted(),
+        ConnEnd::Quarantined => table.note_quarantined(),
+        ConnEnd::Closed => {}
+    }
+    // A connection that dropped cleanly mid-session (no BYE) parks for
+    // resume; everything else — closed books, stalls, quarantines, or
+    // resume disabled — finishes into the table now.
+    let resumable = matches!(end, ConnEnd::Closed) && !rx.is_closed() && key.is_some();
+    match (resumable, config.resume_window) {
+        (true, Some(window)) => resume.park(
+            key.expect("resumable implies key"),
+            ParkedSession {
+                conn_id,
+                rx,
+                bytes_received,
+                expires: Instant::now() + window,
+            },
+        ),
+        _ => finish_session(conn_id, bytes_received, rx, table),
+    }
+}
+
+/// When and how often a sender retries a failed connect or write:
+/// capped exponential backoff with decorrelated jitter, deterministic
+/// in `(jitter_seed, attempt)` so a replayed failure schedules the
+/// same waits.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::gateway::RetryPolicy;
+/// let policy = RetryPolicy::default_backoff();
+/// assert!(policy.enabled());
+/// // Delays grow roughly exponentially and never exceed the cap.
+/// for attempt in 0..10 {
+///     assert!(policy.delay(attempt) <= policy.max_delay);
+/// }
+/// assert!(!RetryPolicy::none().enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure before giving up (0 = fail
+    /// fast, the pre-resilience behaviour).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the deterministic decorrelated jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: any connect/write failure is immediately fatal.
+    /// This is the default, preserving fail-fast semantics for
+    /// senders that never opted into resilience.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_seed: 0,
         }
     }
-    let report = rx.finish();
-    let session_id = report.header.map_or(0, |h| h.session_id);
-    table.insert(
-        conn_id,
-        HubSession {
-            session_id,
-            bytes_received,
-            report,
-        },
-    );
+
+    /// The recommended enabled policy: 6 retries, 5 ms base backoff
+    /// doubling up to a 250 ms cap (≈ 0.7 s worst-case total wait).
+    pub fn default_backoff() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 6,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(250),
+            jitter_seed: 0x5EED,
+        }
+    }
+
+    /// `true` when at least one retry is allowed.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The backoff before retry number `attempt` (0-based): capped
+    /// exponential, jittered into the upper half of the exponential
+    /// step so synchronized senders decorrelate.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+            .min(self.max_delay)
+            .max(self.base_delay);
+        let j = chaos::unit_f64(chaos::lane(self.jitter_seed, u64::from(attempt), 0xB0FF));
+        exp / 2 + exp.mul_f64(0.5 * j)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
 }
 
 /// Client-side counters a finished sender reports.
@@ -371,15 +909,26 @@ fn serve_connection(
 pub struct ClientReport {
     /// Events packetised and written.
     pub events_sent: u64,
-    /// Frames written (HELLO + DATA + BYE).
+    /// Frames the packetizer emitted (HELLO + DATA + BYE, reconnect
+    /// re-HELLOs included). Under a chaos link this counts what the
+    /// sender *produced*, not what survived the link.
     pub frames_sent: u64,
-    /// Wire bytes written, framing included.
+    /// Wire bytes the packetizer emitted, framing included.
     pub bytes_sent: u64,
     /// UDP only: datagrams the peer actively refused (ICMP port
     /// unreachable on a connected socket — the receiver is gone or
     /// restarting). Counted as transport loss, not as a send failure;
     /// always 0 over TCP.
     pub datagrams_refused: u64,
+    /// Write/connect attempts that failed and were retried under the
+    /// sender's [`RetryPolicy`].
+    pub retries: u64,
+    /// TCP only: successful reconnect-and-resume cycles (each re-sent
+    /// the HELLO so the hub could adopt the parked session).
+    pub reconnects: u64,
+    /// `true` when the sender exhausted its retry budget and abandoned
+    /// the session (the corresponding call also returned an error).
+    pub gave_up: bool,
 }
 
 /// One transmit session over one TCP connection.
@@ -399,11 +948,32 @@ pub struct ClientReport {
 #[derive(Debug)]
 pub struct SessionSender {
     socket: TcpStream,
+    addrs: Vec<SocketAddr>,
     packetizer: Packetizer,
+    retry: RetryPolicy,
+    chaos: Option<ChaosLink>,
+    retries: u64,
+    reconnects: u64,
+    gave_up: bool,
+}
+
+fn connect_any(addrs: &[SocketAddr]) -> std::io::Result<TcpStream> {
+    let mut last = std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        "no address resolved for sender",
+    );
+    for addr in addrs {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
 }
 
 impl SessionSender {
-    /// Connects and sends the HELLO.
+    /// Connects and sends the HELLO, failing fast on any error
+    /// ([`RetryPolicy::none`]).
     ///
     /// # Errors
     ///
@@ -412,20 +982,117 @@ impl SessionSender {
         addr: A,
         header: SessionHeader,
     ) -> std::io::Result<SessionSender> {
-        let mut socket = TcpStream::connect(addr)?;
-        let mut packetizer = Packetizer::new(header);
-        socket.write_all(&packetizer.hello())?;
-        Ok(SessionSender { socket, packetizer })
+        SessionSender::connect_with(addr, header, RetryPolicy::none())
+    }
+
+    /// Connects and sends the HELLO under a [`RetryPolicy`]: failed
+    /// connects and writes back off and retry; once connected, a write
+    /// failure reconnects and re-sends the HELLO so the hub can adopt
+    /// the parked session (resume — the outage is booked as
+    /// exactly-counted loss, not a second session).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the last failure once the retry budget is spent.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        header: SessionHeader,
+        retry: RetryPolicy,
+    ) -> std::io::Result<SessionSender> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut attempt = 0u32;
+        let mut retries = 0u64;
+        let socket = loop {
+            match connect_any(&addrs) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if attempt >= retry.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(retry.delay(attempt));
+                    attempt += 1;
+                    retries += 1;
+                }
+            }
+        };
+        let mut tx = SessionSender {
+            socket,
+            addrs,
+            packetizer: Packetizer::new(header),
+            retry,
+            chaos: None,
+            retries,
+            reconnects: 0,
+            gave_up: false,
+        };
+        let hello = tx.packetizer.hello();
+        tx.write_resilient(&hello)?;
+        Ok(tx)
+    }
+
+    /// Routes every DATA frame through a deterministic [`ChaosLink`]:
+    /// frames are dropped, duplicated, reordered, damaged, or delayed
+    /// per the link's plan, and a disconnect boundary tears the socket
+    /// down mid-session (exercising the retry/resume path). HELLO and
+    /// BYE bypass the link so the session books stay decidable.
+    pub fn with_chaos(mut self, link: ChaosLink) -> SessionSender {
+        self.chaos = Some(link);
+        self
+    }
+
+    /// The chaos link's counters, when one is attached.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|l| l.stats())
+    }
+
+    /// The chaos link itself (fate log, replay seed), when attached.
+    pub fn chaos_link(&self) -> Option<&ChaosLink> {
+        self.chaos.as_ref()
+    }
+
+    /// Client-side counter snapshot; valid at any point in the
+    /// session, including after a send error (check
+    /// [`ClientReport::gave_up`]).
+    pub fn report(&self) -> ClientReport {
+        ClientReport {
+            events_sent: self.packetizer.events_sent(),
+            frames_sent: self.packetizer.frames_emitted(),
+            bytes_sent: self.packetizer.bytes_emitted(),
+            datagrams_refused: 0,
+            retries: self.retries,
+            reconnects: self.reconnects,
+            gave_up: self.gave_up,
+        }
     }
 
     /// Packetises and writes a run of (tick-ordered) events.
     ///
     /// # Errors
     ///
-    /// Propagates write failures.
+    /// Propagates write failures once the retry budget (if any) is
+    /// spent.
     pub fn send_events(&mut self, events: &[AddressedEvent]) -> std::io::Result<()> {
-        for frame in self.packetizer.data_frames(events) {
-            self.socket.write_all(&frame)?;
+        let frames = self.packetizer.data_frames(events);
+        if self.chaos.is_none() {
+            for frame in &frames {
+                self.write_resilient(frame)?;
+            }
+            return Ok(());
+        }
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for frame in &frames {
+            out.clear();
+            let link = self.chaos.as_mut().expect("checked above");
+            link.push(frame, &mut out);
+            if link.take_disconnect() {
+                // The link says the connection died here: tear our
+                // side down so the next write takes the
+                // reconnect-and-resume path.
+                let _ = self.socket.shutdown(std::net::Shutdown::Both);
+            }
+            for unit in &out {
+                self.write_resilient(unit)?;
+            }
         }
         Ok(())
     }
@@ -434,18 +1101,51 @@ impl SessionSender {
     ///
     /// # Errors
     ///
-    /// Propagates write/shutdown failures.
+    /// Propagates write/shutdown failures once the retry budget (if
+    /// any) is spent.
     pub fn finish(mut self) -> std::io::Result<ClientReport> {
+        if let Some(link) = self.chaos.as_mut() {
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            link.flush(&mut out);
+            for unit in &out {
+                self.write_resilient(unit)?;
+            }
+        }
         let bye = self.packetizer.bye();
-        self.socket.write_all(&bye)?;
+        self.write_resilient(&bye)?;
         self.socket.flush()?;
         self.socket.shutdown(std::net::Shutdown::Write)?;
-        Ok(ClientReport {
-            events_sent: self.packetizer.events_sent(),
-            frames_sent: self.packetizer.frames_emitted(),
-            bytes_sent: self.packetizer.bytes_emitted(),
-            datagrams_refused: 0,
-        })
+        Ok(self.report())
+    }
+
+    /// Writes one frame, retrying with backoff + reconnect under the
+    /// sender's policy. On reconnect the HELLO is re-sent first (same
+    /// header, same DATA-V2 nonce), which is what lets the hub adopt
+    /// the parked session and the decoder book the outage as loss.
+    fn write_resilient(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.socket.write_all(frame) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        self.gave_up = true;
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                    self.retries += 1;
+                    if let Ok(socket) = connect_any(&self.addrs) {
+                        self.socket = socket;
+                        self.reconnects += 1;
+                        let hello = self.packetizer.hello();
+                        // A failed re-HELLO falls through to the next
+                        // attempt (the write above fails again).
+                        let _ = self.socket.write_all(&hello);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -467,8 +1167,11 @@ pub(crate) fn validate_config(config: &HubConfig) -> std::io::Result<()> {
     if config.session.force_window == Some(0) {
         return invalid("force_window must be positive (use None for unbounded)");
     }
-    if config.idle_timeout == Some(std::time::Duration::ZERO) {
+    if config.idle_timeout == Some(Duration::ZERO) {
         return invalid("idle_timeout must be positive (use None to disable eviction)");
+    }
+    if config.resume_window == Some(Duration::ZERO) {
+        return invalid("resume_window must be positive (use None to disable resume)");
     }
     if !positive(config.session.output_fs) {
         return invalid("output_fs must be positive and finite");
@@ -714,5 +1417,163 @@ mod tests {
         let all = hub_b.shutdown();
         assert_eq!(all.len(), 2, "both transports land in the one table");
         assert_eq!(table.len(), 2);
+    }
+
+    /// Polls `cond` every 2 ms for up to ~4 s, panicking with `what` on
+    /// timeout — for assertions against the hub's background threads.
+    fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("timed out waiting for: {what}");
+    }
+
+    #[test]
+    fn stalled_connection_is_evicted_by_the_read_timeout() {
+        let config = HubConfig {
+            idle_timeout: Some(Duration::from_millis(60)),
+            ..HubConfig::default()
+        };
+        let hub = TelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(9, 1, 2000.0, 1.0);
+        let mut pk = Packetizer::new(header);
+        let mut raw = TcpStream::connect(hub.local_addr()).unwrap();
+        raw.write_all(&pk.hello()).unwrap();
+        // …then say nothing, forever: a slowloris-style stall. The
+        // per-connection read timeout must retire the session without
+        // waiting for the peer to hang up.
+        wait_until(
+            || hub.session_table().len() == 1,
+            "stalled session retired into the table",
+        );
+        assert_eq!(hub.health().evicted, 1);
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert!(
+            !sessions[0].report.stats.closed,
+            "books stay open: no BYE ever arrived"
+        );
+        drop(raw);
+    }
+
+    #[test]
+    fn session_cap_sheds_excess_connections() {
+        let config = HubConfig {
+            max_sessions: Some(0),
+            ..HubConfig::default()
+        };
+        let hub = TelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(1, 1, 2000.0, 1.0);
+        // The hub accepts and immediately drops the socket; depending
+        // on timing the client sees the close at different points, so
+        // every client-side error is tolerated here.
+        if let Ok(mut tx) = SessionSender::connect(hub.local_addr(), header) {
+            let events: Vec<AddressedEvent> = (0..40)
+                .map(|i| AddressedEvent {
+                    channel: 0,
+                    event: Event::at_tick(i * 31, header.tick_period_s, None),
+                })
+                .collect();
+            let _ = tx.send_events(&events);
+            let _ = tx.finish();
+        }
+        wait_until(|| hub.health().shed >= 1, "connection shed at the cap");
+        let sessions = hub.shutdown();
+        assert!(sessions.is_empty(), "no session state allocated at cap 0");
+    }
+
+    #[test]
+    fn framing_garbage_flood_is_quarantined() {
+        let config = HubConfig {
+            malformed_budget: Some(4),
+            ..HubConfig::default()
+        };
+        let hub = TelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(3, 1, 2000.0, 1.0);
+        let mut pk = Packetizer::new(header);
+        let mut raw = TcpStream::connect(hub.local_addr()).unwrap();
+        raw.write_all(&pk.hello()).unwrap();
+        // A flood of CRC-broken frames: flip the last CRC byte.
+        let mut bad = crate::frame::encode_frame(FrameType::Data, 1, &[0u8; 16]);
+        *bad.last_mut().unwrap() ^= 0xFF;
+        for _ in 0..64 {
+            // The hub hangs up mid-flood once the budget trips.
+            if raw.write_all(&bad).is_err() {
+                break;
+            }
+        }
+        let _ = raw.flush();
+        wait_until(
+            || hub.health().quarantined == 1,
+            "garbage flood quarantined",
+        );
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert!(
+            sessions[0].report.stats.crc_failures >= 4,
+            "the decoder counted the garbage before the cutoff"
+        );
+    }
+
+    #[test]
+    fn mid_session_disconnect_resumes_and_books_outage_as_loss() {
+        let hub = hub();
+        let table = hub.session_table();
+        let header = SessionHeader::new(77, 2, 2000.0, 2.0);
+        let events: Vec<AddressedEvent> = (0..2000)
+            .map(|i| AddressedEvent {
+                channel: (i % 2) as u8,
+                event: Event::at_tick(i * 17, header.tick_period_s, Some((i % 16) as u8)),
+            })
+            .collect();
+        let retry = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(10),
+            jitter_seed: 1,
+        };
+        let mut tx = SessionSender::connect_with(hub.local_addr(), header, retry)
+            .unwrap()
+            .with_chaos(ChaosLink::new(
+                0xC0FFEE,
+                crate::chaos::ChaosProfile::outage(8, 2),
+            ));
+        // One 16-event chunk per send ⇒ one DATA frame ⇒ one chaos
+        // unit, so chunk k maps onto fates()[k] exactly.
+        for chunk in events.chunks(16) {
+            tx.send_events(chunk).unwrap();
+        }
+        let expected_lost: u64 = tx
+            .chaos_link()
+            .expect("chaos installed")
+            .fates()
+            .iter()
+            .zip(events.chunks(16))
+            .filter(|(f, _)| f.is_lost())
+            .map(|(_, chunk)| chunk.len() as u64)
+            .sum();
+        assert!(expected_lost > 0, "the outage profile must cost something");
+        let client = tx.finish().unwrap();
+        assert!(client.reconnects >= 1, "disconnects forced reconnects");
+        assert!(!client.gave_up);
+        assert_eq!(client.events_sent, 2000);
+
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1, "resume stitched one session, not many");
+        let s = &sessions[0];
+        assert_eq!(s.session_id, 77);
+        assert!(s.report.stats.closed, "BYE decoded after the reconnects");
+        assert_eq!(s.report.stats.events_lost, expected_lost);
+        assert_eq!(s.report.stats.events_decoded + expected_lost, 2000);
+        assert!(s.report.force_is_finite());
+
+        let health = table.health();
+        assert_eq!(health.sessions_started, 1, "adoptions never double-count");
+        assert_eq!(health.resumed, client.reconnects);
+        assert_eq!(health.in_flight, 0);
+        assert_eq!(health.events_lost, expected_lost);
     }
 }

@@ -33,7 +33,12 @@
 //!   ([`UdpTelemetryHub`]): one framed packet per datagram, sessions
 //!   keyed by peer address, loss/reorder/duplication handled by the
 //!   selfsame [`StreamDecoder`] — and a [`SessionTable`] both hubs can
-//!   share.
+//!   share;
+//! * [`chaos`] — deterministic fault injection ([`ChaosLink`]): a
+//!   seeded hostile link (drop, duplication, bounded reorder, bit
+//!   corruption, truncation, stall windows, mid-session disconnects)
+//!   that replays any failure from its logged seed, wrapping both
+//!   senders via `with_chaos`.
 //!
 //! ## Guarantees
 //!
@@ -84,6 +89,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod decode;
 pub mod frame;
 pub mod gateway;
@@ -93,10 +99,11 @@ pub mod sink;
 pub mod udp;
 pub mod varint;
 
+pub use chaos::{ChaosLink, ChaosProfile, ChaosStats, Fate, FaultPlan};
 pub use decode::{ChannelWireStats, StreamDecoder, WireStats};
 pub use gateway::{
-    stream_fleet, ClientReport, HubConfig, HubSession, SessionSender, SessionTable, SinkFactory,
-    TelemetryHub,
+    stream_fleet, ClientReport, HubConfig, HubHealth, HubSession, RetryPolicy, SessionSender,
+    SessionTable, SinkFactory, TelemetryHub,
 };
 pub use packet::{ByeSummary, Packetizer, SessionHeader, WireEvent};
 pub use session::{SessionReport, SessionRx, SessionRxConfig};

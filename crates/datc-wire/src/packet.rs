@@ -429,6 +429,15 @@ impl Packetizer {
     /// Emits revision-1 DATA frames (no session nonce) instead of
     /// DATA-V2 — for interoperating with, and testing against,
     /// revision-1 receivers.
+    ///
+    /// **Deprecated — scheduled for removal.** Revision-1 frames carry
+    /// no session nonce, so on a reused peer address a reordered
+    /// session-tail datagram can be misattributed to the *next*
+    /// session's books (see the UDP module's
+    /// ["Known limits"](crate::udp#known-limits)). Keep this only
+    /// while revision-1 receivers are still being upgraded; receivers
+    /// count the exposure in
+    /// [`WireStats::legacy_frames`](crate::decode::WireStats::legacy_frames).
     pub fn with_legacy_data_frames(mut self) -> Self {
         self.legacy_data = true;
         self

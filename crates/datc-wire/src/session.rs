@@ -200,6 +200,15 @@ impl SessionRx {
         self.decoder.stats()
     }
 
+    /// Cheap framing-garbage score (see
+    /// [`StreamDecoder::framing_garbage`]) — what the hubs poll per
+    /// read/datagram against
+    /// [`HubConfig::malformed_budget`](crate::gateway::HubConfig::malformed_budget)
+    /// without cloning per-channel stats.
+    pub fn framing_garbage(&self) -> u64 {
+        self.decoder.framing_garbage()
+    }
+
     /// Feeds received bytes; decoded events flow straight into the
     /// per-channel reconstructors (and the sink, when attached).
     /// Returns events absorbed this call.

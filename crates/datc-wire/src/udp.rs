@@ -53,9 +53,16 @@
 //!   B's HELLO is counted as a **foreign frame** and dropped instead of
 //!   being misattributed to B's books. Legacy revision-1 DATA frames
 //!   (no nonce) are still accepted for old transmitters, and for those
-//!   the misattribution corner remains: the BYE grace window absorbs
-//!   the common tail reorder, everything else parks as a far-future
-//!   hole and is declared lost at close. The 8-bit nonce is a
+//!   the misattribution corner remains **open**: an A-tail revision-1
+//!   datagram reordered past B's HELLO carries nothing tying it to A,
+//!   so it lands in B's books — the BYE grace window absorbs the
+//!   common tail reorder, everything else parks as a far-future hole
+//!   and is declared lost at close, and in the worst case (matching
+//!   index spans) A's events are silently credited to B. This is why
+//!   [`Packetizer::with_legacy_data_frames`] is deprecated: keep it
+//!   only while old receivers are being upgraded, and watch
+//!   [`WireStats::legacy_frames`](crate::decode::WireStats::legacy_frames)
+//!   to find the senders still exposed. The 8-bit nonce is a
 //!   misattribution guard, not an authenticator (1/256 collision odds
 //!   between unrelated sessions).
 //! * A session whose HELLO never arrives is unidentifiable: its DATA
@@ -65,8 +72,10 @@
 //!   takeover therefore only protects sessions whose HELLO was
 //!   decoded.
 
+use crate::chaos::{ChaosLink, ChaosStats};
 use crate::gateway::{
-    fleet_header, ClientReport, HubConfig, HubSession, SessionTable, SinkFactory,
+    fleet_header, ClientReport, HubConfig, HubHealth, HubSession, RetryPolicy, SessionTable,
+    SinkFactory,
 };
 use crate::packet::{Packetizer, SessionHeader};
 use crate::session::SessionRx;
@@ -173,6 +182,14 @@ impl UdpTelemetryHub {
     /// Clones the current session table.
     pub fn snapshot(&self) -> Vec<HubSession> {
         self.table.snapshot()
+    }
+
+    /// A point-in-time [`HubHealth`] snapshot of the shared table's
+    /// operational counters (started/finished/shed/quarantined/…).
+    /// When the table is shared with a TCP hub the counters cover both
+    /// transports.
+    pub fn health(&self) -> HubHealth {
+        self.table.health()
     }
 
     /// Stops receiving, drains every datagram already delivered to the
@@ -314,11 +331,24 @@ fn receive_loop(
                 // frame type qualifies — a session whose HELLO is
                 // reordered behind its first DATA still gets a peer,
                 // and the decoder books the orphans.
-                if !peers.contains_key(&from) && !is_valid_frame(dgram) {
-                    continue;
+                if !peers.contains_key(&from) {
+                    if !is_valid_frame(dgram) {
+                        continue;
+                    }
+                    // Session cap: a valid frame from a *new* address
+                    // while the hub is at capacity is shed — dropped
+                    // and counted in [`HubHealth::shed`] — so overload
+                    // degrades into refused sessions instead of
+                    // unbounded decoder state. Known peers keep
+                    // flowing.
+                    if config.max_sessions.is_some_and(|cap| peers.len() >= cap) {
+                        table.note_shed();
+                        continue;
+                    }
                 }
                 let peer = peers.entry(from).or_insert_with(|| {
                     let conn_id = table.next_conn_id();
+                    table.note_started();
                     let mut rx = SessionRx::new(config.session.clone());
                     if let Some(factory) = &sink_factory {
                         rx = rx.with_sink(factory(conn_id));
@@ -343,6 +373,25 @@ fn receive_loop(
                     }
                 } else {
                     peer.rx.push_bytes(dgram);
+                }
+                // Malformed-frame budget: an address feeding the
+                // decoder garbage past its budget is quarantined —
+                // books closed as they stand, address retired into the
+                // straggler filter so the flood stops burning CRC
+                // scans on a live decoder. A later CRC-valid HELLO
+                // with a fresh header reopens the address as usual.
+                let over_budget = config
+                    .malformed_budget
+                    .is_some_and(|b| peer.rx.framing_garbage() > b);
+                if over_budget {
+                    let mut peer = peers.remove(&from).expect("peer just updated");
+                    if let Some((bye, _)) = peer.pending_bye.take() {
+                        pending_byes -= 1;
+                        peer.rx.push_bytes(&bye);
+                    }
+                    retired.insert(from, (peer.rx.header().copied(), std::time::Instant::now()));
+                    table.note_quarantined();
+                    finish_peer(peer, &table);
                 }
             }
             Err(e)
@@ -404,6 +453,7 @@ fn receive_loop(
                         peer.rx.push_bytes(&bye);
                     }
                     retired.insert(addr, (peer.rx.header().copied(), now));
+                    table.note_evicted();
                     finish_peer(peer, &table);
                 }
                 // Prune straggler-filter entries past the horizon so
@@ -550,6 +600,14 @@ impl UdpPacing {
 /// let report = tx.finish().unwrap();
 /// assert_eq!(report.events_sent, 0);
 /// ```
+/// Transient send failures (kernel buffer pressure, spurious
+/// timeouts) are retried with backoff when a [`RetryPolicy`] is
+/// installed via [`with_retry`](UdpSessionSender::with_retry); a
+/// [`ChaosLink`] installed via
+/// [`with_chaos`](UdpSessionSender::with_chaos) subjects every DATA
+/// datagram to deterministic fault injection before it reaches the
+/// socket (HELLO and BYE bypass chaos so the receiver's books stay
+/// decidable).
 #[derive(Debug)]
 pub struct UdpSessionSender {
     socket: UdpSocket,
@@ -557,6 +615,10 @@ pub struct UdpSessionSender {
     pacing: UdpPacing,
     sent_since_pause: u32,
     refused: u64,
+    retry: RetryPolicy,
+    chaos: Option<ChaosLink>,
+    retries: u64,
+    gave_up: bool,
 }
 
 impl UdpSessionSender {
@@ -608,10 +670,63 @@ impl UdpSessionSender {
             },
             sent_since_pause: 0,
             refused: 0,
+            retry: RetryPolicy::none(),
+            chaos: None,
+            retries: 0,
+            gave_up: false,
         };
         let hello = tx.packetizer.hello();
         tx.send_datagram(&hello)?;
         Ok(tx)
+    }
+
+    /// Installs a retry policy for transient send failures
+    /// (`WouldBlock` / `TimedOut` / `Interrupted` — kernel buffer
+    /// pressure, not peer loss). Each failed attempt sleeps the
+    /// policy's backoff delay; an exhausted budget surfaces the error
+    /// with [`ClientReport::gave_up`] set.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> UdpSessionSender {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a deterministic fault-injection link applied to every
+    /// DATA datagram (drop/duplicate/reorder/corrupt/truncate/stall
+    /// per the link's [`ChaosProfile`](crate::chaos::ChaosProfile)).
+    /// HELLO and BYE bypass chaos. A disconnect boundary on a
+    /// datagram transport is just its outage window of drops — there
+    /// is no connection to tear down.
+    #[must_use]
+    pub fn with_chaos(mut self, link: ChaosLink) -> UdpSessionSender {
+        self.chaos = Some(link);
+        self
+    }
+
+    /// The chaos link's running statistics, when one is installed.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|link| link.stats())
+    }
+
+    /// The installed chaos link, when any (its fate log drives exact
+    /// loss assertions in tests).
+    pub fn chaos_link(&self) -> Option<&ChaosLink> {
+        self.chaos.as_ref()
+    }
+
+    /// A snapshot of the client-side counters, valid at any point in
+    /// the session — including after a send error, when
+    /// [`finish`](UdpSessionSender::finish) is no longer reachable.
+    pub fn report(&self) -> ClientReport {
+        ClientReport {
+            events_sent: self.packetizer.events_sent(),
+            frames_sent: self.packetizer.frames_emitted(),
+            bytes_sent: self.packetizer.bytes_emitted(),
+            datagrams_refused: self.refused,
+            retries: self.retries,
+            reconnects: 0,
+            gave_up: self.gave_up,
+        }
     }
 
     /// The active pacing.
@@ -626,26 +741,46 @@ impl UdpSessionSender {
     ///
     /// Propagates send failures.
     pub fn send_events(&mut self, events: &[AddressedEvent]) -> std::io::Result<()> {
-        for frame in self.packetizer.data_frames(events) {
-            self.send_datagram(&frame)?;
+        let frames = self.packetizer.data_frames(events);
+        if self.chaos.is_none() {
+            for frame in &frames {
+                self.send_datagram(frame)?;
+            }
+            return Ok(());
+        }
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for frame in &frames {
+            out.clear();
+            let link = self.chaos.as_mut().expect("chaos presence checked above");
+            link.push(frame, &mut out);
+            // No connection to tear down on a datagram transport: a
+            // disconnect boundary is fully expressed by the outage
+            // window of drops the link already applied.
+            let _ = link.take_disconnect();
+            for unit in &out {
+                self.send_datagram(unit)?;
+            }
         }
         Ok(())
     }
 
-    /// Sends the BYE datagram and reports the client-side counters.
+    /// Flushes any datagrams the chaos link still holds, sends the BYE
+    /// datagram and reports the client-side counters.
     ///
     /// # Errors
     ///
     /// Propagates send failures.
     pub fn finish(mut self) -> std::io::Result<ClientReport> {
+        if let Some(link) = self.chaos.as_mut() {
+            let mut tail: Vec<Vec<u8>> = Vec::new();
+            link.flush(&mut tail);
+            for unit in &tail {
+                self.send_datagram(unit)?;
+            }
+        }
         let bye = self.packetizer.bye();
         self.send_datagram(&bye)?;
-        Ok(ClientReport {
-            events_sent: self.packetizer.events_sent(),
-            frames_sent: self.packetizer.frames_emitted(),
-            bytes_sent: self.packetizer.bytes_emitted(),
-            datagrams_refused: self.refused,
-        })
+        Ok(self.report())
     }
 
     /// Datagrams the peer refused so far (see
@@ -662,12 +797,34 @@ impl UdpSessionSender {
         // loss accounting absorbs), not a session-fatal error: count it
         // and keep going. Real failures (socket shut down locally, no
         // route) still propagate.
-        match self.socket.send(frame) {
-            Ok(_) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
-                self.refused += 1;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.socket.send(frame) {
+                Ok(_) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    self.refused += 1;
+                    break;
+                }
+                // Transient local pressure (send buffer full, spurious
+                // timeout, EINTR): back off per the retry policy. A
+                // sender without one fails fast, as before.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) && attempt < self.retry.max_retries =>
+                {
+                    std::thread::sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                    self.retries += 1;
+                }
+                Err(e) => {
+                    self.gave_up = true;
+                    return Err(e);
+                }
             }
-            Err(e) => return Err(e),
         }
         self.sent_since_pause += 1;
         if self.sent_since_pause >= self.pacing.burst {
@@ -1230,5 +1387,85 @@ mod tests {
         assert_eq!(sessions.len(), 1, "in-flight peer flushed at shutdown");
         assert_eq!(sessions[0].report.stats.events_decoded, 40);
         assert!(!sessions[0].report.stats.closed, "no BYE, books stay open");
+    }
+
+    #[test]
+    fn udp_session_cap_sheds_unknown_peers_but_keeps_known_ones_flowing() {
+        let config = HubConfig {
+            max_sessions: Some(1),
+            ..HubConfig::default()
+        };
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header_a = SessionHeader::new(1, 1, 2000.0, 1.0);
+        let events = test_events(&header_a, 60);
+        let mut tx_a = UdpSessionSender::connect(hub.local_addr(), header_a).unwrap();
+        tx_a.send_events(&events[..30]).unwrap();
+        // Give the hub time to open peer A before B knocks — UDP has
+        // no handshake, so ordering is only by arrival.
+        std::thread::sleep(Duration::from_millis(30));
+
+        // Peer B is valid traffic, but the hub is full: shed.
+        let header_b = SessionHeader::new(2, 1, 2000.0, 1.0);
+        let mut tx_b = UdpSessionSender::connect(hub.local_addr(), header_b).unwrap();
+        tx_b.send_events(&test_events(&header_b, 20)).unwrap();
+        let _ = tx_b.finish().unwrap();
+
+        // Peer A (known) still flows to a clean close.
+        tx_a.send_events(&events[30..]).unwrap();
+        let _ = tx_a.finish().unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let health = hub.health();
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1, "only peer A got a session");
+        assert_eq!(sessions[0].session_id, 1);
+        assert_eq!(sessions[0].report.stats.events_decoded, 60);
+        assert!(sessions[0].report.stats.closed);
+        assert!(
+            health.shed >= 1,
+            "peer B's datagrams counted as shed, got {health:?}"
+        );
+    }
+
+    #[test]
+    fn udp_garbage_flood_is_quarantined() {
+        let config = HubConfig {
+            malformed_budget: Some(4),
+            ..HubConfig::default()
+        };
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(6, 1, 2000.0, 1.0);
+        let mut packetizer = Packetizer::new(header);
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        socket.send(&packetizer.hello()).unwrap();
+        // CRC-broken frames from a peer that already holds decoder
+        // state: each one burns budget until the peer is quarantined.
+        let mut bad = crate::frame::encode_frame(crate::frame::FrameType::Data, 1, &[0u8; 16]);
+        *bad.last_mut().unwrap() ^= 0xFF;
+        for _ in 0..64 {
+            socket.send(&bad).unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.health().quarantined == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let health = hub.health();
+        assert_eq!(health.quarantined, 1, "flooding peer quarantined");
+        // Post-quarantine garbage is filtered as straggler traffic and
+        // must not resurrect the address.
+        for _ in 0..8 {
+            socket.send(&bad).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1, "books closed once, no ghost revival");
+        // Resync bytes also burn budget, so quarantine can trip right
+        // at the CRC-failure budget line rather than past it.
+        assert!(sessions[0].report.stats.crc_failures >= 4);
     }
 }

@@ -3,12 +3,16 @@
 //! * encode → packetize → decode reproduces the original
 //!   `AddressedEvent` sequence *exactly*, for any channel count ≤ 256
 //!   and arbitrary event timing;
-//! * with injected packet loss, the decoder reports the exact number of
-//!   lost events and the online reconstructor still produces a finite,
-//!   full-length force trace.
+//! * with loss injected through the deterministic [`ChaosLink`], the
+//!   decoder reports the exact number of lost events — total and per
+//!   channel — and the online reconstructor still produces a finite,
+//!   full-length force trace, for *any* chaos seed;
+//! * byte-damaging profiles (bit corruption, truncation) replay
+//!   bit-for-bit from their seed and never panic the decode path.
 
 use datc_core::Event;
 use datc_uwb::aer::AddressedEvent;
+use datc_wire::chaos::{ChaosLink, ChaosProfile};
 use datc_wire::decode::StreamDecoder;
 use datc_wire::packet::{Packetizer, SessionHeader};
 use datc_wire::session::{SessionRx, SessionRxConfig};
@@ -90,7 +94,7 @@ proptest! {
     fn injected_loss_is_counted_exactly_and_force_stays_finite(
         session in arb_session(),
         frame_size in 1usize..40,
-        drop_mask in any::<u64>(),
+        seed in any::<u64>(),
     ) {
         let (header, events) = session;
         let mut tx = Packetizer::new(header).with_events_per_frame(frame_size);
@@ -98,22 +102,38 @@ proptest! {
         let data = tx.data_frames(&events);
         let bye = tx.bye();
 
+        // A drop-only chaos link under an arbitrary seed: the fate log
+        // is the ground truth the decoder's books must match exactly.
+        let mut link = ChaosLink::new(seed, ChaosProfile {
+            name: "drop-only",
+            drop: 0.25,
+            ..ChaosProfile::ideal()
+        });
         let mut rx = SessionRx::new(SessionRxConfig::default());
         rx.push_bytes(&hello);
-        let mut dropped_events = 0u64;
-        let mut cursor = 0usize;
-        for (i, f) in data.iter().enumerate() {
-            let n = events.len().min(cursor + frame_size) - cursor;
-            // pseudo-random drop pattern from the mask bits
-            if drop_mask >> (i % 64) & 1 == 1 {
-                dropped_events += n as u64;
-            } else {
-                rx.push_bytes(f);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for f in &data {
+            out.clear();
+            link.push(f, &mut out);
+            for unit in &out {
+                rx.push_bytes(unit);
             }
-            cursor += n;
         }
         rx.push_bytes(&bye);
         let report = rx.finish();
+
+        let frame_events = |i: usize| {
+            let lo = i * frame_size;
+            let hi = events.len().min(lo + frame_size);
+            &events[lo..hi]
+        };
+        let dropped_events: u64 = link
+            .fates()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_lost())
+            .map(|(i, _)| frame_events(i).len() as u64)
+            .sum();
 
         prop_assert_eq!(report.stats.events_lost, dropped_events,
             "decoder must count the injected loss exactly");
@@ -140,7 +160,8 @@ proptest! {
     }
 
     /// The UDP transport model: every framed chunk is one datagram, and
-    /// the network may drop, duplicate and arbitrarily reorder them.
+    /// the network may drop, duplicate and reorder them (within the
+    /// chaos profile's bounded span).
     /// The decoder must (a) account the loss exactly, per channel,
     /// (b) count every duplicate, and (c) reconstruct the surviving
     /// events exactly — the threshold track over the survivors must be
@@ -162,48 +183,49 @@ proptest! {
         let data = tx.data_frames(&events);
         let bye = tx.bye();
 
-        // Per-datagram fate from a xorshift stream: ~1/4 dropped,
-        // ~1/4 duplicated, the rest delivered once.
-        let mut x = seed | 1;
-        let mut step = || {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            x
-        };
-        let mut delivered: Vec<usize> = Vec::new(); // data-frame indices
-        let mut dropped_frames: Vec<usize> = Vec::new();
-        let mut extra_copies = 0u64;
-        for i in 0..data.len() {
-            match step() % 4 {
-                0 => dropped_frames.push(i),
-                1 => {
-                    delivered.push(i);
-                    delivered.push(i);
-                    extra_copies += 1;
-                }
-                _ => delivered.push(i),
-            }
-        }
-        // Arbitrary reorder: Fisher-Yates over the delivery sequence.
-        for i in (1..delivered.len()).rev() {
-            let j = (step() % (i as u64 + 1)) as usize;
-            delivered.swap(i, j);
-        }
+        // Per-datagram fate from a chaos link under an arbitrary seed:
+        // heavy drop, duplication and bounded reorder all at once.
+        let mut link = ChaosLink::new(seed, ChaosProfile {
+            name: "datagram-storm",
+            drop: 0.25,
+            duplicate: 0.25,
+            reorder: 0.25,
+            reorder_span: 12,
+            ..ChaosProfile::ideal()
+        });
 
         // A reorder window larger than the whole session absorbs any
-        // permutation, so the only loss is the dropped datagrams.
+        // displacement, so the only loss is the dropped datagrams.
         let mut rx = SessionRx::new(SessionRxConfig {
             recon: OnlineReconSelect::paper_threshold_track(),
             reorder_window: data.len() + 2,
             ..SessionRxConfig::default()
         });
         rx.push_bytes(&hello);
-        for &i in &delivered {
-            rx.push_bytes(&data[i]);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for f in &data {
+            out.clear();
+            link.push(f, &mut out);
+            for unit in &out {
+                rx.push_bytes(unit);
+            }
+        }
+        out.clear();
+        link.flush(&mut out); // pending reorder holds
+        for unit in &out {
+            rx.push_bytes(unit);
         }
         rx.push_bytes(&bye);
         let report = rx.finish();
+
+        let dropped_frames: Vec<usize> = link
+            .fates()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_lost())
+            .map(|(i, _)| i)
+            .collect();
+        let extra_copies = link.stats().duplicated;
 
         // (a) exact loss accounting, total and per channel
         let frame_events = |i: usize| {
@@ -292,5 +314,121 @@ proptest! {
 
         prop_assert_eq!(&decoded, &events, "window-sized reorder is absorbed");
         prop_assert_eq!(rx.stats().events_lost, 0);
+    }
+
+    /// The chaos layer's own contract, for any seed × profile pair:
+    ///
+    /// * byte-exact profiles (drop/duplicate/reorder/stall/outage —
+    ///   survivors arrive undamaged) yield *exact* loss books, because
+    ///   every surviving frame decodes and every lost frame is a
+    ///   precisely-sized hole;
+    /// * byte-damaging profiles (bit corruption, truncation) cannot
+    ///   promise exact books on arbitrary seeds (a damaged frame passes
+    ///   a 16-bit CRC with ~2⁻¹⁶ odds), but must stay deterministic —
+    ///   the same seed replays the same fates and the same decode —
+    ///   and must never panic or produce a non-finite force trace.
+    #[test]
+    fn any_seed_any_profile_upholds_the_accounting_invariants(
+        session in arb_session(),
+        frame_size in 1usize..32,
+        seed in any::<u64>(),
+        which in 0usize..5,
+    ) {
+        let (header, events) = session;
+        let profile = [
+            ChaosProfile::ideal(),
+            ChaosProfile::lossy(),
+            ChaosProfile::bursty(),
+            ChaosProfile::outage(7, 2),
+            ChaosProfile::mangler(),
+        ][which];
+
+        let mut tx = Packetizer::new(header).with_events_per_frame(frame_size);
+        let hello = tx.hello();
+        let data = tx.data_frames(&events);
+        let bye = tx.bye();
+
+        let decode_under = |link: &mut ChaosLink| {
+            let mut rx = SessionRx::new(SessionRxConfig {
+                reorder_window: data.len() + 2,
+                ..SessionRxConfig::default()
+            });
+            rx.push_bytes(&hello);
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            for f in &data {
+                out.clear();
+                link.push(f, &mut out);
+                for unit in &out {
+                    rx.push_bytes(unit);
+                }
+            }
+            out.clear();
+            link.flush(&mut out);
+            for unit in &out {
+                rx.push_bytes(unit);
+            }
+            rx.push_bytes(&bye);
+            rx.finish()
+        };
+
+        let mut link = ChaosLink::new(seed, profile);
+        let report = decode_under(&mut link);
+
+        // Universal invariants: no panic got us here; the books are
+        // closed by the (chaos-exempt) BYE and the force is finite.
+        prop_assert!(report.stats.closed, "profile {} seed {:#x}", profile.name, seed);
+        prop_assert!(report.force_is_finite(), "profile {} seed {:#x}", profile.name, seed);
+
+        if profile.is_byte_exact() {
+            // Survivors arrive undamaged: exact loss accounting, total
+            // and per channel, straight from the fate log.
+            let frame_events = |i: usize| {
+                let lo = i * frame_size;
+                let hi = events.len().min(lo + frame_size);
+                &events[lo..hi]
+            };
+            let expected_lost: u64 = link
+                .fates()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.is_lost())
+                .map(|(i, _)| frame_events(i).len() as u64)
+                .sum();
+            prop_assert_eq!(
+                report.stats.events_lost, expected_lost,
+                "profile {} seed {:#x}", profile.name, seed
+            );
+            prop_assert_eq!(
+                report.stats.events_decoded + report.stats.events_lost,
+                events.len() as u64,
+                "profile {} seed {:#x}", profile.name, seed
+            );
+            let mut lost_per_channel = vec![0u64; usize::from(header.n_channels)];
+            for (i, fate) in link.fates().iter().enumerate() {
+                if fate.is_lost() {
+                    for ae in frame_events(i) {
+                        lost_per_channel[usize::from(ae.channel)] += 1;
+                    }
+                }
+            }
+            for (ch, stats) in report.stats.per_channel.iter().enumerate() {
+                prop_assert_eq!(
+                    stats.lost,
+                    Some(lost_per_channel[ch]),
+                    "profile {} seed {:#x} channel {}", profile.name, seed, ch
+                );
+            }
+        } else {
+            // Byte-damaging profile: determinism is the contract. The
+            // same seed must replay the identical fault schedule and
+            // the identical decode outcome.
+            let mut replay = ChaosLink::new(seed, profile);
+            let replayed = decode_under(&mut replay);
+            prop_assert_eq!(link.fates(), replay.fates());
+            prop_assert_eq!(
+                replayed.stats, report.stats,
+                "profile {} seed {:#x} must replay bit-for-bit", profile.name, seed
+            );
+        }
     }
 }
