@@ -37,6 +37,7 @@ use datc_core::datc::DatcEncoder;
 use datc_core::encoder::{CountingSink, EventSink, SpikeEncoder, TraceLevel};
 use datc_core::stream::DatcStream;
 use datc_engine::FleetRunner;
+use datc_obs::Registry;
 use datc_signal::generator::semg_fleet;
 use datc_signal::resample::ZohResampler;
 use datc_signal::Signal;
@@ -387,6 +388,34 @@ fn main() {
          ({streams_over_bank:.2}x vs per-channel DatcStreams, interleaved median)"
     );
 
+    // --- observability overhead: metrics-on vs metrics-off, sustained --
+    // The same recycled sustained encoder with and without a `FleetObs`
+    // publishing into a registry. Instrumentation syncs a handful of
+    // relaxed atomics once per encode (never per sample), so the
+    // speedup should sit at ~1.0 (acceptance: within 3 %).
+    let registry = Registry::new();
+    let mut sustained_off = FleetRunner::new(config, serial_channels)
+        .unwrap()
+        .with_threads(1)
+        .sustained();
+    let mut sustained_on = FleetRunner::new(config, serial_channels)
+        .unwrap()
+        .with_threads(1)
+        .with_metrics(&registry)
+        .sustained();
+    black_box(sustained_off.encode(serial_signals).total_events());
+    black_box(sustained_on.encode(serial_signals).total_events());
+    let (metrics_speedup, _, _) = interleaved_ratio(
+        || sustained_off.encode(serial_signals).total_events() as u64,
+        || sustained_on.encode(serial_signals).total_events() as u64,
+        kernel_rounds,
+    );
+    let metrics_overhead_pct = (1.0 / metrics_speedup - 1.0) * 100.0;
+    println!(
+        "metrics-on sustained encode: {metrics_speedup:.3}x metrics-off \
+         ({metrics_overhead_pct:+.2} % overhead, interleaved median)"
+    );
+
     // --- 64-channel measurements (full mode only) -----------------------
     let mut ratio_64_vs_16 = None;
     let mut ratio_64_vs_16_cold = None;
@@ -505,6 +534,12 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"nonideal_bank_vs_per_channel_streams_ratio\": {streams_over_bank:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sustained_encode_with_metrics_speedup\": {metrics_speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"metrics_overhead_pct\": {metrics_overhead_pct:.3},\n"
     ));
     if let Some(r) = ratio_64_vs_16 {
         json.push_str(&format!(

@@ -17,11 +17,14 @@ use std::time::Instant;
 use datc_core::config::DatcConfig;
 use datc_core::encoder::TraceLevel;
 use datc_engine::FleetRunner;
+use datc_obs::Registry;
 use datc_signal::generator::semg_fleet;
 use datc_uwb::aer::AddressedEvent;
 use datc_wire::chaos::{ChaosLink, ChaosProfile};
 use datc_wire::gateway::{stream_fleet, HubConfig, TelemetryHub};
+use datc_wire::obs::SessionObs;
 use datc_wire::packet::{encode_session, Packetizer, SessionHeader};
+use datc_wire::session::{SessionRx, SessionRxConfig};
 use datc_wire::StreamDecoder;
 
 /// Times `f` best-of-`samples` with an inner iteration count calibrated
@@ -54,6 +57,50 @@ fn measure<F: FnMut() -> u64>(mut f: F, samples: u32, target_ms: u64) -> f64 {
         best = best.min(start.elapsed().as_secs_f64() / iters as f64);
     }
     best
+}
+
+/// Median of per-round `a/b` timing ratios where `a()` and `b()` run
+/// back to back inside each round, execution order alternating between
+/// rounds (back-to-back cancels slow frequency drift; alternation
+/// cancels any residual first-in-round bias). Same scheme as
+/// `bench_fleet`'s headline ratios.
+fn interleaved_ratio<A: FnMut() -> u64, B: FnMut() -> u64>(
+    mut a: A,
+    mut b: B,
+    rounds: usize,
+) -> (f64, f64, f64) {
+    let mut ratios = Vec::with_capacity(rounds);
+    let mut a_secs = Vec::with_capacity(rounds);
+    let mut b_secs = Vec::with_capacity(rounds);
+    let time = |f: &mut dyn FnMut() -> u64| {
+        let t = Instant::now();
+        black_box(f());
+        t.elapsed().as_secs_f64()
+    };
+    for round in 0..rounds {
+        let (ta, tb) = if round % 2 == 0 {
+            let ta = time(&mut a);
+            let tb = time(&mut b);
+            (ta, tb)
+        } else {
+            let tb = time(&mut b);
+            let ta = time(&mut a);
+            (ta, tb)
+        };
+        ratios.push(ta / tb);
+        a_secs.push(ta);
+        b_secs.push(tb);
+    }
+    (
+        median(&mut ratios),
+        median(&mut a_secs),
+        median(&mut b_secs),
+    )
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
 }
 
 fn main() {
@@ -173,6 +220,50 @@ fn main() {
     let degraded_rate = degraded_events as f64 / degraded_secs;
     println!("degraded decode           {degraded_rate:>14.0} events/s (5% loss + reorder)");
 
+    // --- observability overhead: instrumented vs plain session decode ----
+    // The full per-session receive pipeline (decode + reconstruction)
+    // with and without a live `SessionObs` publishing into a registry,
+    // interleaved so host drift cancels. Registration happens once
+    // (series handles are Arc-backed and cloned per session) — it is
+    // session setup, amortised over seconds in production, and would
+    // otherwise dominate this sub-millisecond replay. The steady-state
+    // publish path syncs per push/finish, never per event, so the
+    // speedup should sit at ~1.0 (acceptance: within 3 %).
+    let registry = Registry::new();
+    let obs = SessionObs::register(&registry, "bench");
+    let session_once = {
+        let start = Instant::now();
+        let mut rx = SessionRx::new(SessionRxConfig::default());
+        rx.push_bytes(&wire);
+        black_box(rx.finish());
+        start.elapsed().as_secs_f64()
+    };
+    let reps = ((0.04 / session_once).ceil() as u64).clamp(1, 1 << 12);
+    let obs_rounds = if quick { 5 } else { 9 };
+    let run_plain = || {
+        let mut n = 0u64;
+        for _ in 0..reps {
+            let mut rx = SessionRx::new(SessionRxConfig::default());
+            rx.push_bytes(&wire);
+            n += rx.finish().stats.events_decoded;
+        }
+        n
+    };
+    let run_instrumented = || {
+        let mut n = 0u64;
+        for _ in 0..reps {
+            let mut rx = SessionRx::new(SessionRxConfig::default()).with_metrics(obs.clone());
+            rx.push_bytes(&wire);
+            n += rx.finish().stats.events_decoded;
+        }
+        n
+    };
+    let (metrics_speedup, _, _) = interleaved_ratio(run_plain, run_instrumented, obs_rounds);
+    let metrics_overhead_pct = (1.0 / metrics_speedup - 1.0) * 100.0;
+    println!(
+        "metrics-on decode         {metrics_speedup:>14.3} x plain ({metrics_overhead_pct:+.2} % overhead)"
+    );
+
     // --- gateway: n concurrent sessions over TCP loopback ----------------
     let rounds = if quick { 2 } else { 3 };
     let mut best_sessions_per_s = 0.0f64;
@@ -237,6 +328,12 @@ fn main() {
     json.push_str(&format!("  \"decode_events_per_s\": {decode_rate:.0},\n"));
     json.push_str(&format!(
         "  \"degraded_decode_events_per_s\": {degraded_rate:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"decode_with_metrics_speedup\": {metrics_speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"metrics_overhead_pct\": {metrics_overhead_pct:.3},\n"
     ));
     json.push_str(&format!("  \"gateway_sessions\": {n_sessions},\n"));
     json.push_str(&format!(

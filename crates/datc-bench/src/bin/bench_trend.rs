@@ -1,0 +1,86 @@
+//! Perf-trajectory report over the committed bench history.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run -p datc-bench --bin bench_trend -- [--dir DIR] [--out FILE]
+//! ```
+//!
+//! Scans `DIR` (default: the workspace root) for the preserved full
+//! baselines `BENCH_<name>.pr<N>.json` plus the current
+//! `BENCH_<name>.json`, and folds them into one markdown table per
+//! bench — gated metrics only, rows in PR order, each cell carrying
+//! the delta against the previous row. Quick artifacts are excluded
+//! (different workloads; see [`datc_bench::trend`]).
+//!
+//! Prints to stdout, or writes `FILE` with `--out`.
+
+use datc_bench::trend::{classify_filename, render_trend};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_trend [--dir DIR] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                let Some(d) = args.get(i + 1) else { usage() };
+                dir = d.clone();
+                i += 2;
+            }
+            "--out" => {
+                let Some(f) = args.get(i + 1) else { usage() };
+                out = Some(f.clone());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("bench_trend: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut files: Vec<(String, String)> = Vec::new();
+    for entry in entries {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name().to_string_lossy().to_string();
+        if classify_filename(&name).is_none() {
+            continue;
+        }
+        match std::fs::read_to_string(entry.path()) {
+            Ok(text) => files.push((name, text)),
+            Err(e) => {
+                eprintln!("bench_trend: cannot read {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("bench_trend: no BENCH_*.json artifacts under {dir}");
+        return ExitCode::FAILURE;
+    }
+
+    let report = render_trend(&files);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("bench_trend: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({} artifacts)", files.len());
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -203,7 +203,7 @@ pub mod regression {
     }
 
     #[cfg(test)]
-    mod tests {
+    mod regression_tests {
         use super::*;
 
         fn artifact(quick: bool, decode: f64, bpe: f64) -> String {
@@ -315,6 +315,235 @@ pub mod regression {
                 assert!(report.passed(), "{name}: {:?}", report.failures);
                 assert!(!report.checks.is_empty(), "{name} has gated metrics");
             }
+        }
+    }
+}
+
+pub mod trend {
+    //! Perf-trajectory reporting: folds the committed bench history —
+    //! the full baselines preserved across PRs as `BENCH_<name>.pr<N>.json`
+    //! plus the current `BENCH_<name>.json` — into one markdown trend
+    //! table per bench, gated metrics only, with per-PR deltas.
+    //!
+    //! Driven by the `bench_trend` binary
+    //! (`cargo run -p datc-bench --bin bench_trend [-- --dir <d>] [--out <f>]`).
+    //!
+    //! Quick artifacts (`BENCH_*.quick.json`) are excluded: they measure
+    //! reduced CI-smoke workloads and are not comparable with the full
+    //! history (the same like-for-like rule `bench_check` enforces).
+
+    use crate::regression::{metric_direction, parse_artifact, Artifact};
+
+    /// One point on a bench's perf trajectory.
+    #[derive(Debug, Clone)]
+    pub struct TrendPoint {
+        /// Artifact filename (the row label).
+        pub file: String,
+        /// Bench short name parsed from the filename (`fleet`, `wire`).
+        pub bench: String,
+        /// PR number for historical baselines; `None` = the current
+        /// full artifact, which sorts after all history.
+        pub pr: Option<u32>,
+        /// The parsed artifact.
+        pub artifact: Artifact,
+    }
+
+    /// Classifies a filename into `(bench, pr)`: `BENCH_fleet.pr2.json`
+    /// → `("fleet", Some(2))`, `BENCH_fleet.json` → `("fleet", None)`.
+    /// Returns `None` for quick artifacts and anything else.
+    pub fn classify_filename(name: &str) -> Option<(String, Option<u32>)> {
+        let rest = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+        match rest.split_once('.') {
+            None if !rest.is_empty() => Some((rest.to_string(), None)),
+            Some((bench, pr)) if !bench.is_empty() => {
+                let n = pr.strip_prefix("pr")?.parse().ok()?;
+                Some((bench.to_string(), Some(n)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses `(filename, contents)` pairs into trajectory points,
+    /// dropping quick artifacts and unrecognised filenames, sorted by
+    /// bench then PR number (current artifact last).
+    pub fn collect_points(files: &[(String, String)]) -> Vec<TrendPoint> {
+        let mut points: Vec<TrendPoint> = files
+            .iter()
+            .filter_map(|(file, text)| {
+                let (bench, pr) = classify_filename(file)?;
+                let artifact = parse_artifact(text);
+                // defence in depth: a quick artifact under a full name
+                // still measures the wrong workload
+                if artifact.quick == Some(true) {
+                    return None;
+                }
+                Some(TrendPoint {
+                    file: file.clone(),
+                    bench,
+                    pr,
+                    artifact,
+                })
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            (&a.bench, a.pr.is_none(), a.pr).cmp(&(&b.bench, b.pr.is_none(), b.pr))
+        });
+        points
+    }
+
+    fn fmt_value(v: f64) -> String {
+        if v.abs() >= 1000.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.3}")
+        }
+    }
+
+    /// Renders the markdown trend report: one table per bench, one row
+    /// per artifact (history in PR order, current full run last), one
+    /// column per gated metric, each cell carrying the delta against
+    /// the previous row.
+    pub fn render_trend(files: &[(String, String)]) -> String {
+        let points = collect_points(files);
+        let mut out = String::from("# Bench trend\n");
+        out.push_str(
+            "\nGated metrics only (`*_per_s`, `*speedup*`, `bytes_per_event*`); \
+             deltas are against the previous row. Quick artifacts are excluded.\n",
+        );
+        let mut benches: Vec<&str> = points.iter().map(|p| p.bench.as_str()).collect();
+        benches.dedup();
+        for bench in benches {
+            let rows: Vec<&TrendPoint> = points.iter().filter(|p| p.bench == bench).collect();
+            // column order: first appearance across the history
+            let mut metrics: Vec<&str> = Vec::new();
+            for p in &rows {
+                for (k, _) in &p.artifact.numbers {
+                    if metric_direction(k).is_some() && !metrics.contains(&k.as_str()) {
+                        metrics.push(k);
+                    }
+                }
+            }
+            if metrics.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n## {bench}\n\n| artifact |"));
+            for m in &metrics {
+                out.push_str(&format!(" {m} |"));
+            }
+            out.push_str("\n|---|");
+            out.push_str(&"---|".repeat(metrics.len()));
+            out.push('\n');
+            for (i, p) in rows.iter().enumerate() {
+                out.push_str(&format!("| {} |", p.file));
+                for m in &metrics {
+                    let cell = match p.artifact.number(m) {
+                        None => "—".to_string(),
+                        Some(v) => {
+                            let prev = i
+                                .checked_sub(1)
+                                .and_then(|j| rows[j].artifact.number(m))
+                                .filter(|prev| *prev != 0.0);
+                            match prev {
+                                Some(prev) => {
+                                    format!("{} ({:+.1} %)", fmt_value(v), (v / prev - 1.0) * 100.0)
+                                }
+                                None => fmt_value(v),
+                            }
+                        }
+                    };
+                    out.push_str(&format!(" {cell} |"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod trend_tests {
+        use super::*;
+
+        #[test]
+        fn classifies_history_current_and_rejects_quick() {
+            assert_eq!(
+                classify_filename("BENCH_fleet.pr2.json"),
+                Some(("fleet".into(), Some(2)))
+            );
+            assert_eq!(
+                classify_filename("BENCH_wire.json"),
+                Some(("wire".into(), None))
+            );
+            assert_eq!(classify_filename("BENCH_wire.quick.json"), None);
+            assert_eq!(classify_filename("BENCH_.json"), None);
+            assert_eq!(classify_filename("notes.md"), None);
+            assert_eq!(classify_filename("BENCH_fleet.prX.json"), None);
+        }
+
+        fn point(file: &str, decode: f64) -> (String, String) {
+            (
+                file.to_string(),
+                format!(
+                    "{{\n  \"bench\": \"bench_wire\",\n  \"quick\": false,\n  \
+                     \"channels\": 8,\n  \"decode_events_per_s\": {decode}\n}}\n"
+                ),
+            )
+        }
+
+        #[test]
+        fn renders_history_in_pr_order_with_deltas() {
+            let files = vec![
+                point("BENCH_wire.json", 120000.0),
+                point("BENCH_wire.pr8.json", 110000.0),
+                point("BENCH_wire.pr2.json", 100000.0),
+                // quick artifacts must not appear even if fed in
+                (
+                    "BENCH_wire.quick.json".into(),
+                    "{\n  \"quick\": true,\n  \"decode_events_per_s\": 9\n}\n".into(),
+                ),
+            ];
+            let md = render_trend(&files);
+            let pr2 = md.find("BENCH_wire.pr2.json").expect("pr2 row");
+            let pr8 = md.find("BENCH_wire.pr8.json").expect("pr8 row");
+            let cur = md.find("| BENCH_wire.json").expect("current row");
+            assert!(pr2 < pr8 && pr8 < cur, "rows in PR order, current last");
+            assert!(md.contains("110000 (+10.0 %)"), "{md}");
+            assert!(md.contains("120000 (+9.1 %)"), "{md}");
+            assert!(!md.contains("quick"), "quick artifacts excluded:\n{md}");
+        }
+
+        #[test]
+        fn missing_metric_renders_as_dash_not_zero() {
+            let mut files = vec![point("BENCH_wire.pr2.json", 100000.0)];
+            files.push((
+                "BENCH_wire.pr3.json".into(),
+                "{\n  \"bench\": \"bench_wire\",\n  \"quick\": false,\n  \
+                 \"packetize_events_per_s\": 5000\n}\n"
+                    .into(),
+            ));
+            let md = render_trend(&files);
+            assert!(md.contains("—"), "{md}");
+            // the pr3-only metric still gets a column
+            assert!(md.contains("packetize_events_per_s"), "{md}");
+        }
+
+        #[test]
+        fn committed_history_renders() {
+            // The real committed artifacts at the workspace root must
+            // fold into a non-trivial report.
+            let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+            let mut files = Vec::new();
+            for entry in std::fs::read_dir(&root).expect("workspace root") {
+                let name = entry.expect("entry").file_name();
+                let name = name.to_string_lossy().to_string();
+                if classify_filename(&name).is_some() {
+                    let text = std::fs::read_to_string(format!("{root}/{name}")).expect("artifact");
+                    files.push((name, text));
+                }
+            }
+            assert!(!files.is_empty(), "committed full artifacts exist");
+            let md = render_trend(&files);
+            assert!(md.contains("## fleet"), "{md}");
+            assert!(md.contains("BENCH_fleet.pr2.json"), "{md}");
         }
     }
 }

@@ -56,6 +56,9 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod obs;
+
+use crate::obs::FleetObs;
 use datc_core::bank::{BankEventSink, BankStream, SimdPolicy, TilePolicy};
 use datc_core::comparator::Comparator;
 use datc_core::datc::DatcOutput;
@@ -129,6 +132,7 @@ pub struct FleetRunner {
     tiling: TilePolicy,
     simd: SimdPolicy,
     comparators: Option<Vec<Comparator>>,
+    obs: Option<FleetObs>,
 }
 
 impl FleetRunner {
@@ -150,6 +154,7 @@ impl FleetRunner {
             tiling: TilePolicy::default(),
             simd: SimdPolicy::default(),
             comparators: None,
+            obs: None,
         })
     }
 
@@ -183,6 +188,21 @@ impl FleetRunner {
     /// (default [`SimdPolicy::Auto`]); every policy is bit-identical.
     pub fn with_simd_policy(mut self, simd: SimdPolicy) -> Self {
         self.simd = simd;
+        self
+    }
+
+    /// Publishes encode throughput and tiling occupancy into `registry`
+    /// after every [`encode`](FleetRunner::encode) /
+    /// [`encode_merged`](FleetRunner::encode_merged) call — and into the
+    /// same series from any [`FleetEncoder`] built afterwards via
+    /// [`sustained`](FleetRunner::sustained). Metric names are the
+    /// `datc_fleet_*` constants in [`obs`]. Encoding itself is
+    /// untouched: totals the encode already computed are synced with a
+    /// handful of relaxed atomic adds per call, so the overhead is
+    /// independent of fleet size and signal length.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &datc_obs::Registry) -> Self {
+        self.obs = Some(FleetObs::register(registry));
         self
     }
 
@@ -309,7 +329,17 @@ impl FleetRunner {
                 });
             }
         }
-        FleetOutput { channels, ticks }
+        let out = FleetOutput { channels, ticks };
+        if let Some(obs) = &self.obs {
+            obs.note_encode(
+                self.channels,
+                signals.first().map_or(0, Signal::len),
+                ticks,
+                out.total_events(),
+                obs::tile_occupancy(&shards, self.tiling),
+            );
+        }
+        out
     }
 
     /// Encodes the fleet and merges every channel onto one serial AER
@@ -362,11 +392,14 @@ impl FleetRunner {
                 }
             })
             .collect();
+        let occupancy = obs::tile_occupancy(&ranges, self.tiling);
         FleetEncoder {
             config: self.config,
             channels: self.channels,
             ranges,
             shards,
+            obs: self.obs.clone(),
+            occupancy,
         }
     }
 }
@@ -379,6 +412,10 @@ pub struct FleetEncoder {
     channels: usize,
     ranges: Vec<std::ops::Range<usize>>,
     shards: Vec<ShardState>,
+    obs: Option<FleetObs>,
+    // The shard layout is fixed at build time, so the tile occupancy is
+    // computed once here rather than per encode.
+    occupancy: f64,
 }
 
 #[derive(Debug)]
@@ -488,7 +525,17 @@ impl FleetEncoder {
                 });
             }
         }
-        FleetOutput { channels, ticks }
+        let out = FleetOutput { channels, ticks };
+        if let Some(obs) = &self.obs {
+            obs.note_encode(
+                self.channels,
+                signals.first().map_or(0, Signal::len),
+                ticks,
+                out.total_events(),
+                self.occupancy,
+            );
+        }
+        out
     }
 }
 
@@ -811,6 +858,51 @@ mod tests {
         // pass is identical to the first and to the cold path
         assert_eq!(sustained.encode(&signals), cold);
         assert_eq!(sustained.encode(&signals), cold);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_cold_and_sustained_encodes() {
+        use datc_obs::MetricValue;
+        let reg = datc_obs::Registry::new();
+        let signals = fleet_signals(6, 1.0);
+        let runner = FleetRunner::new(DatcConfig::paper(), 6)
+            .unwrap()
+            .with_threads(2)
+            .with_metrics(&reg);
+        let cold = runner.encode(&signals);
+        let mut sustained = runner.sustained();
+        let warm = sustained.encode(&signals);
+        assert_eq!(cold, warm);
+
+        let get = |name: &str| {
+            reg.snapshot()
+                .into_iter()
+                .find_map(|(n, _, v)| (n == name).then_some(v))
+                .expect("series registered")
+        };
+        // Both encodes land in the same series.
+        assert_eq!(get(obs::FLEET_ENCODES), MetricValue::Counter(2));
+        assert_eq!(
+            get(obs::FLEET_SAMPLES),
+            MetricValue::Counter(2 * 6 * signals[0].len() as u64)
+        );
+        assert_eq!(
+            get(obs::FLEET_TICKS),
+            MetricValue::Counter(2 * 6 * cold.ticks)
+        );
+        assert_eq!(
+            get(obs::FLEET_EVENTS),
+            MetricValue::Counter(2 * cold.total_events() as u64)
+        );
+        match get(obs::FLEET_TILE_OCCUPANCY) {
+            MetricValue::Gauge(g) => assert!(g > 0.0 && g <= 1.0, "occupancy {g}"),
+            other => panic!("gauge expected, got {other:?}"),
+        }
+        // An un-instrumented runner touches no registry.
+        let silent = FleetRunner::new(DatcConfig::paper(), 6).unwrap();
+        let before = reg.snapshot();
+        let _ = silent.encode(&signals);
+        assert_eq!(reg.snapshot(), before);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Stage-clock spans: tracing an event batch's journey through the
+//! pipeline.
+//!
+//! A [`StageClock`] collects one `u64` timestamp per [`Stage`] of the
+//! encode → packetize → transport → decode → emit journey. The time
+//! domain is the caller's: pass clock **ticks** for a deterministic,
+//! bit-reproducible trace (the convention the acceptance tests pin), or
+//! nanoseconds via [`StageClock::mark_now`] for a wall-clock variant.
+//! [`StageHistograms`] registers one latency histogram per consecutive
+//! leg plus the end-to-end total, and [`StageClock::record`] feeds a
+//! finished clock into them.
+//!
+//! # Example
+//!
+//! ```
+//! use datc_obs::{Registry, Stage, StageClock, StageHistograms};
+//!
+//! let reg = Registry::new();
+//! let legs = StageHistograms::register(&reg, "datc_pipeline", "ticks");
+//! let mut clock = StageClock::new();
+//! clock.mark(Stage::Encode, 0);
+//! clock.mark(Stage::Packetize, 40);
+//! clock.mark(Stage::Transport, 90);
+//! clock.mark(Stage::Decode, 100);
+//! clock.mark(Stage::Emit, 160);
+//! assert_eq!(clock.elapsed(Stage::Encode, Stage::Emit), Some(160));
+//! clock.record(&legs);
+//! # if cfg!(feature = "metrics") {
+//! assert_eq!(legs.total().count(), 1);
+//! assert_eq!(legs.total().sum(), 160);
+//! # }
+//! ```
+
+use crate::registry::{Histogram, Registry};
+
+/// One stage of an event's journey through the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Comparator fired: the event exists (encoder output).
+    Encode,
+    /// Serialised into a wire frame.
+    Packetize,
+    /// Handed to the transport (socket write / datagram send).
+    Transport,
+    /// Reassembled by the receiving decoder.
+    Decode,
+    /// Force sample determined and emitted by the reconstructor.
+    Emit,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Encode,
+        Stage::Packetize,
+        Stage::Transport,
+        Stage::Decode,
+        Stage::Emit,
+    ];
+
+    /// Lower-case stage name, as used in metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Encode => "encode",
+            Stage::Packetize => "packetize",
+            Stage::Transport => "transport",
+            Stage::Decode => "decode",
+            Stage::Emit => "emit",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-stage timestamps for one traced batch. Plain data — create one
+/// per batch (or reuse after [`reset`](StageClock::reset)); it touches
+/// no shared state until [`record`](StageClock::record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageClock {
+    marks: [Option<u64>; 5],
+}
+
+impl StageClock {
+    /// An empty clock.
+    pub fn new() -> StageClock {
+        StageClock::default()
+    }
+
+    /// Stamps `stage` at time `t` (any monotonic `u64` domain; the last
+    /// mark per stage wins).
+    pub fn mark(&mut self, stage: Stage, t: u64) {
+        self.marks[stage.index()] = Some(t);
+    }
+
+    /// Stamps `stage` with the nanoseconds elapsed since `epoch` — the
+    /// wall-clock variant (not reproducible across runs; keep tick
+    /// domains for anything asserted bit-exact).
+    pub fn mark_now(&mut self, stage: Stage, epoch: std::time::Instant) {
+        self.mark(stage, epoch.elapsed().as_nanos() as u64);
+    }
+
+    /// The timestamp recorded for `stage`, if any.
+    pub fn at(&self, stage: Stage) -> Option<u64> {
+        self.marks[stage.index()]
+    }
+
+    /// Elapsed time from `from` to `to`; `None` until both are marked.
+    /// Saturates at zero when marks arrive out of order (e.g. a decode
+    /// watermark behind the encode tick after clock skew).
+    pub fn elapsed(&self, from: Stage, to: Stage) -> Option<u64> {
+        match (self.at(from), self.at(to)) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        }
+    }
+
+    /// Clears every mark, keeping the value reusable.
+    pub fn reset(&mut self) {
+        self.marks = [None; 5];
+    }
+
+    /// Observes every fully marked consecutive leg (and the end-to-end
+    /// total) into `legs`.
+    pub fn record(&self, legs: &StageHistograms) {
+        for (from, to, h) in &legs.legs {
+            if let Some(dt) = self.elapsed(*from, *to) {
+                h.observe(dt);
+            }
+        }
+        if let Some(dt) = self.elapsed(Stage::Encode, Stage::Emit) {
+            legs.total.observe(dt);
+        }
+    }
+}
+
+/// The latency histograms a [`StageClock`] records into: one per
+/// consecutive stage pair, named
+/// `<prefix>_<from>_to_<to>_<unit>`, plus `<prefix>_total_<unit>` for
+/// the full encode → emit journey.
+#[derive(Debug, Clone)]
+pub struct StageHistograms {
+    legs: Vec<(Stage, Stage, Histogram)>,
+    total: Histogram,
+}
+
+impl StageHistograms {
+    /// Registers the leg histograms in `registry`. `unit` names the
+    /// time domain (`"ticks"` or `"ns"`) and becomes part of the metric
+    /// name, so both variants can coexist.
+    pub fn register(registry: &Registry, prefix: &str, unit: &str) -> StageHistograms {
+        let legs = Stage::ALL
+            .windows(2)
+            .map(|w| {
+                let (from, to) = (w[0], w[1]);
+                let name = format!("{prefix}_{}_to_{}_{unit}", from.name(), to.name());
+                (from, to, registry.histogram(&name))
+            })
+            .collect();
+        StageHistograms {
+            legs,
+            total: registry.histogram(&format!("{prefix}_total_{unit}")),
+        }
+    }
+
+    /// The end-to-end (encode → emit) histogram.
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+
+    /// The histogram for one consecutive leg, if `from` directly
+    /// precedes `to`.
+    pub fn leg(&self, from: Stage, to: Stage) -> Option<&Histogram> {
+        self.legs
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "metrics")]
+    fn partial_clocks_record_only_marked_legs() {
+        let reg = Registry::new();
+        let legs = StageHistograms::register(&reg, "datc_pipeline", "ticks");
+        let mut clock = StageClock::new();
+        clock.mark(Stage::Decode, 100);
+        clock.mark(Stage::Emit, 130);
+        clock.record(&legs);
+        assert_eq!(legs.leg(Stage::Decode, Stage::Emit).unwrap().count(), 1);
+        assert_eq!(legs.leg(Stage::Decode, Stage::Emit).unwrap().sum(), 30);
+        assert_eq!(
+            legs.leg(Stage::Encode, Stage::Packetize).unwrap().count(),
+            0
+        );
+        assert_eq!(legs.total().count(), 0, "no encode mark, no total");
+    }
+
+    #[test]
+    fn out_of_order_marks_saturate_to_zero() {
+        let mut clock = StageClock::new();
+        clock.mark(Stage::Encode, 500);
+        clock.mark(Stage::Emit, 400);
+        assert_eq!(clock.elapsed(Stage::Encode, Stage::Emit), Some(0));
+    }
+
+    #[test]
+    fn reset_makes_the_clock_reusable() {
+        let mut clock = StageClock::new();
+        clock.mark(Stage::Encode, 1);
+        clock.reset();
+        assert_eq!(clock, StageClock::new());
+    }
+
+    #[test]
+    fn registered_leg_names_are_stable() {
+        let reg = Registry::new();
+        let _ = StageHistograms::register(&reg, "datc_pipeline", "ticks");
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "datc_pipeline_decode_to_emit_ticks",
+                "datc_pipeline_encode_to_packetize_ticks",
+                "datc_pipeline_packetize_to_transport_ticks",
+                "datc_pipeline_total_ticks",
+                "datc_pipeline_transport_to_decode_ticks",
+            ]
+        );
+    }
+}

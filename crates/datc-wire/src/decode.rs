@@ -36,7 +36,7 @@ use std::collections::BTreeMap;
 pub const DEFAULT_REORDER_WINDOW: usize = 32;
 
 /// Per-channel receive/loss tallies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelWireStats {
     /// Events this channel delivered to the application.
     pub received: u64,
@@ -62,6 +62,8 @@ pub struct ChannelWireStats {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireStats {
+    // NOTE: keep the flat counters in sync with `WireCounters` and
+    // `WireStats::merge`.
     /// Valid frames accepted (all types).
     pub frames: u64,
     /// DATA frames dropped as duplicates (index span already covered or
@@ -102,6 +104,109 @@ pub struct WireStats {
     pub closed: bool,
     /// Per-channel tallies (empty before the HELLO arrives).
     pub per_channel: Vec<ChannelWireStats>,
+}
+
+impl WireStats {
+    /// Folds `other` into `self`, summing every counter — how a hub
+    /// aggregates per-session books into fleet totals (see
+    /// [`SessionTable::wire_totals`](crate::gateway::SessionTable::wire_totals)).
+    ///
+    /// Aggregate semantics: `closed` stays `true` only while every
+    /// merged session closed cleanly, and per-channel tallies sum
+    /// index-wise (a channel's `sent`/`lost` goes unknown — `None` —
+    /// when any contributing session left it unknown).
+    pub fn merge(&mut self, other: &WireStats) {
+        self.frames += other.frames;
+        self.duplicate_frames += other.duplicate_frames;
+        self.crc_failures += other.crc_failures;
+        self.resync_bytes += other.resync_bytes;
+        self.malformed_frames += other.malformed_frames;
+        self.orphan_frames += other.orphan_frames;
+        self.foreign_frames += other.foreign_frames;
+        self.legacy_frames += other.legacy_frames;
+        self.events_decoded += other.events_decoded;
+        self.events_lost += other.events_lost;
+        self.gaps += other.gaps;
+        self.pending_events += other.pending_events;
+        self.closed &= other.closed;
+        if self.per_channel.len() < other.per_channel.len() {
+            // Extend with the additive identity — `Some(0)`, not the
+            // `None` default, so a channel first seen in `other` keeps
+            // its known totals instead of going unknown.
+            self.per_channel.resize(
+                other.per_channel.len(),
+                ChannelWireStats {
+                    received: 0,
+                    sent: Some(0),
+                    lost: Some(0),
+                },
+            );
+        }
+        for (mine, theirs) in self.per_channel.iter_mut().zip(&other.per_channel) {
+            mine.received += theirs.received;
+            mine.sent = match (mine.sent, theirs.sent) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+            mine.lost = match (mine.lost, theirs.lost) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+    }
+
+    /// An all-zero accumulator to [`merge`](WireStats::merge) into.
+    /// (`closed` starts `true`: the AND-identity, so an aggregate over
+    /// only cleanly closed sessions reads closed.)
+    pub fn zero() -> WireStats {
+        WireStats {
+            frames: 0,
+            duplicate_frames: 0,
+            crc_failures: 0,
+            resync_bytes: 0,
+            malformed_frames: 0,
+            orphan_frames: 0,
+            foreign_frames: 0,
+            legacy_frames: 0,
+            events_decoded: 0,
+            events_lost: 0,
+            gaps: 0,
+            pending_events: 0,
+            closed: true,
+            per_channel: Vec::new(),
+        }
+    }
+}
+
+/// The flat decoder counters as one `Copy` view — what instrumentation
+/// syncs into a metrics registry every read without paying
+/// [`stats`](StreamDecoder::stats)'s per-channel clone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    /// Valid frames accepted (all types).
+    pub frames: u64,
+    /// DATA frames dropped as duplicates.
+    pub duplicate_frames: u64,
+    /// Frame-shaped byte runs that failed their CRC.
+    pub crc_failures: u64,
+    /// Bytes skipped hunting for a sync word.
+    pub resync_bytes: u64,
+    /// Frames with undecodable payloads.
+    pub malformed_frames: u64,
+    /// DATA/BYE frames that arrived before any HELLO.
+    pub orphan_frames: u64,
+    /// DATA-V2 frames rejected for a foreign session nonce.
+    pub foreign_frames: u64,
+    /// Revision-1 DATA frames decoded.
+    pub legacy_frames: u64,
+    /// Events delivered to the application.
+    pub events_decoded: u64,
+    /// Events known lost.
+    pub events_lost: u64,
+    /// Distinct gap episodes declared.
+    pub gaps: u64,
+    /// Events currently parked in the reorder buffer.
+    pub pending_events: u64,
 }
 
 struct PendingPacket {
@@ -361,6 +466,27 @@ impl StreamDecoder {
             pending_events: self.pending_events,
             closed: self.closed,
             per_channel,
+        }
+    }
+
+    /// The flat counters as a `Copy` view — no allocation, suitable for
+    /// an instrumentation sync on every read (unlike
+    /// [`stats`](StreamDecoder::stats), which clones per-channel
+    /// tallies).
+    pub fn counters(&self) -> WireCounters {
+        WireCounters {
+            frames: self.frames,
+            duplicate_frames: self.duplicate_frames,
+            crc_failures: self.crc_failures,
+            resync_bytes: self.resync_bytes,
+            malformed_frames: self.malformed_frames,
+            orphan_frames: self.orphan_frames,
+            foreign_frames: self.foreign_frames,
+            legacy_frames: self.legacy_frames,
+            events_decoded: self.events_decoded,
+            events_lost: self.events_lost,
+            gaps: self.gaps,
+            pending_events: self.pending_events,
         }
     }
 

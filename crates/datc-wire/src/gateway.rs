@@ -49,11 +49,14 @@
 //! mode is for bounded replays.
 
 use crate::chaos::{self, ChaosLink, ChaosStats};
+use crate::decode::WireStats;
 use crate::frame::{parse_frame, FrameType, ParseOutcome};
+use crate::obs::{self, SessionObs, TxObs};
 use crate::packet::{Packetizer, SessionHeader};
 use crate::session::{SessionReport, SessionRx, SessionRxConfig};
 use crate::sink::SessionSink;
 use datc_engine::FleetOutput;
+use datc_obs::{Counter, Gauge, Registry};
 use datc_uwb::aer::AddressedEvent;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -215,38 +218,95 @@ pub struct HubHealth {
     pub events_lost: u64,
 }
 
-/// Shared atomic tallies behind [`HubHealth`].
-#[derive(Debug, Default)]
+/// The shared tallies behind [`HubHealth`] — registry counters, so the
+/// same relaxed atomics serve both the typed
+/// [`health`](SessionTable::health) view and the exporters. Each
+/// [`Counter`] is one relaxed `AtomicU64`, exactly what lived here
+/// before the registry migration, so `HubHealth` values are
+/// bit-identical to the pre-migration implementation.
+#[derive(Debug)]
 struct HealthCounters {
-    started: AtomicU64,
-    finished: AtomicU64,
-    resumed: AtomicU64,
-    shed: AtomicU64,
-    evicted: AtomicU64,
-    quarantined: AtomicU64,
-    foreign_frames: AtomicU64,
-    decode_errors: AtomicU64,
-    events_decoded: AtomicU64,
-    events_lost: AtomicU64,
+    started: Counter,
+    finished: Counter,
+    resumed: Counter,
+    shed: Counter,
+    evicted: Counter,
+    quarantined: Counter,
+    foreign_frames: Counter,
+    decode_errors: Counter,
+    events_decoded: Counter,
+    events_lost: Counter,
+    in_flight: Gauge,
+}
+
+impl HealthCounters {
+    fn register(reg: &Registry) -> HealthCounters {
+        HealthCounters {
+            started: reg.counter(obs::HUB_SESSIONS_STARTED),
+            finished: reg.counter(obs::HUB_SESSIONS_FINISHED),
+            resumed: reg.counter(obs::HUB_SESSIONS_RESUMED),
+            shed: reg.counter(obs::HUB_SESSIONS_SHED),
+            evicted: reg.counter(obs::HUB_SESSIONS_EVICTED),
+            quarantined: reg.counter(obs::HUB_SESSIONS_QUARANTINED),
+            foreign_frames: reg.counter(obs::HUB_FOREIGN_FRAMES),
+            decode_errors: reg.counter(obs::HUB_DECODE_ERRORS),
+            events_decoded: reg.counter(obs::HUB_EVENTS_DECODED),
+            events_lost: reg.counter(obs::HUB_EVENTS_LOST),
+            in_flight: reg.gauge(obs::HUB_SESSIONS_IN_FLIGHT),
+        }
+    }
+
+    /// Refreshes the in-flight gauge from the started/finished
+    /// counters (the typed view computes the same difference).
+    fn update_in_flight(&self) {
+        let in_flight = self.started.get().saturating_sub(self.finished.get());
+        self.in_flight.set(in_flight as f64);
+    }
 }
 
 /// The finished-session table, shareable between hubs (TCP + UDP) so a
-/// mixed-transport deployment has one operator view and one
-/// connection-id space.
-#[derive(Debug, Default)]
+/// mixed-transport deployment has one operator view, one
+/// connection-id space — and one metrics [`Registry`]: the health
+/// tallies are registry counters (`datc_hub_*`), every hub session
+/// gets per-session `datc_rx_*` / `datc_session_*` series while in
+/// flight (retired when it finishes; the lifetime totals stay in the
+/// roll-ups), and [`registry`](SessionTable::registry) hands the whole
+/// thing to an exporter.
+#[derive(Debug)]
 pub struct SessionTable {
     sessions: Mutex<HashMap<u64, HubSession>>,
     // Connection ids key the table so two sessions announcing the same
     // session id cannot overwrite each other; the counter lives here so
     // hubs sharing the table also share the id space.
     next_conn_id: AtomicU64,
+    registry: Registry,
     health: HealthCounters,
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let health = HealthCounters::register(&registry);
+        SessionTable {
+            sessions: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            registry,
+            health,
+        }
+    }
 }
 
 impl SessionTable {
     /// Creates an empty shared table.
     pub fn shared() -> Arc<SessionTable> {
         Arc::default()
+    }
+
+    /// The metrics registry every hub sharing this table publishes
+    /// into — render it with [`datc_obs::render_prometheus`] or
+    /// [`datc_obs::render_json`].
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Allocates the next connection id.
@@ -259,17 +319,13 @@ impl SessionTable {
     pub fn insert(&self, conn_id: u64, session: HubSession) {
         let stats = &session.report.stats;
         let h = &self.health;
-        h.finished.fetch_add(1, Ordering::Relaxed);
-        h.foreign_frames
-            .fetch_add(stats.foreign_frames, Ordering::Relaxed);
-        h.decode_errors.fetch_add(
-            stats.crc_failures + stats.malformed_frames + stats.orphan_frames,
-            Ordering::Relaxed,
-        );
-        h.events_decoded
-            .fetch_add(stats.events_decoded, Ordering::Relaxed);
-        h.events_lost
-            .fetch_add(stats.events_lost, Ordering::Relaxed);
+        h.finished.inc();
+        h.foreign_frames.add(stats.foreign_frames);
+        h.decode_errors
+            .add(stats.crc_failures + stats.malformed_frames + stats.orphan_frames);
+        h.events_decoded.add(stats.events_decoded);
+        h.events_lost.add(stats.events_lost);
+        h.update_in_flight();
         self.sessions
             .lock()
             .expect("session table poisoned")
@@ -279,46 +335,61 @@ impl SessionTable {
     /// Aggregated health snapshot across every hub sharing this table.
     pub fn health(&self) -> HubHealth {
         let h = &self.health;
-        let started = h.started.load(Ordering::Relaxed);
-        let finished = h.finished.load(Ordering::Relaxed);
+        let started = h.started.get();
+        let finished = h.finished.get();
         HubHealth {
             sessions_started: started,
             sessions_finished: finished,
             in_flight: started.saturating_sub(finished),
-            resumed: h.resumed.load(Ordering::Relaxed),
-            shed: h.shed.load(Ordering::Relaxed),
-            evicted: h.evicted.load(Ordering::Relaxed),
-            quarantined: h.quarantined.load(Ordering::Relaxed),
-            foreign_frames: h.foreign_frames.load(Ordering::Relaxed),
-            decode_errors: h.decode_errors.load(Ordering::Relaxed),
-            events_decoded: h.events_decoded.load(Ordering::Relaxed),
-            events_lost: h.events_lost.load(Ordering::Relaxed),
+            resumed: h.resumed.get(),
+            shed: h.shed.get(),
+            evicted: h.evicted.get(),
+            quarantined: h.quarantined.get(),
+            foreign_frames: h.foreign_frames.get(),
+            decode_errors: h.decode_errors.get(),
+            events_decoded: h.events_decoded.get(),
+            events_lost: h.events_lost.get(),
         }
+    }
+
+    /// Sums the per-session [`WireStats`] of every *finished* session
+    /// in the table — the wire-level companion to [`health`]
+    /// (which carries only the rolled-up quality counters).
+    ///
+    /// [`health`]: SessionTable::health
+    pub fn wire_totals(&self) -> WireStats {
+        let table = self.sessions.lock().expect("session table poisoned");
+        let mut totals = WireStats::zero();
+        for session in table.values() {
+            totals.merge(&session.report.stats);
+        }
+        totals
     }
 
     /// A fresh session entered service.
     pub(crate) fn note_started(&self) {
-        self.health.started.fetch_add(1, Ordering::Relaxed);
+        self.health.started.inc();
+        self.health.update_in_flight();
     }
 
     /// A reconnect adopted a parked session.
     pub(crate) fn note_resumed(&self) {
-        self.health.resumed.fetch_add(1, Ordering::Relaxed);
+        self.health.resumed.inc();
     }
 
     /// A connection/peer was turned away at the session cap.
     pub(crate) fn note_shed(&self) {
-        self.health.shed.fetch_add(1, Ordering::Relaxed);
+        self.health.shed.inc();
     }
 
     /// A session was force-retired with open books (idle or stalled).
     pub(crate) fn note_evicted(&self) {
-        self.health.evicted.fetch_add(1, Ordering::Relaxed);
+        self.health.evicted.inc();
     }
 
     /// A session blew its framing-garbage budget.
     pub(crate) fn note_quarantined(&self) {
-        self.health.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.health.quarantined.inc();
     }
 
     /// Number of finished sessions recorded.
@@ -440,6 +511,13 @@ impl TelemetryHub {
     /// the same session table).
     pub fn health(&self) -> HubHealth {
         self.table.health()
+    }
+
+    /// The shared metrics registry (hub roll-ups plus the per-session
+    /// series of every in-flight session) — render it with
+    /// [`datc_obs::render_prometheus`] or [`datc_obs::render_json`].
+    pub fn registry(&self) -> Registry {
+        self.table.registry().clone()
     }
 
     /// Clones the current session table (finished sessions only;
@@ -755,7 +833,10 @@ fn serve_connection(
         }
         None => {
             table.note_started();
-            let mut rx = SessionRx::new(config.session.clone());
+            let mut rx = SessionRx::new(config.session.clone()).with_metrics(
+                SessionObs::register(table.registry(), &conn_id.to_string())
+                    .with_retire_on_finish(),
+            );
             if let Some(sink) = sink {
                 rx = rx.with_sink(sink);
             }
@@ -955,6 +1036,7 @@ pub struct SessionSender {
     retries: u64,
     reconnects: u64,
     gave_up: bool,
+    obs: Option<TxObs>,
 }
 
 fn connect_any(addrs: &[SocketAddr]) -> std::io::Result<TcpStream> {
@@ -1024,10 +1106,27 @@ impl SessionSender {
             retries,
             reconnects: 0,
             gave_up: false,
+            obs: None,
         };
         let hello = tx.packetizer.hello();
         tx.write_resilient(&hello)?;
+        tx.sync_obs();
         Ok(tx)
+    }
+
+    /// Attaches transmit instrumentation: the sender keeps the
+    /// `datc_tx_*` series synced after the HELLO, every
+    /// [`send_events`](SessionSender::send_events) batch and the BYE.
+    pub fn with_metrics(mut self, obs: TxObs) -> SessionSender {
+        self.obs = Some(obs);
+        self.sync_obs();
+        self
+    }
+
+    fn sync_obs(&self) {
+        if let Some(obs) = &self.obs {
+            obs.sync(&self.packetizer);
+        }
     }
 
     /// Routes every DATA frame through a deterministic [`ChaosLink`]:
@@ -1077,6 +1176,7 @@ impl SessionSender {
             for frame in &frames {
                 self.write_resilient(frame)?;
             }
+            self.sync_obs();
             return Ok(());
         }
         let mut out: Vec<Vec<u8>> = Vec::new();
@@ -1094,6 +1194,7 @@ impl SessionSender {
                 self.write_resilient(unit)?;
             }
         }
+        self.sync_obs();
         Ok(())
     }
 
@@ -1113,6 +1214,7 @@ impl SessionSender {
         }
         let bye = self.packetizer.bye();
         self.write_resilient(&bye)?;
+        self.sync_obs();
         self.socket.flush()?;
         self.socket.shutdown(std::net::Shutdown::Write)?;
         Ok(self.report())

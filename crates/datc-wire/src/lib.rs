@@ -34,6 +34,11 @@
 //!   keyed by peer address, loss/reorder/duplication handled by the
 //!   selfsame [`StreamDecoder`] — and a [`SessionTable`] both hubs can
 //!   share;
+//! * [`obs`] — wire-layer instrumentation: stable metric names plus
+//!   the sync helpers ([`SessionObs`], [`TxObs`]) that publish
+//!   decoder/packetizer books, per-session gauges and deterministic
+//!   tick-domain latency histograms into a
+//!   [`datc_obs::Registry`];
 //! * [`chaos`] — deterministic fault injection ([`ChaosLink`]): a
 //!   seeded hostile link (drop, duplication, bounded reorder, bit
 //!   corruption, truncation, stall windows, mid-session disconnects)
@@ -93,6 +98,7 @@ pub mod chaos;
 pub mod decode;
 pub mod frame;
 pub mod gateway;
+pub mod obs;
 pub mod packet;
 pub mod session;
 pub mod sink;
@@ -100,11 +106,12 @@ pub mod udp;
 pub mod varint;
 
 pub use chaos::{ChaosLink, ChaosProfile, ChaosStats, Fate, FaultPlan};
-pub use decode::{ChannelWireStats, StreamDecoder, WireStats};
+pub use decode::{ChannelWireStats, StreamDecoder, WireCounters, WireStats};
 pub use gateway::{
     stream_fleet, ClientReport, HubConfig, HubHealth, HubSession, RetryPolicy, SessionSender,
     SessionTable, SinkFactory, TelemetryHub,
 };
+pub use obs::{SessionObs, TxObs};
 pub use packet::{ByeSummary, Packetizer, SessionHeader, WireEvent};
 pub use session::{SessionReport, SessionRx, SessionRxConfig};
 pub use sink::{capture_store, CaptureStore, ForceRing, MemorySink, SessionCapture, SessionSink};

@@ -17,6 +17,7 @@
 //! bounded window (see [`HubConfig`](crate::gateway::HubConfig)).
 
 use crate::decode::{StreamDecoder, WireStats};
+use crate::obs::SessionObs;
 use crate::packet::SessionHeader;
 use crate::sink::{ForceRing, SessionSink};
 use datc_rx::online::{AnyOnlineReconstructor, OnlineReconSelect, OnlineReconstructor};
@@ -135,6 +136,7 @@ pub struct SessionRx {
     recon: Vec<AnyOnlineReconstructor>,
     rings: Vec<ForceRing>,
     sink: Option<Box<dyn SessionSink>>,
+    obs: Option<SessionObs>,
     scratch: Vec<AddressedEvent>,
     emit_scratch: Vec<f64>,
 }
@@ -146,6 +148,7 @@ impl std::fmt::Debug for SessionRx {
             .field("decoder", &self.decoder)
             .field("channels", &self.recon.len())
             .field("has_sink", &self.sink.is_some())
+            .field("has_obs", &self.obs.is_some())
             .finish()
     }
 }
@@ -171,6 +174,7 @@ impl SessionRx {
             recon: Vec::new(),
             rings: Vec::new(),
             sink: None,
+            obs: None,
             scratch: Vec::new(),
             emit_scratch: Vec::new(),
         }
@@ -180,6 +184,18 @@ impl SessionRx {
     /// they are determined.
     pub fn with_sink(mut self, sink: Box<dyn SessionSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches per-session instrumentation: the session keeps the
+    /// [`SessionObs`] series synced on every
+    /// [`push_bytes`](SessionRx::push_bytes) (decode counters, reorder
+    /// depth, force-ring residency, event-rate EWMA) and observes each
+    /// released event's ingest→force-release latency in clock ticks —
+    /// a deterministic function of the byte stream, so the histogram is
+    /// bit-reproducible. An uninstrumented session skips all of it.
+    pub fn with_metrics(mut self, obs: SessionObs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -213,6 +229,10 @@ impl SessionRx {
     /// per-channel reconstructors (and the sink, when attached).
     /// Returns events absorbed this call.
     pub fn push_bytes(&mut self, bytes: &[u8]) -> usize {
+        let t0 = match &self.obs {
+            Some(obs) if obs.wall_clock() => Some(std::time::Instant::now()),
+            _ => None,
+        };
         self.decoder.push_bytes(bytes);
         if self.recon.is_empty() {
             if let Some(h) = self.decoder.session() {
@@ -235,8 +255,37 @@ impl SessionRx {
             r.advance_to(watermark);
         }
         self.emit();
+        self.sync_obs(absorbed);
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.observe_push_ns(t0.elapsed().as_nanos() as u64);
+        }
         self.scratch.clear();
         absorbed
+    }
+
+    /// Publishes the post-push state into the attached [`SessionObs`]:
+    /// latency observations for the events still in `scratch`, then the
+    /// decoder counters and the pipeline gauges. No-op without obs.
+    fn sync_obs(&mut self, absorbed: usize) {
+        let Some(obs) = &mut self.obs else {
+            return;
+        };
+        let watermark = self.decoder.watermark_s();
+        if let Some(h) = self.decoder.session() {
+            // Released events became force-eligible at the current
+            // watermark; their wait is watermark − timestamp. Both are
+            // functions of the byte stream alone, so the tick-domain
+            // histogram reproduces bit-exactly.
+            obs.observe_latency_sorted(&self.scratch, watermark, h.tick_period_s);
+        }
+        obs.note_released(absorbed as u64, watermark);
+        obs.sync(&self.decoder.counters());
+        let ring_bytes: usize = self
+            .rings
+            .iter()
+            .map(|r| r.len() * std::mem::size_of::<f64>())
+            .sum();
+        obs.set_force_ring_bytes(ring_bytes as u64);
     }
 
     /// Delivers `scratch` to the sink and the reconstructors.
@@ -287,6 +336,13 @@ impl SessionRx {
             r.finish(duration);
         }
         self.emit();
+        let absorbed = self.scratch.len();
+        self.sync_obs(absorbed);
+        if let Some(obs) = &self.obs {
+            if obs.retire_on_finish_set() {
+                obs.retire();
+            }
+        }
         let report = SessionReport {
             header: self.decoder.session().copied(),
             stats: self.decoder.stats(),

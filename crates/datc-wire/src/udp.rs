@@ -192,6 +192,13 @@ impl UdpTelemetryHub {
         self.table.health()
     }
 
+    /// The shared metrics registry (hub roll-ups plus per-peer series
+    /// for every in-flight session) — render it with
+    /// [`datc_obs::render_prometheus`] or [`datc_obs::render_json`].
+    pub fn registry(&self) -> datc_obs::Registry {
+        self.table.registry().clone()
+    }
+
     /// Stops receiving, drains every datagram already delivered to the
     /// socket, finishes every in-flight peer session (each decoded
     /// event reaches its sink exactly once), and returns the final
@@ -349,7 +356,10 @@ fn receive_loop(
                 let peer = peers.entry(from).or_insert_with(|| {
                     let conn_id = table.next_conn_id();
                     table.note_started();
-                    let mut rx = SessionRx::new(config.session.clone());
+                    let mut rx = SessionRx::new(config.session.clone()).with_metrics(
+                        crate::obs::SessionObs::register(table.registry(), &conn_id.to_string())
+                            .with_retire_on_finish(),
+                    );
                     if let Some(factory) = &sink_factory {
                         rx = rx.with_sink(factory(conn_id));
                     }
@@ -619,6 +629,7 @@ pub struct UdpSessionSender {
     chaos: Option<ChaosLink>,
     retries: u64,
     gave_up: bool,
+    obs: Option<crate::obs::TxObs>,
 }
 
 impl UdpSessionSender {
@@ -674,10 +685,29 @@ impl UdpSessionSender {
             chaos: None,
             retries: 0,
             gave_up: false,
+            obs: None,
         };
         let hello = tx.packetizer.hello();
         tx.send_datagram(&hello)?;
+        tx.sync_obs();
         Ok(tx)
+    }
+
+    /// Attaches transmit instrumentation: the sender keeps the
+    /// `datc_tx_*` series synced after the HELLO, every
+    /// [`send_events`](UdpSessionSender::send_events) batch and the
+    /// BYE.
+    #[must_use]
+    pub fn with_metrics(mut self, obs: crate::obs::TxObs) -> UdpSessionSender {
+        self.obs = Some(obs);
+        self.sync_obs();
+        self
+    }
+
+    fn sync_obs(&self) {
+        if let Some(obs) = &self.obs {
+            obs.sync(&self.packetizer);
+        }
     }
 
     /// Installs a retry policy for transient send failures
@@ -746,6 +776,7 @@ impl UdpSessionSender {
             for frame in &frames {
                 self.send_datagram(frame)?;
             }
+            self.sync_obs();
             return Ok(());
         }
         let mut out: Vec<Vec<u8>> = Vec::new();
@@ -761,6 +792,7 @@ impl UdpSessionSender {
                 self.send_datagram(unit)?;
             }
         }
+        self.sync_obs();
         Ok(())
     }
 
@@ -780,6 +812,7 @@ impl UdpSessionSender {
         }
         let bye = self.packetizer.bye();
         self.send_datagram(&bye)?;
+        self.sync_obs();
         Ok(self.report())
     }
 

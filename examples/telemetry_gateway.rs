@@ -92,7 +92,15 @@ fn main() {
         );
     }
 
-    // 4. A lossy link, offline: replay one sensor's wire image with 20 %
+    // 4. The same table, through the metrics registry: the hub
+    //    roll-ups every layer published into, rendered in Prometheus
+    //    text exposition — what a scrape of this gateway would return.
+    println!("\nmetrics snapshot at shutdown:");
+    for line in datc::obs::render_prometheus(table.registry()).lines() {
+        println!("  {line}");
+    }
+
+    // 5. A lossy link, offline: replay one sensor's wire image with 20 %
     //    of DATA frames dropped and watch the books stay exact.
     let config = DatcConfig::paper().with_trace_level(TraceLevel::Events);
     let signals = semg_fleet(channels, seconds, 999);

@@ -23,6 +23,11 @@
 //!   multi-session [`TelemetryHub`](wire::TelemetryHub) TCP gateway
 //!   plus its [`UdpTelemetryHub`](wire::UdpTelemetryHub) datagram
 //!   counterpart;
+//! * [`obs`] — the lock-light metrics layer: [`Registry`](obs::Registry),
+//!   counters/gauges/log-scale histograms, Prometheus-text and JSON
+//!   exporters, and the stage-span clock — every layer above publishes
+//!   into it (`datc_fleet_*` from the engine, `datc_rx_*` /
+//!   `datc_session_*` / `datc_hub_*` / `datc_tx_*` from the wire);
 //! * [`rtl`] — the gate-level DTC, cell library, synthesis and power
 //!   reports (Table I);
 //! * [`experiments`] — runners regenerating every figure and table.
@@ -159,6 +164,7 @@
 pub use datc_core as core;
 pub use datc_engine as engine;
 pub use datc_experiments as experiments;
+pub use datc_obs as obs;
 pub use datc_rtl as rtl;
 pub use datc_rx as rx;
 pub use datc_signal as signal;
@@ -172,6 +178,7 @@ pub mod prelude {
         FrameSize, SpikeEncoder, TraceLevel,
     };
     pub use datc_engine::{FleetOutput, FleetRunner};
+    pub use datc_obs::{render_json, render_prometheus, Registry};
     pub use datc_rx::pipeline::{Link, LinkBuilder, LinkRun};
     pub use datc_rx::{
         HybridReconstructor, OnlineHybridReconstructor, OnlineRateReconstructor, OnlineReconSelect,
