@@ -25,7 +25,7 @@ use datc_wire::gateway::{stream_fleet, HubConfig, TelemetryHub};
 use datc_wire::obs::SessionObs;
 use datc_wire::packet::{encode_session, Packetizer, SessionHeader};
 use datc_wire::session::{SessionRx, SessionRxConfig};
-use datc_wire::StreamDecoder;
+use datc_wire::{EventBatch, StreamDecoder};
 
 /// Times `f` best-of-`samples` with an inner iteration count calibrated
 /// to ≥ `target_ms`. Returns seconds per call.
@@ -132,20 +132,7 @@ fn main() {
         n_events as f64 / seconds
     );
 
-    // --- codec: packetize ------------------------------------------------
-    let pack_secs = measure(
-        || {
-            let mut tx = Packetizer::new(header);
-            let frames = tx.data_frames(&merged);
-            frames.len() as u64
-        },
-        samples,
-        40,
-    );
-    let pack_rate = n_events as f64 / pack_secs;
-    println!("packetize                 {pack_rate:>14.0} events/s");
-
-    // --- codec: bytes/event ----------------------------------------------
+    // --- codec: wire image & bytes/event ---------------------------------
     let wire = encode_session(header, &merged);
     let data_bytes = {
         let mut tx = Packetizer::new(header);
@@ -157,21 +144,52 @@ fn main() {
     let bytes_per_event = data_bytes as f64 / n_events.max(1) as f64;
     println!("wire cost                 {bytes_per_event:>14.2} bytes/event (framed)");
 
-    // --- codec: streaming decode -----------------------------------------
-    let decode_secs = measure(
-        || {
+    // --- codec: packetize vs zero-copy streaming decode (interleaved) ----
+    // The two halves of the codec measured back to back in each round so
+    // the decode/packetize ratio is a host-independent statement about
+    // the code, not about this machine's clock. The decode side is the
+    // zero-copy path: frames parsed in place, events drained as a
+    // struct-of-arrays `EventBatch` with no per-event materialisation.
+    // `decode_vs_packetize_ratio` (>= 1 means decode keeps pace) is a
+    // gated metric in `bench_check`.
+    let pack_once = {
+        let start = Instant::now();
+        let mut tx = Packetizer::new(header);
+        black_box(tx.data_frames(&merged).len() as u64);
+        start.elapsed().as_secs_f64()
+    };
+    let codec_reps = ((0.04 / pack_once).ceil() as u64).clamp(1, 1 << 12);
+    let codec_rounds = if quick { 7 } else { 9 };
+    let run_packetize = || {
+        let mut n = 0u64;
+        for _ in 0..codec_reps {
+            let mut tx = Packetizer::new(header);
+            n += tx.data_frames(&merged).len() as u64;
+        }
+        n
+    };
+    let mut batch = EventBatch::new();
+    let run_decode = |batch: &mut EventBatch| {
+        let mut n = 0u64;
+        for _ in 0..codec_reps {
             let mut rx = StreamDecoder::new();
             rx.push_bytes(&wire);
-            let mut out = Vec::new();
-            rx.drain_events(&mut out);
-            assert_eq!(out.len() as u64, n_events, "lossless decode");
-            out.len() as u64
-        },
-        samples,
-        40,
-    );
+            batch.clear();
+            rx.drain_batch(batch);
+            assert_eq!(batch.len() as u64, n_events, "lossless decode");
+            n += batch.len() as u64;
+        }
+        n
+    };
+    let (pack_over_decode, pack_total, decode_total) =
+        interleaved_ratio(run_packetize, || run_decode(&mut batch), codec_rounds);
+    let pack_secs = pack_total / codec_reps as f64;
+    let decode_secs = decode_total / codec_reps as f64;
+    let pack_rate = n_events as f64 / pack_secs;
     let decode_rate = n_events as f64 / decode_secs;
+    println!("packetize                 {pack_rate:>14.0} events/s");
     println!("streaming decode          {decode_rate:>14.0} events/s");
+    println!("decode vs packetize       {pack_over_decode:>14.3} x (interleaved median)");
 
     // --- codec: degraded-path decode --------------------------------------
     // The same session mangled once (outside the timed region) by the
@@ -326,6 +344,9 @@ fn main() {
     ));
     json.push_str(&format!("  \"packetize_events_per_s\": {pack_rate:.0},\n"));
     json.push_str(&format!("  \"decode_events_per_s\": {decode_rate:.0},\n"));
+    json.push_str(&format!(
+        "  \"decode_vs_packetize_ratio\": {pack_over_decode:.4},\n"
+    ));
     json.push_str(&format!(
         "  \"degraded_decode_events_per_s\": {degraded_rate:.0},\n"
     ));

@@ -41,8 +41,12 @@ pub mod regression {
     //! are workload sweeps, not gate metrics). A key is gated when its
     //! name marks it as a throughput/cost figure:
     //! `*_per_s` and `*speedup*` must not fall, `bytes_per_event*` must
-    //! not rise. Everything else (workload sizes, event counts, session
-    //! counts) is configuration, not performance.
+    //! not rise. `decode_vs_packetize_ratio` is the one gated ratio: it
+    //! asserts the zero-copy decode path keeps pace with packetize
+    //! (interleaved in one process, so the ratio is host-independent in
+    //! a way the raw rates are not). Other `*_ratio` fields stay
+    //! informational. Everything else (workload sizes, event counts,
+    //! session counts) is configuration, not performance.
 
     /// Which way a metric is allowed to move.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +62,10 @@ pub mod regression {
     pub fn metric_direction(key: &str) -> Option<Direction> {
         if key.starts_with("bytes_per_event") {
             Some(Direction::LowerIsBetter)
-        } else if key.ends_with("_per_s") || key.contains("speedup") {
+        } else if key.ends_with("_per_s")
+            || key.contains("speedup")
+            || key == "decode_vs_packetize_ratio"
+        {
             Some(Direction::HigherIsBetter)
         } else {
             None
@@ -214,6 +221,22 @@ pub mod regression {
                  \"decode_events_per_s\": {decode},\n  \
                  \"gateway_sessions_per_s\": 2000.0\n}}\n"
             )
+        }
+
+        #[test]
+        fn decode_vs_packetize_ratio_is_gated_other_ratios_are_not() {
+            // The zero-copy gate: this one ratio is a hard floor …
+            assert_eq!(
+                metric_direction("decode_vs_packetize_ratio"),
+                Some(Direction::HigherIsBetter)
+            );
+            // … while the fleet's interleaved ratios stay informational
+            // (they are host-dependent shape comparisons, not floors).
+            assert_eq!(
+                metric_direction("fleet_64ch_vs_16ch_per_sample_ratio"),
+                None
+            );
+            assert_eq!(metric_direction("cold_vs_sustained_encode_ratio"), None);
         }
 
         #[test]

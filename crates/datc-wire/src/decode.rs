@@ -25,9 +25,10 @@
 //! The BYE frame closes the books: it carries per-channel sent totals,
 //! turning the receiver's tallies into exact per-channel loss figures.
 
+use crate::batch::EventBatch;
 use crate::frame::{parse_frame, FrameType, ParseOutcome};
-use crate::packet::{decode_data, ByeSummary, SessionHeader, WireEvent};
-use datc_core::Event;
+use crate::packet::{decode_data_into_with, ByeSummary, SessionHeader};
+use crate::varint::VarintPolicy;
 use datc_uwb::aer::AddressedEvent;
 use std::collections::BTreeMap;
 
@@ -210,7 +211,7 @@ pub struct WireCounters {
 }
 
 struct PendingPacket {
-    events: Vec<AddressedEvent>,
+    batch: EventBatch,
 }
 
 /// Incremental decoder for one session's byte stream.
@@ -263,8 +264,14 @@ pub struct StreamDecoder {
     reorder_window: usize,
     /// Next cumulative event index expected on the in-order path.
     next_index: u64,
-    /// Released events waiting for `drain_events`.
-    out: Vec<AddressedEvent>,
+    /// Released events waiting for `drain_batch`/`drain_events`,
+    /// column-wise.
+    out: EventBatch,
+    /// Reused per-packet decode arena — the zero-copy path: payload
+    /// bytes land here column-wise with no per-packet allocation.
+    scratch: EventBatch,
+    /// Varint decode selection (SWAR fast path vs scalar reference).
+    varint: VarintPolicy,
     watermark_s: f64,
     // counters
     frames: u64,
@@ -284,7 +291,7 @@ pub struct StreamDecoder {
 
 impl std::fmt::Debug for PendingPacket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PendingPacket({} events)", self.events.len())
+        write!(f, "PendingPacket({} events)", self.batch.len())
     }
 }
 
@@ -313,7 +320,9 @@ impl StreamDecoder {
             pending_events: 0,
             reorder_window: window.max(1),
             next_index: 0,
-            out: Vec::new(),
+            out: EventBatch::new(),
+            scratch: EventBatch::new(),
+            varint: VarintPolicy::default(),
             watermark_s: 0.0,
             frames: 0,
             duplicate_frames: 0,
@@ -329,6 +338,15 @@ impl StreamDecoder {
             closed: false,
             per_channel_received: Vec::new(),
         }
+    }
+
+    /// Pins the varint decode implementation (see
+    /// [`VarintPolicy`]) — `ForceScalar` rules the SWAR fast path out,
+    /// for equivalence tests and fault isolation. The default `Auto`
+    /// takes the word-at-a-time path on 64-bit machines.
+    pub fn with_varint_policy(mut self, policy: VarintPolicy) -> Self {
+        self.varint = policy;
+        self
     }
 
     /// The session header, once a HELLO has been decoded.
@@ -411,9 +429,25 @@ impl StreamDecoder {
         self.out.len() - before
     }
 
+    /// Moves all released events (time-ordered) into `out` in
+    /// struct-of-arrays form, appending — the zero-copy drain. When
+    /// `out` is empty this swaps the columns instead of copying them.
+    pub fn drain_batch(&mut self, out: &mut EventBatch) {
+        self.out.drain_into(out);
+    }
+
     /// Moves all released events (time-ordered) into `out`, appending.
+    ///
+    /// Compatibility drain: materialises
+    /// [`AddressedEvent`]s (with their
+    /// bit-exact `tick * tick_period_s` timestamps) from the internal
+    /// column batch. Hot consumers use
+    /// [`drain_batch`](StreamDecoder::drain_batch) instead.
     pub fn drain_events(&mut self, out: &mut Vec<AddressedEvent>) {
-        out.append(&mut self.out);
+        if let Some(h) = self.session {
+            self.out.materialize_into(h.tick_period_s, out);
+        }
+        self.out.clear();
     }
 
     /// Closes the stream at transport EOF: flushes the reorder buffer
@@ -511,31 +545,29 @@ impl StreamDecoder {
             self.orphan_frames += 1;
             return;
         };
-        let Some(packet) = decode_data(&self.buf[payload]) else {
+        // Decode straight into the reused scratch arena — column-wise,
+        // no per-packet event vector. The full syntactic decode runs
+        // before any span check so the malformed/duplicate counter
+        // ordering matches the wire contract.
+        self.scratch.clear();
+        let Some(first) = decode_data_into_with(&self.buf[payload], &mut self.scratch, self.varint)
+        else {
             self.malformed_frames += 1;
             return;
         };
-        if packet.events.is_empty() {
+        if self.scratch.is_empty() {
             return;
         }
-        if packet
-            .events
+        if self
+            .scratch
+            .addrs()
             .iter()
-            .any(|e| u16::from(e.addr) >= session.n_channels)
+            .any(|&addr| u16::from(addr) >= session.n_channels)
         {
             self.malformed_frames += 1;
             return;
         }
-        let events: Vec<AddressedEvent> = packet
-            .events
-            .iter()
-            .map(|&WireEvent { addr, tick, code }| AddressedEvent {
-                channel: addr,
-                event: Event::at_tick(tick, session.tick_period_s, code),
-            })
-            .collect();
-        let first = packet.first_index;
-        let n = events.len() as u64;
+        let n = self.scratch.len() as u64;
         let Some(end) = first.checked_add(n) else {
             self.malformed_frames += 1;
             return;
@@ -549,15 +581,19 @@ impl StreamDecoder {
             // (gaps are declared on packet boundaries).
             self.malformed_frames += 1;
         } else if first == self.next_index {
-            self.release(first, events);
+            self.release_scratch(first, session.tick_period_s);
             self.flush_pending();
         } else {
-            // A hole before this packet: park it.
+            // A hole before this packet: park it. Parking surrenders
+            // the scratch buffers to the reorder entry (the rare path
+            // pays the allocation, not the in-order path).
             use std::collections::btree_map::Entry;
             match self.pending.entry(first) {
                 Entry::Occupied(_) => self.duplicate_frames += 1,
                 Entry::Vacant(slot) => {
-                    slot.insert(PendingPacket { events });
+                    slot.insert(PendingPacket {
+                        batch: self.scratch.take(),
+                    });
                     self.pending_events += n;
                 }
             }
@@ -580,7 +616,7 @@ impl StreamDecoder {
             return;
         };
         let pkt = self.pending.remove(&first).expect("key just read");
-        let n = pkt.events.len() as u64;
+        let n = pkt.batch.len() as u64;
         self.pending_events -= n;
         if first + n <= self.next_index {
             self.duplicate_frames += 1;
@@ -593,7 +629,11 @@ impl StreamDecoder {
                 self.declare_gap_to(first);
             }
             debug_assert_eq!(first, self.next_index, "caller checked contiguity");
-            self.release(first, pkt.events);
+            let period = self
+                .session
+                .expect("parked packets require a decoded HELLO")
+                .tick_period_s;
+            self.release(first, &pkt.batch, period);
         }
     }
 
@@ -655,19 +695,36 @@ impl StreamDecoder {
         }
     }
 
-    fn release(&mut self, first: u64, events: Vec<AddressedEvent>) {
+    /// Releases the scratch arena's packet and hands the (emptied)
+    /// buffers back to the arena so the next packet reuses them.
+    fn release_scratch(&mut self, first: u64, tick_period_s: f64) {
+        let batch = self.scratch.take();
+        self.release(first, &batch, tick_period_s);
+        self.scratch = batch;
+        self.scratch.clear();
+    }
+
+    fn release(&mut self, first: u64, batch: &EventBatch, tick_period_s: f64) {
         debug_assert_eq!(first, self.next_index);
-        self.next_index = first + events.len() as u64;
-        self.events_decoded += events.len() as u64;
-        for ae in &events {
-            if let Some(c) = self.per_channel_received.get_mut(usize::from(ae.channel)) {
+        let n = batch.len() as u64;
+        self.next_index = first + n;
+        self.events_decoded += n;
+        for &addr in batch.addrs() {
+            if let Some(c) = self.per_channel_received.get_mut(usize::from(addr)) {
                 *c += 1;
             }
-            if ae.event.time_s > self.watermark_s {
-                self.watermark_s = ae.event.time_s;
+        }
+        // Ticks are non-decreasing within one packet (the delta
+        // encoding cannot step backwards), so the last tick carries the
+        // packet's maximum timestamp: `tick * period` here is exactly
+        // the `time_s` the materialised events would report.
+        if let Some(&last) = batch.ticks().last() {
+            let t = last as f64 * tick_period_s;
+            if t > self.watermark_s {
+                self.watermark_s = t;
             }
         }
-        self.out.extend(events);
+        self.out.append(batch);
     }
 }
 
@@ -675,6 +732,7 @@ impl StreamDecoder {
 mod tests {
     use super::*;
     use crate::packet::Packetizer;
+    use datc_core::Event;
 
     fn session_frames(
         n_events: u64,
@@ -965,6 +1023,53 @@ mod tests {
         rx.push_bytes(&frames[0]); // hello
         rx.push_bytes(&encode_frame(FrameType::DataV2, 1, &[]));
         assert_eq!(rx.stats().malformed_frames, 1);
+    }
+
+    #[test]
+    fn drain_batch_and_drain_events_agree() {
+        let (header, frames, events) = session_frames(123, 16);
+        let mut rx_batch = StreamDecoder::new();
+        let mut rx_events = StreamDecoder::new();
+        for f in &frames {
+            rx_batch.push_bytes(f);
+            rx_events.push_bytes(f);
+        }
+        let mut batch = EventBatch::new();
+        rx_batch.drain_batch(&mut batch);
+        let mut materialized = Vec::new();
+        batch.materialize_into(header.tick_period_s, &mut materialized);
+        assert_eq!(materialized, decoded(&mut rx_events));
+        assert_eq!(materialized, events);
+        assert_eq!(rx_batch.stats(), rx_events.stats());
+    }
+
+    #[test]
+    fn scalar_varint_policy_decodes_identically() {
+        // Large tick gaps force multi-byte delta varints through both
+        // the SWAR fast path (Auto) and the scalar reference.
+        let header = SessionHeader::new(21, 2, 2000.0, 3600.0);
+        let events: Vec<AddressedEvent> = (0..200u64)
+            .map(|i| AddressedEvent {
+                channel: (i % 2) as u8,
+                event: Event::at_tick(i * i * 9973, header.tick_period_s, Some((i % 32) as u8)),
+            })
+            .collect();
+        let mut tx = Packetizer::new(header).with_events_per_frame(13);
+        let mut wire = tx.hello();
+        for f in tx.data_frames(&events) {
+            wire.extend_from_slice(&f);
+        }
+        wire.extend_from_slice(&tx.bye());
+
+        let mut auto = StreamDecoder::new();
+        let mut scalar = StreamDecoder::new().with_varint_policy(VarintPolicy::ForceScalar);
+        for chunk in wire.chunks(23) {
+            auto.push_bytes(chunk);
+            scalar.push_bytes(chunk);
+        }
+        assert_eq!(decoded(&mut auto), decoded(&mut scalar));
+        assert_eq!(auto.stats(), scalar.stats());
+        assert_eq!(auto.watermark_s().to_bits(), scalar.watermark_s().to_bits());
     }
 
     #[test]

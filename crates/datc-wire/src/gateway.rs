@@ -613,11 +613,16 @@ impl ResumeRegistry {
         }
     }
 
-    fn park(&self, key: (u32, u8), session: ParkedSession) {
+    /// Parks `session` under `key`, returning any session that was
+    /// already parked there (two workers can reach their park for the
+    /// same identity when a sender reconnects repeatedly; the displaced
+    /// one must be finished into the table, never dropped on the
+    /// floor).
+    fn park(&self, key: (u32, u8), session: ParkedSession) -> Option<ParkedSession> {
         self.parked
             .lock()
             .expect("resume registry poisoned")
-            .insert(key, session);
+            .insert(key, session)
     }
 
     fn parked_len(&self) -> usize {
@@ -877,9 +882,6 @@ fn serve_connection(
         }
     };
 
-    if let Some(k) = key {
-        resume.leave(k);
-    }
     match end {
         ConnEnd::Stalled => table.note_evicted(),
         ConnEnd::Quarantined => table.note_quarantined(),
@@ -888,18 +890,34 @@ fn serve_connection(
     // A connection that dropped cleanly mid-session (no BYE) parks for
     // resume; everything else — closed books, stalls, quarantines, or
     // resume disabled — finishes into the table now.
+    //
+    // Ordering matters: the park must be registered *before* this
+    // worker leaves the in-flight set. A reconnecting sender's
+    // `try_adopt` polls only while the key is in flight — leaving
+    // first would open a window where neither the park nor the
+    // in-flight mark is visible and the reconnect would start a fresh
+    // session, booking the entire delivered prefix as gap loss.
     let resumable = matches!(end, ConnEnd::Closed) && !rx.is_closed() && key.is_some();
     match (resumable, config.resume_window) {
-        (true, Some(window)) => resume.park(
-            key.expect("resumable implies key"),
-            ParkedSession {
-                conn_id,
-                rx,
-                bytes_received,
-                expires: Instant::now() + window,
-            },
-        ),
+        (true, Some(window)) => {
+            let displaced = resume.park(
+                key.expect("resumable implies key"),
+                ParkedSession {
+                    conn_id,
+                    rx,
+                    bytes_received,
+                    expires: Instant::now() + window,
+                },
+            );
+            if let Some(p) = displaced {
+                table.note_evicted();
+                finish_session(p.conn_id, p.bytes_received, p.rx, table);
+            }
+        }
         _ => finish_session(conn_id, bytes_received, rx, table),
+    }
+    if let Some(k) = key {
+        resume.leave(k);
     }
 }
 
@@ -1185,10 +1203,19 @@ impl SessionSender {
             let link = self.chaos.as_mut().expect("checked above");
             link.push(frame, &mut out);
             if link.take_disconnect() {
-                // The link says the connection died here: tear our
-                // side down so the next write takes the
-                // reconnect-and-resume path.
-                let _ = self.socket.shutdown(std::net::Shutdown::Both);
+                // The link says the connection died here: half-close
+                // our side so the next write takes the
+                // reconnect-and-resume path. Write-only shutdown (not
+                // `Both`, whose SHUT_RD would make our own reads
+                // return EOF immediately) lets us then drain the
+                // peer's FIN — the hub worker closes its end only
+                // after parking the session, so once the drain
+                // completes the park deterministically exists and the
+                // reconnect adopts it instead of racing the worker.
+                let _ = self.socket.shutdown(std::net::Shutdown::Write);
+                let _ = self.socket.set_read_timeout(Some(RESUME_HANDOFF));
+                let mut drain = [0u8; 512];
+                while matches!(self.socket.read(&mut drain), Ok(n) if n > 0) {}
             }
             for unit in &out {
                 self.write_resilient(unit)?;
@@ -1551,7 +1578,10 @@ mod tests {
             || hub.session_table().len() == 1,
             "stalled session retired into the table",
         );
-        assert_eq!(hub.health().evicted, 1);
+        // health counters are registry-backed: zeros with metrics off
+        if cfg!(feature = "metrics") {
+            assert_eq!(hub.health().evicted, 1);
+        }
         let sessions = hub.shutdown();
         assert_eq!(sessions.len(), 1);
         assert!(
@@ -1582,7 +1612,11 @@ mod tests {
             let _ = tx.send_events(&events);
             let _ = tx.finish();
         }
-        wait_until(|| hub.health().shed >= 1, "connection shed at the cap");
+        // The shed counter is registry-backed (zeros with metrics off);
+        // either way the shutdown below must find no session state.
+        if cfg!(feature = "metrics") {
+            wait_until(|| hub.health().shed >= 1, "connection shed at the cap");
+        }
         let sessions = hub.shutdown();
         assert!(sessions.is_empty(), "no session state allocated at cap 0");
     }
@@ -1608,10 +1642,15 @@ mod tests {
             }
         }
         let _ = raw.flush();
+        // The quarantined peer retires into the session table — a real
+        // collection, so this synchronizes with or without metrics.
         wait_until(
-            || hub.health().quarantined == 1,
+            || hub.session_table().len() == 1,
             "garbage flood quarantined",
         );
+        if cfg!(feature = "metrics") {
+            assert_eq!(hub.health().quarantined, 1);
+        }
         let sessions = hub.shutdown();
         assert_eq!(sessions.len(), 1);
         assert!(
@@ -1672,10 +1711,14 @@ mod tests {
         assert_eq!(s.report.stats.events_decoded + expected_lost, 2000);
         assert!(s.report.force_is_finite());
 
-        let health = table.health();
-        assert_eq!(health.sessions_started, 1, "adoptions never double-count");
-        assert_eq!(health.resumed, client.reconnects);
-        assert_eq!(health.in_flight, 0);
-        assert_eq!(health.events_lost, expected_lost);
+        // Health counters are registry-backed and read zero with
+        // metrics off; the loss books above hold regardless.
+        if cfg!(feature = "metrics") {
+            let health = table.health();
+            assert_eq!(health.sessions_started, 1, "adoptions never double-count");
+            assert_eq!(health.resumed, client.reconnects);
+            assert_eq!(health.in_flight, 0);
+            assert_eq!(health.events_lost, expected_lost);
+        }
     }
 }

@@ -9,7 +9,11 @@
 //!
 //! * [`frame`] — self-delimiting framing: sync word, sequence number,
 //!   length, CRC-16, resynchronisation after corruption;
-//! * [`varint`] — LEB128 integers for tick deltas and event indices;
+//! * [`varint`] — LEB128 integers for tick deltas and event indices,
+//!   with a SWAR word-at-a-time decode fast path;
+//! * [`batch`] — struct-of-arrays [`EventBatch`]es, the zero-copy
+//!   currency the decode path appends into instead of allocating
+//!   per-packet event vectors;
 //! * [`packet`] — the HELLO / DATA / BYE payload codecs and the
 //!   transmit-side [`Packetizer`]: delta-tick
 //!   compression brings a typical D-ATC event to ~3–4 bytes on the
@@ -94,6 +98,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod batch;
 pub mod chaos;
 pub mod decode;
 pub mod frame;
@@ -105,6 +110,7 @@ pub mod sink;
 pub mod udp;
 pub mod varint;
 
+pub use batch::EventBatch;
 pub use chaos::{ChaosLink, ChaosProfile, ChaosStats, Fate, FaultPlan};
 pub use decode::{ChannelWireStats, StreamDecoder, WireCounters, WireStats};
 pub use gateway::{

@@ -384,6 +384,62 @@ impl SessionObs {
             .observe_bucketed(&counts, (total_wait_s * inv) as u64);
     }
 
+    /// [`observe_latency_sorted`](SessionObs::observe_latency_sorted)
+    /// over a struct-of-arrays batch's tick column — the zero-copy
+    /// pipeline's form. Each event's timestamp is derived as
+    /// `tick * tick_period_s` (exactly the `time_s` a materialised
+    /// event would carry), so the resulting histogram is bit-identical
+    /// to observing the row-form batch: same partition points, same
+    /// chunked four-accumulator sum.
+    pub fn observe_latency_batch(&self, ticks: &[u64], watermark_s: f64, tick_period_s: f64) {
+        if ticks.is_empty() || tick_period_s <= 0.0 {
+            return;
+        }
+        debug_assert!(
+            ticks.windows(2).all(|w| w[0] <= w[1]),
+            "latency batches must be time-ordered (decoder release order)"
+        );
+        let inv = 1.0 / tick_period_s;
+        let time = |tick: u64| tick as f64 * tick_period_s;
+        let x = |t: f64| (watermark_s - t).max(0.0) * inv + 0.5;
+        let mut counts = [0u64; datc_obs::BUCKETS];
+        let n = ticks.len();
+        let mut prev = ticks.partition_point(|&tk| x(time(tk)) >= 1.0);
+        counts[0] = (n - prev) as u64;
+        let mut k = 0usize;
+        while prev > 0 && k < 63 {
+            let threshold = (2u64 << k) as f64; // 2^(k+1)
+            let next = ticks[..prev].partition_point(|&tk| x(time(tk)) >= threshold);
+            counts[k + 1] = (prev - next) as u64;
+            prev = next;
+            k += 1;
+        }
+        counts[datc_obs::BUCKETS - 1] += prev as u64;
+        let newest = time(ticks[n - 1]);
+        let total_wait_s = if newest <= watermark_s {
+            let mut acc = [0.0f64; 4];
+            let chunks = ticks.chunks_exact(4);
+            let remainder = chunks.remainder();
+            for c in chunks {
+                for (a, &tk) in acc.iter_mut().zip(c) {
+                    *a += time(tk);
+                }
+            }
+            let mut t_sum = acc[0] + acc[1] + acc[2] + acc[3];
+            for &tk in remainder {
+                t_sum += time(tk);
+            }
+            n as f64 * watermark_s - t_sum
+        } else {
+            ticks
+                .iter()
+                .map(|&tk| (watermark_s - time(tk)).max(0.0))
+                .sum()
+        };
+        self.latency_ticks
+            .observe_bucketed(&counts, (total_wait_s * inv) as u64);
+    }
+
     /// Sets the force-ring residency gauge.
     pub fn set_force_ring_bytes(&self, bytes: u64) {
         self.force_ring_bytes.set(bytes as f64);
@@ -443,8 +499,11 @@ impl SessionObs {
 /// let _hello = tx.hello();
 /// let _bye = tx.bye();
 /// obs.sync(&tx);
+/// // with the `metrics` feature off, counters are no-ops and read 0
+/// # if cfg!(feature = "metrics") {
 /// assert!(datc_obs::render_prometheus(&reg)
 ///     .contains("datc_tx_frames_total{session=\"1\"} 2"));
+/// # }
 /// ```
 #[derive(Debug)]
 pub struct TxObs {
@@ -496,6 +555,10 @@ mod tests {
     use crate::packet::SessionHeader;
 
     #[test]
+    #[cfg_attr(
+        not(feature = "metrics"),
+        ignore = "counters are no-ops with metrics off"
+    )]
     fn sync_publishes_decoder_counters_verbatim() {
         use crate::decode::StreamDecoder;
         use crate::packet::encode_session;
@@ -577,6 +640,66 @@ mod tests {
     }
 
     #[test]
+    fn soa_batch_latency_is_bit_identical_to_row_form() {
+        use datc_core::Event;
+
+        // The SoA pipeline observes latency from the tick column; the
+        // derived timestamps are the same f64s the row form carries, so
+        // buckets AND sums must match exactly — not just within slack.
+        let period = 1.0 / 2000.0;
+        let tick_runs: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![1000],
+            vec![0, 0, 7, 7, 400, 400, 401],
+            (0..777).map(|i| i * i / 3).collect(),
+        ];
+        for ticks in tick_runs {
+            let events: Vec<AddressedEvent> = ticks
+                .iter()
+                .map(|&tk| AddressedEvent {
+                    channel: 0,
+                    event: Event::at_tick(tk, period, None),
+                })
+                .collect();
+            let watermark = ticks.last().map_or(0.0, |&tk| tk as f64 * period) + 0.125;
+
+            let reg = Registry::new();
+            let rows = SessionObs::register(&reg, "rows");
+            rows.observe_latency_sorted(&events, watermark, period);
+            let cols = SessionObs::register(&reg, "cols");
+            cols.observe_latency_batch(&ticks, watermark, period);
+            assert_eq!(
+                cols.latency_ticks.snapshot().buckets,
+                rows.latency_ticks.snapshot().buckets,
+                "{} events",
+                ticks.len()
+            );
+            assert_eq!(cols.latency_ticks.count(), rows.latency_ticks.count());
+            assert_eq!(cols.latency_ticks.sum(), rows.latency_ticks.sum());
+
+            // A watermark behind the newest event exercises the clamped
+            // fallback path in both forms.
+            if let Some(&last) = ticks.last() {
+                let behind = last as f64 * period * 0.5;
+                let reg = Registry::new();
+                let rows = SessionObs::register(&reg, "rows");
+                rows.observe_latency_sorted(&events, behind, period);
+                let cols = SessionObs::register(&reg, "cols");
+                cols.observe_latency_batch(&ticks, behind, period);
+                assert_eq!(
+                    cols.latency_ticks.snapshot().buckets,
+                    rows.latency_ticks.snapshot().buckets
+                );
+                assert_eq!(cols.latency_ticks.sum(), rows.latency_ticks.sum());
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(feature = "metrics"),
+        ignore = "counters are no-ops with metrics off"
+    )]
     fn ewma_converges_on_a_steady_rate() {
         let reg = Registry::new();
         let mut obs = SessionObs::register(&reg, "2");
@@ -609,6 +732,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "metrics"),
+        ignore = "counters are no-ops with metrics off"
+    )]
     fn two_sessions_share_names_but_not_series() {
         let reg = Registry::new();
         let a = SessionObs::register(&reg, "1");

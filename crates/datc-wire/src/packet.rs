@@ -39,8 +39,9 @@
 //! one sent-count varint per channel — the receiver subtracts its own
 //! tallies for exact per-channel loss.
 
+use crate::batch::EventBatch;
 use crate::frame::{encode_frame, FrameType, HEADER_LEN, MAX_PAYLOAD};
-use crate::varint::{read_varint, write_varint};
+use crate::varint::{read_varint, read_varint_with, write_varint, VarintPolicy};
 use datc_uwb::aer::AddressedEvent;
 
 /// Everything a receiver needs to turn tick-domain events back into
@@ -241,19 +242,80 @@ pub fn encode_data(first_index: u64, events: &[WireEvent]) -> Vec<u8> {
 
 /// Parses a DATA payload; `None` on truncation, trailing garbage or
 /// varint overflow.
+///
+/// Compatibility wrapper over [`decode_data_into`]: allocates a fresh
+/// packet per call. The streaming decoder uses the `_into` form with a
+/// reused arena instead.
 pub fn decode_data(payload: &[u8]) -> Option<DataPacket> {
-    let (first_index, mut off) = read_varint(payload)?;
-    let (n, used) = read_varint(&payload[off..])?;
+    let mut batch = EventBatch::new();
+    let first_index = decode_data_into(payload, &mut batch)?;
+    Some(DataPacket {
+        first_index,
+        events: batch.iter().collect(),
+    })
+}
+
+/// Parses a DATA payload *into* a caller-supplied [`EventBatch`] arena,
+/// appending the decoded events column-wise and returning the packet's
+/// `first_index`. On any format violation the batch is rolled back to
+/// its pre-call length and `None` is returned — a failed decode never
+/// leaks partial events into the arena.
+///
+/// This is the zero-copy decode entry point: event fields go straight
+/// from the receive buffer into the arena's columns with no per-packet
+/// `Vec<WireEvent>` and no intermediate event structs.
+///
+/// # Example
+///
+/// ```
+/// use datc_wire::batch::EventBatch;
+/// use datc_wire::packet::{decode_data_into, encode_data, WireEvent};
+/// let payload = encode_data(42, &[WireEvent { addr: 1, tick: 70, code: Some(3) }]);
+/// let mut arena = EventBatch::new();
+/// assert_eq!(decode_data_into(&payload, &mut arena), Some(42));
+/// assert_eq!(arena.ticks(), &[70]);
+/// ```
+pub fn decode_data_into(payload: &[u8], batch: &mut EventBatch) -> Option<u64> {
+    decode_data_into_with(payload, batch, VarintPolicy::Auto)
+}
+
+/// [`decode_data_into`] with an explicit varint decode policy
+/// (`ForceScalar` pins the reference LEB128 path for equivalence
+/// testing).
+pub fn decode_data_into_with(
+    payload: &[u8],
+    batch: &mut EventBatch,
+    policy: VarintPolicy,
+) -> Option<u64> {
+    let restore = batch.len();
+    let decoded = decode_data_append(payload, batch, policy);
+    if decoded.is_none() {
+        batch.truncate(restore);
+    }
+    decoded
+}
+
+#[inline]
+fn decode_data_append(payload: &[u8], batch: &mut EventBatch, policy: VarintPolicy) -> Option<u64> {
+    let (first_index, mut off) = read_varint_with(payload, policy)?;
+    let (n, used) = read_varint_with(&payload[off..], policy)?;
     off += used;
-    let mut events = Vec::with_capacity(n.min(MAX_PAYLOAD as u64) as usize);
+    // Every event costs at least two payload bytes, so clamping the
+    // reservation keeps a forged count from ballooning the arena.
+    batch.reserve(n.min(payload.len() as u64 / 2 + 1) as usize);
     let mut prev_tick: Option<u64> = None;
     for _ in 0..n {
-        let addr = *payload.get(off)?;
-        let key = *payload.get(off + 1)?;
+        if payload.len() - off < 2 {
+            return None;
+        }
+        // SAFETY: the bound check above guarantees `off + 1` is in
+        // range (`off <= payload.len()` is a loop invariant: every
+        // advance below is validated before it happens).
+        let (addr, key) = unsafe { (*payload.get_unchecked(off), *payload.get_unchecked(off + 1)) };
         off += 2;
         let mut delta = u64::from(key & KEY_DELTA_MASK);
         if key & KEY_EXT != 0 {
-            let (ext, used) = read_varint(&payload[off..])?;
+            let (ext, used) = read_varint_with(&payload[off..], policy)?;
             off += used;
             delta |= ext.checked_shl(6).filter(|&v| v >> 6 == ext)?;
         }
@@ -269,12 +331,9 @@ pub fn decode_data(payload: &[u8]) -> Option<DataPacket> {
             Some(p) => p.checked_add(delta)?,
         };
         prev_tick = Some(tick);
-        events.push(WireEvent { addr, tick, code });
+        batch.push(addr, tick, code);
     }
-    (off == payload.len()).then_some(DataPacket {
-        first_index,
-        events,
-    })
+    (off == payload.len()).then_some(first_index)
 }
 
 /// Serialises one DATA-V2 payload: the session nonce, then the DATA

@@ -16,6 +16,7 @@
 //! call for replaying a bounded capture; the gateways default to a
 //! bounded window (see [`HubConfig`](crate::gateway::HubConfig)).
 
+use crate::batch::EventBatch;
 use crate::decode::{StreamDecoder, WireStats};
 use crate::obs::SessionObs;
 use crate::packet::SessionHeader;
@@ -137,7 +138,13 @@ pub struct SessionRx {
     rings: Vec<ForceRing>,
     sink: Option<Box<dyn SessionSink>>,
     obs: Option<SessionObs>,
-    scratch: Vec<AddressedEvent>,
+    /// Reused drain arena: events flow decoder → reconstructors in
+    /// struct-of-arrays form, never materialising `AddressedEvent`s on
+    /// the hot path.
+    scratch: EventBatch,
+    /// Row-form staging for sinks (the only consumer that still takes
+    /// `AddressedEvent`s).
+    sink_scratch: Vec<AddressedEvent>,
     emit_scratch: Vec<f64>,
 }
 
@@ -175,7 +182,8 @@ impl SessionRx {
             rings: Vec::new(),
             sink: None,
             obs: None,
-            scratch: Vec::new(),
+            scratch: EventBatch::new(),
+            sink_scratch: Vec::new(),
             emit_scratch: Vec::new(),
         }
     }
@@ -244,7 +252,7 @@ impl SessionRx {
             }
         }
         self.scratch.clear();
-        self.decoder.drain_events(&mut self.scratch);
+        self.decoder.drain_batch(&mut self.scratch);
         let absorbed = self.scratch.len();
         self.absorb_scratch();
         // Released events are time-ordered across channels, so the
@@ -275,8 +283,9 @@ impl SessionRx {
             // Released events became force-eligible at the current
             // watermark; their wait is watermark − timestamp. Both are
             // functions of the byte stream alone, so the tick-domain
-            // histogram reproduces bit-exactly.
-            obs.observe_latency_sorted(&self.scratch, watermark, h.tick_period_s);
+            // histogram reproduces bit-exactly. The bucketing
+            // partitions the batch's tick column directly.
+            obs.observe_latency_batch(self.scratch.ticks(), watermark, h.tick_period_s);
         }
         obs.note_released(absorbed as u64, watermark);
         obs.sync(&self.decoder.counters());
@@ -293,12 +302,25 @@ impl SessionRx {
         if self.scratch.is_empty() {
             return;
         }
+        let Some(period) = self.decoder.session().map(|h| h.tick_period_s) else {
+            return; // released events imply a decoded HELLO
+        };
         if let Some(sink) = &mut self.sink {
-            sink.on_events(&self.scratch);
+            // Sinks keep the row-form API; materialise only for them.
+            self.sink_scratch.clear();
+            self.scratch
+                .materialize_into(period, &mut self.sink_scratch);
+            sink.on_events(&self.sink_scratch);
         }
-        for ae in &self.scratch {
-            if let Some(r) = self.recon.get_mut(usize::from(ae.channel)) {
-                r.push_coded(ae.event.time_s, ae.event.vth_code);
+        // `tick * period` is exactly the `time_s` the materialised
+        // events would carry (the bit-exact timestamp contract).
+        for i in 0..self.scratch.len() {
+            let addr = usize::from(self.scratch.addrs()[i]);
+            if let Some(r) = self.recon.get_mut(addr) {
+                r.push_coded(
+                    self.scratch.ticks()[i] as f64 * period,
+                    self.scratch.code(i),
+                );
             }
         }
     }
@@ -325,7 +347,7 @@ impl SessionRx {
     pub fn finish(mut self) -> SessionReport {
         self.decoder.finish();
         self.scratch.clear();
-        self.decoder.drain_events(&mut self.scratch);
+        self.decoder.drain_batch(&mut self.scratch);
         self.absorb_scratch();
         let duration = self
             .decoder

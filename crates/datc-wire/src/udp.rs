@@ -15,10 +15,13 @@
 //!   counted and dropped.
 //!
 //! No per-datagram state is added on top: the session-level byte-stream
-//! decoder consumes each datagram as a self-delimiting frame. This is
-//! the same address-event discipline neuromorphic AER buses use over
-//! unreliable links — events are self-describing, so transport loss
-//! degrades the estimate instead of corrupting it.
+//! decoder consumes each datagram as a self-delimiting frame — parsed
+//! in place and drained as struct-of-arrays
+//! [`EventBatch`](crate::batch::EventBatch)es, so the datagram path
+//! allocates nothing per packet. This is the same address-event
+//! discipline neuromorphic AER buses use over unreliable links — events
+//! are self-describing, so transport loss degrades the estimate instead
+//! of corrupting it.
 //!
 //! ## Sessions without connections
 //!
@@ -1457,10 +1460,14 @@ mod tests {
         assert_eq!(sessions[0].session_id, 1);
         assert_eq!(sessions[0].report.stats.events_decoded, 60);
         assert!(sessions[0].report.stats.closed);
-        assert!(
-            health.shed >= 1,
-            "peer B's datagrams counted as shed, got {health:?}"
-        );
+        // shed is registry-backed: zeros with metrics off, while the
+        // one-session shutdown above proves the shedding itself.
+        if cfg!(feature = "metrics") {
+            assert!(
+                health.shed >= 1,
+                "peer B's datagrams counted as shed, got {health:?}"
+            );
+        }
     }
 
     #[test]
@@ -1483,12 +1490,16 @@ mod tests {
             socket.send(&bad).unwrap();
             std::thread::sleep(Duration::from_micros(200));
         }
+        // The quarantined peer's books land in the session count — a
+        // real collection, so this synchronizes with or without the
+        // registry-backed health counters.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while hub.health().quarantined == 0 && std::time::Instant::now() < deadline {
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        let health = hub.health();
-        assert_eq!(health.quarantined, 1, "flooding peer quarantined");
+        if cfg!(feature = "metrics") {
+            assert_eq!(hub.health().quarantined, 1, "flooding peer quarantined");
+        }
         // Post-quarantine garbage is filtered as straggler traffic and
         // must not resurrect the address.
         for _ in 0..8 {

@@ -1,8 +1,40 @@
 //! LEB128 variable-length integers — the wire format's workhorse for
 //! tick deltas and cumulative event indices.
+//!
+//! Two decoders share one set of semantics: the scalar
+//! [`read_varint`] (the reference implementation, branch-per-byte) and
+//! a SWAR fast path that loads eight bytes at once and locates the
+//! terminator with bit tricks. [`read_varint_with`] picks between them
+//! via [`VarintPolicy`]; the two are bit-identical on every input,
+//! including truncated and overflowing encodings.
 
 /// Maximum encoded length of a `u64` varint (10 × 7 bits ≥ 64 bits).
 pub const MAX_VARINT_LEN: usize = 10;
+
+/// Selects the varint decode implementation, mirroring the
+/// `SimdPolicy` switch in `datc-core`: `Auto` probes the platform and
+/// uses the SWAR word-at-a-time path where profitable, `ForceScalar`
+/// pins the byte-at-a-time reference decoder. Both produce identical
+/// `(value, len)` results (and identical `None`s) on every input, so
+/// the override exists for equivalence tests and for ruling the fast
+/// path out when chasing a miscompare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarintPolicy {
+    /// Probe the platform and take the SWAR path when supported.
+    #[default]
+    Auto,
+    /// Always use the scalar reference decoder.
+    ForceScalar,
+}
+
+/// Whether the SWAR fast path is worth taking on this machine: it
+/// wants native 64-bit integer ops (one unaligned 8-byte load plus
+/// three mask/shift rounds). On 32-bit targets the emulated shifts
+/// erase the win, so `Auto` resolves to the scalar decoder there.
+#[inline]
+pub fn swar_supported() -> bool {
+    std::mem::size_of::<usize>() >= 8
+}
 
 /// Appends `value` to `out` as an LEB128 varint (7 payload bits per
 /// byte, continuation in the MSB, little-endian groups).
@@ -52,6 +84,66 @@ pub fn read_varint(bytes: &[u8]) -> Option<(u64, usize)> {
         return Some((u64::from(first), 1));
     }
     read_varint_multi(bytes, first)
+}
+
+/// [`read_varint`] with an explicit [`VarintPolicy`]. `Auto` on a
+/// 64-bit machine routes multi-byte encodings through the SWAR
+/// decoder; everything else falls back to the scalar reference path.
+#[inline]
+pub fn read_varint_with(bytes: &[u8], policy: VarintPolicy) -> Option<(u64, usize)> {
+    match policy {
+        VarintPolicy::Auto if swar_supported() => read_varint_fast(bytes),
+        _ => read_varint(bytes),
+    }
+}
+
+/// [`read_varint`] with the SWAR multi-byte fast path: when at least
+/// eight bytes are available, one unaligned little-endian `u64` load
+/// finds the terminator byte with `!word & 0x8080…80` and compacts the
+/// 7-bit payload groups in three mask/shift rounds — no per-byte
+/// branching. Encodings longer than eight bytes (values ≥ 2^56) and
+/// buffers shorter than a word fall back to the scalar decoder, so the
+/// result is bit-identical to [`read_varint`] on every input.
+#[inline]
+pub fn read_varint_fast(bytes: &[u8]) -> Option<(u64, usize)> {
+    let &first = bytes.first()?;
+    if first & 0x80 == 0 {
+        return Some((u64::from(first), 1));
+    }
+    if bytes.len() >= 8 {
+        read_varint_swar(bytes, first)
+    } else {
+        read_varint_multi(bytes, first)
+    }
+}
+
+/// The word-at-a-time decode. Caller guarantees `bytes.len() >= 8` and
+/// that `first == bytes[0]` has its continuation bit set.
+#[inline]
+fn read_varint_swar(bytes: &[u8], first: u8) -> Option<(u64, usize)> {
+    debug_assert!(bytes.len() >= 8);
+    debug_assert!(first & 0x80 != 0);
+    // SAFETY: the length check above guarantees 8 readable bytes;
+    // `read_unaligned` carries no alignment requirement.
+    let word = u64::from_le(unsafe { bytes.as_ptr().cast::<u64>().read_unaligned() });
+    // A zero MSB marks the final byte of the encoding; the lowest such
+    // byte position is the varint's length within this word.
+    let stops = !word & 0x8080_8080_8080_8080;
+    if stops == 0 {
+        // 9- or 10-byte encoding (or truncation): rare enough that the
+        // scalar tail — which also owns the 64-bit overflow rule — is
+        // the right tool.
+        return read_varint_multi(bytes, first);
+    }
+    let len = stops.trailing_zeros() as usize / 8 + 1; // 1..=8
+    let keep = word & (u64::MAX >> (64 - 8 * len as u32));
+    // Fold the eight 7-bit groups into a contiguous value: pairs of
+    // bytes first, then pairs of 14-bit halves, then 28-bit halves.
+    let x = keep & 0x7F7F_7F7F_7F7F_7F7F;
+    let x = (x & 0x007F_007F_007F_007F) | ((x & 0x7F00_7F00_7F00_7F00) >> 1);
+    let x = (x & 0x0000_3FFF_0000_3FFF) | ((x & 0x3FFF_0000_3FFF_0000) >> 2);
+    let x = (x & 0x0000_0000_0FFF_FFFF) | ((x & 0x0FFF_FFFF_0000_0000) >> 4);
+    Some((x, len))
 }
 
 /// The multi-byte continuation of [`read_varint`]: `first` already
@@ -109,6 +201,82 @@ mod tests {
         let mut overflow = vec![0xFF; 9];
         overflow.push(0x02);
         assert_eq!(read_varint(&overflow), None);
+    }
+
+    #[test]
+    fn swar_matches_scalar_on_canonical_encodings() {
+        for shift in 0..64 {
+            for nudge in [-1i64, 0, 1] {
+                let v = (1u128 << shift) as i128 + i128::from(nudge);
+                let Ok(v) = u64::try_from(v) else { continue };
+                let mut buf = Vec::new();
+                write_varint(v, &mut buf);
+                // Pad so the word load is in play regardless of length.
+                buf.extend_from_slice(&[0xAA; 8]);
+                assert_eq!(read_varint_fast(&buf), read_varint(&buf), "value {v}");
+                assert_eq!(
+                    read_varint_fast(&buf),
+                    Some((v, {
+                        let mut exact = Vec::new();
+                        write_varint(v, &mut exact);
+                        exact.len()
+                    }))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_matches_scalar_on_arbitrary_byte_soup() {
+        // Deterministic xorshift stream: every prefix is some mix of
+        // continuation bits, terminators, truncations, and overflows.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut bytes = Vec::new();
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bytes.push((state >> 32) as u8);
+        }
+        for start in 0..bytes.len() {
+            for end in start..bytes.len().min(start + 12) {
+                let slice = &bytes[start..end];
+                assert_eq!(
+                    read_varint_fast(slice),
+                    read_varint(slice),
+                    "slice {start}..{end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_matches_scalar_on_non_canonical_and_overflowing_inputs() {
+        // Non-canonical zero (0x80 0x00) must decode identically.
+        let padded = [0x80, 0x00, 0, 0, 0, 0, 0, 0];
+        assert_eq!(read_varint_fast(&padded), Some((0, 2)));
+        assert_eq!(read_varint(&padded), Some((0, 2)));
+        // 10-byte overflow rejected by both.
+        let mut overflow = vec![0xFF; 9];
+        overflow.push(0x02);
+        assert_eq!(read_varint_fast(&overflow), None);
+        assert_eq!(read_varint(&overflow), None);
+        // All-continuation word with no terminator anywhere.
+        assert_eq!(read_varint_fast(&[0x80; 11]), None);
+        // Short buffers route through the scalar tail.
+        assert_eq!(read_varint_fast(&[0x80, 0x80]), None);
+        assert_eq!(read_varint_fast(&[0xAC, 0x02]), Some((300, 2)));
+    }
+
+    #[test]
+    fn policy_override_pins_the_scalar_path() {
+        let mut buf = Vec::new();
+        write_varint(1_234_567_890_123, &mut buf);
+        buf.extend_from_slice(&[0; 8]);
+        let auto = read_varint_with(&buf, VarintPolicy::Auto);
+        let scalar = read_varint_with(&buf, VarintPolicy::ForceScalar);
+        assert_eq!(auto, scalar);
+        assert_eq!(scalar, Some((1_234_567_890_123, 6)));
     }
 
     #[test]

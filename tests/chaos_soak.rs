@@ -298,10 +298,14 @@ fn outage_profile_over_tcp_retries_resume_and_book_the_outage_as_loss() {
     );
     // HubHealth reconciles with the client's story: one logical
     // session, every reconnect adopted, nothing in flight after close.
-    assert_eq!(run.health.sessions_started, 1, "seed {SEED:#x}");
-    assert_eq!(run.health.resumed, run.client.reconnects, "seed {SEED:#x}");
-    assert_eq!(run.health.in_flight, 0, "seed {SEED:#x}");
-    assert_eq!(run.health.events_lost, expected_total, "seed {SEED:#x}");
+    // Registry-backed, so it reads zeros when `metrics` is off — the
+    // loss books above are plain struct fields and hold either way.
+    if cfg!(feature = "metrics") {
+        assert_eq!(run.health.sessions_started, 1, "seed {SEED:#x}");
+        assert_eq!(run.health.resumed, run.client.reconnects, "seed {SEED:#x}");
+        assert_eq!(run.health.in_flight, 0, "seed {SEED:#x}");
+        assert_eq!(run.health.events_lost, expected_total, "seed {SEED:#x}");
+    }
 }
 
 #[test]

@@ -34,6 +34,7 @@ fn counter(reg: &Registry, name: &str) -> u64 {
 /// roll-ups — and that `HubHealth` reads bit-identically through the
 /// registry counters backing it.
 #[test]
+#[cfg_attr(not(feature = "metrics"), ignore = "asserts live registry contents")]
 fn chaos_session_stats_sum_to_hub_totals_and_health() {
     let hub = TelemetryHub::bind("127.0.0.1:0", HubConfig::default()).expect("bind loopback");
     let table = hub.session_table();
@@ -120,6 +121,7 @@ fn chaos_session_stats_sum_to_hub_totals_and_health() {
 /// assert the rendered snapshot is non-empty and well-formed in both
 /// exporter formats.
 #[test]
+#[cfg_attr(not(feature = "metrics"), ignore = "asserts live registry contents")]
 fn udp_hub_renders_well_formed_metrics_snapshot() {
     let hub =
         UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).expect("bind loopback udp");
