@@ -27,7 +27,7 @@
 
 use crate::batch::EventBatch;
 use crate::frame::{parse_frame, FrameType, ParseOutcome};
-use crate::packet::{decode_data_into_with, ByeSummary, SessionHeader};
+use crate::packet::{decode_data_into_with, ByeSummary, FeedbackSummary, SessionHeader};
 use crate::varint::VarintPolicy;
 use datc_uwb::aer::AddressedEvent;
 use std::collections::BTreeMap;
@@ -35,6 +35,12 @@ use std::collections::BTreeMap;
 /// Default reorder-buffer depth (packets), ≈ 2k events of slack at the
 /// default packetisation.
 pub const DEFAULT_REORDER_WINDOW: usize = 32;
+
+/// Approximate resident cost of one parked event in the reorder
+/// buffer's struct-of-arrays columns: 1 address byte + 8 tick bytes +
+/// 2 code bytes. The [`StreamDecoder::with_parked_bytes_cap`] budget is
+/// accounted in these units.
+pub const PARKED_EVENT_BYTES: usize = 11;
 
 /// Per-channel receive/loss tallies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +107,12 @@ pub struct WireStats {
     pub gaps: u64,
     /// Events currently parked in the reorder buffer.
     pub pending_events: u64,
+    /// Events force-flushed out of the reorder buffer by the
+    /// parked-bytes cap ([`StreamDecoder::with_parked_bytes_cap`]) —
+    /// hostile reorder pushing the buffer past its memory budget. The
+    /// holes in front of them are declared lost through the normal gap
+    /// path, so the books stay exact.
+    pub parked_shed_events: u64,
     /// `true` once the BYE frame was processed.
     pub closed: bool,
     /// Per-channel tallies (empty before the HELLO arrives).
@@ -129,6 +141,7 @@ impl WireStats {
         self.events_lost += other.events_lost;
         self.gaps += other.gaps;
         self.pending_events += other.pending_events;
+        self.parked_shed_events += other.parked_shed_events;
         self.closed &= other.closed;
         if self.per_channel.len() < other.per_channel.len() {
             // Extend with the additive identity — `Some(0)`, not the
@@ -173,6 +186,7 @@ impl WireStats {
             events_lost: 0,
             gaps: 0,
             pending_events: 0,
+            parked_shed_events: 0,
             closed: true,
             per_channel: Vec::new(),
         }
@@ -208,6 +222,8 @@ pub struct WireCounters {
     pub gaps: u64,
     /// Events currently parked in the reorder buffer.
     pub pending_events: u64,
+    /// Events force-flushed by the parked-bytes cap.
+    pub parked_shed_events: u64,
 }
 
 struct PendingPacket {
@@ -262,6 +278,9 @@ pub struct StreamDecoder {
     pending: BTreeMap<u64, PendingPacket>,
     pending_events: u64,
     reorder_window: usize,
+    /// Memory budget for parked packets, in [`PARKED_EVENT_BYTES`]
+    /// units (`None` = bounded only by the packet-count window).
+    parked_bytes_cap: Option<usize>,
     /// Next cumulative event index expected on the in-order path.
     next_index: u64,
     /// Released events waiting for `drain_batch`/`drain_events`,
@@ -285,6 +304,7 @@ pub struct StreamDecoder {
     events_decoded: u64,
     events_lost: u64,
     gaps: u64,
+    parked_shed_events: u64,
     closed: bool,
     per_channel_received: Vec<u64>,
 }
@@ -319,6 +339,7 @@ impl StreamDecoder {
             pending: BTreeMap::new(),
             pending_events: 0,
             reorder_window: window.max(1),
+            parked_bytes_cap: None,
             next_index: 0,
             out: EventBatch::new(),
             scratch: EventBatch::new(),
@@ -335,9 +356,28 @@ impl StreamDecoder {
             events_decoded: 0,
             events_lost: 0,
             gaps: 0,
+            parked_shed_events: 0,
             closed: false,
             per_channel_received: Vec::new(),
         }
+    }
+
+    /// Caps the total bytes parked in the reorder buffer (accounted at
+    /// [`PARKED_EVENT_BYTES`] per event). When hostile reorder would
+    /// push the buffer past the cap, the oldest parked packets are
+    /// force-flushed — their leading holes booked as exact loss, the
+    /// evicted events counted in
+    /// [`WireStats::parked_shed_events`] — so a malicious sender cannot
+    /// balloon RX memory no matter how wide the packet-count window is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero (hubs validate this at bind and return
+    /// `InvalidInput` instead).
+    pub fn with_parked_bytes_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "parked-bytes cap must be at least 1");
+        self.parked_bytes_cap = Some(cap);
+        self
     }
 
     /// Pins the varint decode implementation (see
@@ -381,6 +421,27 @@ impl StreamDecoder {
         self.watermark_s
     }
 
+    /// Highest-contiguous event index: every event below it was either
+    /// released to the application or booked as exact loss. The
+    /// flow-control anchor FEEDBACK frames report to the sender.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Snapshots this decoder's books as a flow-control report, ready
+    /// to frame as FEEDBACK. `pressure` is the hub-supplied load level
+    /// (0 for a standalone receiver). `None` before the HELLO arrives —
+    /// there is no session (or nonce) to report on yet.
+    pub fn feedback(&self, pressure: u8) -> Option<FeedbackSummary> {
+        Some(FeedbackSummary {
+            nonce: self.nonce?,
+            next_index: self.next_index,
+            events_lost: self.events_lost,
+            reorder_depth: self.pending_events,
+            pressure,
+        })
+    }
+
     /// Feeds a chunk of received bytes; returns how many events became
     /// available (drain them with
     /// [`drain_events`](StreamDecoder::drain_events)).
@@ -417,6 +478,10 @@ impl StreamDecoder {
                         }
                         FrameType::DataV2 => self.on_data_v2(payload),
                         FrameType::Bye => self.on_bye(payload),
+                        // FEEDBACK travels receiver→sender; one looping
+                        // back into a data-direction decoder (a peer
+                        // echoing traffic) is harmless — drop it.
+                        FrameType::Feedback => {}
                     }
                 }
             }
@@ -498,6 +563,7 @@ impl StreamDecoder {
             events_lost: self.events_lost,
             gaps: self.gaps,
             pending_events: self.pending_events,
+            parked_shed_events: self.parked_shed_events,
             closed: self.closed,
             per_channel,
         }
@@ -521,6 +587,7 @@ impl StreamDecoder {
             events_lost: self.events_lost,
             gaps: self.gaps,
             pending_events: self.pending_events,
+            parked_shed_events: self.parked_shed_events,
         }
     }
 
@@ -601,6 +668,23 @@ impl StreamDecoder {
                 // Bounded latency: give up on the oldest hole.
                 self.pop_parked(true);
                 self.flush_pending();
+            }
+            // Bounded memory: the byte cap force-flushes the oldest
+            // parked packets even when the packet-count window would
+            // hold them (hostile reorder with huge packets).
+            if let Some(cap) = self.parked_bytes_cap {
+                while self.pending_events as usize * PARKED_EVENT_BYTES > cap
+                    && !self.pending.is_empty()
+                {
+                    let oldest = self
+                        .pending
+                        .values()
+                        .next()
+                        .map_or(0, |p| p.batch.len() as u64);
+                    self.parked_shed_events += oldest;
+                    self.pop_parked(true);
+                    self.flush_pending();
+                }
             }
         }
     }
@@ -842,6 +926,53 @@ mod tests {
         let s = rx.stats();
         assert_eq!(s.events_lost, 10);
         assert!(s.closed);
+    }
+
+    #[test]
+    fn parked_bytes_cap_bounds_memory_and_keeps_books_exact() {
+        let (_, frames, events) = session_frames(100, 10);
+        // Drop the first DATA frame (events 0..10): every later packet
+        // parks behind the hole. A 300-byte cap admits two 10-event
+        // packets (220 units) but not three (330), so the third arrival
+        // force-flushes the oldest and the stream recovers.
+        let mut rx = StreamDecoder::new().with_parked_bytes_cap(300);
+        rx.push_bytes(&frames[0]); // hello
+        for f in frames.iter().skip(2) {
+            rx.push_bytes(f);
+        }
+        let out = decoded(&mut rx);
+        assert_eq!(out, events[10..].to_vec(), "everything parked releases");
+        let s = rx.stats();
+        assert_eq!(s.events_lost, 10, "the hole is booked exactly");
+        assert_eq!(s.parked_shed_events, 10, "one packet force-flushed");
+        assert_eq!(s.events_decoded + s.events_lost, 100, "books closed");
+        assert!(s.closed);
+
+        // Without the cap the same feed parks three packets deep and
+        // sheds nothing (the count window alone would hold them).
+        let mut rx = StreamDecoder::new();
+        rx.push_bytes(&frames[0]);
+        for f in frames.iter().skip(2) {
+            rx.push_bytes(f);
+        }
+        assert_eq!(rx.stats().parked_shed_events, 0);
+    }
+
+    #[test]
+    fn feedback_snapshot_tracks_the_release_cursor() {
+        let (header, frames, _) = session_frames(40, 10);
+        let mut rx = StreamDecoder::new();
+        assert_eq!(rx.feedback(0), None, "no session yet");
+        rx.push_bytes(&frames[0]); // hello
+        rx.push_bytes(&frames[1]); // events 0..10
+        rx.push_bytes(&frames[3]); // events 20..30 — parks behind a hole
+        let fb = rx.feedback(7).expect("session decoded");
+        assert_eq!(fb.nonce, header.nonce());
+        assert_eq!(fb.next_index, 10);
+        assert_eq!(fb.events_lost, 0);
+        assert_eq!(fb.reorder_depth, 10);
+        assert_eq!(fb.pressure, 7);
+        assert_eq!(rx.next_index(), 10);
     }
 
     #[test]

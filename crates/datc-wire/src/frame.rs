@@ -8,7 +8,7 @@
 //!  offset  size  field
 //!  0       2     sync word 0xD4 0x7C
 //!  2       1     frame type (0x01 HELLO, 0x02 DATA, 0x03 BYE,
-//!                0x04 DATA-V2)
+//!                0x04 DATA-V2, 0x05 FEEDBACK)
 //!  3       2     sequence number, u16 LE (wraps)
 //!  5       2     payload length, u16 LE
 //!  7       n     payload
@@ -44,6 +44,12 @@ pub enum FrameType {
     /// (closes the reused-transport-address misattribution corner).
     /// Revision-1 decoders skip it whole — CRC-valid unknown type.
     DataV2,
+    /// Receiver→sender flow-control report: highest-contiguous event
+    /// index, cumulative exact loss, reorder-buffer occupancy and a hub
+    /// pressure level. Travels the *reverse* direction of every other
+    /// frame; decoders that predate it skip it whole — CRC-valid
+    /// unknown type — so the control channel is backward compatible.
+    Feedback,
 }
 
 impl FrameType {
@@ -54,6 +60,7 @@ impl FrameType {
             FrameType::Data => 0x02,
             FrameType::Bye => 0x03,
             FrameType::DataV2 => 0x04,
+            FrameType::Feedback => 0x05,
         }
     }
 
@@ -64,6 +71,7 @@ impl FrameType {
             0x02 => Some(FrameType::Data),
             0x03 => Some(FrameType::Bye),
             0x04 => Some(FrameType::DataV2),
+            0x05 => Some(FrameType::Feedback),
             _ => None,
         }
     }
@@ -243,6 +251,7 @@ mod tests {
             (FrameType::Data, 41),
             (FrameType::Bye, u16::MAX),
             (FrameType::DataV2, 1000),
+            (FrameType::Feedback, 12),
         ] {
             let payload: Vec<u8> = (0..37).collect();
             let bytes = encode_frame(ftype, seq, &payload);

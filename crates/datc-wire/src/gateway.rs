@@ -86,6 +86,16 @@ pub const DEFAULT_MALFORMED_BUDGET: u64 = 1024;
 /// (see [`HubConfig::resume_window`]).
 pub const DEFAULT_RESUME_WINDOW: Duration = Duration::from_secs(5);
 
+/// How long the UDP hub keeps serving a peer after its BYE before
+/// retiring it, absorbing straggling reordered tail datagrams
+/// (see [`HubConfig::bye_grace`]).
+pub const DEFAULT_BYE_GRACE: Duration = Duration::from_millis(10);
+
+/// Best-effort write timeout for FEEDBACK frames the TCP hub sends
+/// back on the duplex connection: a sender that never drains its
+/// receive half cannot block a worker thread for longer than this.
+const FEEDBACK_WRITE_TIMEOUT: Duration = Duration::from_millis(50);
+
 /// How long a freshly accepted connection announcing an in-flight
 /// session identity waits for the previous worker to notice its dead
 /// socket and park the session (reconnects race the old worker's EOF).
@@ -108,10 +118,12 @@ const SWEEP_EVERY: Duration = Duration::from_millis(50);
 /// let cfg = HubConfig::default();
 /// assert_eq!(cfg.session.output_fs, 100.0);
 /// assert_eq!(cfg.session.force_window, Some(DEFAULT_HUB_FORCE_WINDOW));
+/// assert!(cfg.session.feedback_every.is_some());
 /// assert!(cfg.idle_timeout.is_some());
 /// assert!(cfg.max_sessions.is_none());
 /// assert!(cfg.malformed_budget.is_some());
 /// assert!(cfg.resume_window.is_some());
+/// assert!(!cfg.bye_grace.is_zero());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct HubConfig {
@@ -152,6 +164,13 @@ pub struct HubConfig {
     /// second session. Expired parks retire through the normal drain
     /// path. `None` disables resume. Default: [`DEFAULT_RESUME_WINDOW`].
     pub resume_window: Option<Duration>,
+    /// UDP hubs only: how long a peer keeps being served after its BYE
+    /// decodes before the hub retires it. Datagrams reordered past the
+    /// BYE are still attributed to the session during the grace window
+    /// instead of landing in the straggler filter, keeping the books
+    /// exact on reordering links. Must be positive.
+    /// Default: [`DEFAULT_BYE_GRACE`].
+    pub bye_grace: Duration,
 }
 
 impl Default for HubConfig {
@@ -165,6 +184,7 @@ impl Default for HubConfig {
             max_sessions: None,
             malformed_budget: Some(DEFAULT_MALFORMED_BUDGET),
             resume_window: Some(DEFAULT_RESUME_WINDOW),
+            bye_grace: DEFAULT_BYE_GRACE,
         }
     }
 }
@@ -364,6 +384,28 @@ impl SessionTable {
             totals.merge(&session.report.stats);
         }
         totals
+    }
+
+    /// The hub pressure level stamped into FEEDBACK frames, derived
+    /// from the shared health tallies: occupancy of the session cap
+    /// (in-flight vs `max_sessions`, scaled 0–255) plus a boost for
+    /// recent shedding/quarantine activity. An uncapped hub reports the
+    /// activity boost alone — it has no occupancy to measure. Cheap
+    /// (relaxed atomic reads), called per read/datagram.
+    pub fn pressure_level(&self, max_sessions: Option<usize>) -> u8 {
+        let h = &self.health;
+        let boost = 16u64
+            .saturating_mul(h.shed.get().saturating_add(h.quarantined.get()))
+            .min(64);
+        let occupancy = match max_sessions {
+            Some(cap) if cap > 0 => {
+                let in_flight = h.started.get().saturating_sub(h.finished.get());
+                (in_flight.saturating_mul(255) / cap as u64).min(255)
+            }
+            Some(_) => 255, // cap 0: drain mode, saturated by definition
+            None => 0,
+        };
+        occupancy.saturating_add(boost).min(255) as u8
     }
 
     /// A fresh session entered service.
@@ -789,6 +831,9 @@ fn serve_connection(
     // a stalled (slowloris) socket retires through the same drain path
     // as an idle UDP peer instead of pinning this worker forever.
     let _ = socket.set_read_timeout(config.idle_timeout);
+    // FEEDBACK write-back is best effort: bounded blocking, errors
+    // dropped — flow control must never wedge ingest.
+    let _ = socket.set_write_timeout(Some(FEEDBACK_WRITE_TIMEOUT));
 
     // Peek the first complete frame so a re-HELLO from a reconnecting
     // sender can adopt its parked session before any bytes hit a
@@ -860,6 +905,17 @@ fn serve_connection(
             .malformed_budget
             .is_some_and(|b| rx.framing_garbage() > b)
     };
+    // Writes the session's flow-control report back down the duplex
+    // connection when one is due (the session's cadence limiter makes
+    // the per-read call cheap). Best effort: a sender that never reads
+    // its receive half, or a half-closed socket, must not end the
+    // session — TCP's own flow control still paces the byte stream.
+    let send_feedback = |rx: &mut SessionRx, socket: &TcpStream| {
+        if let Some(fb) = rx.feedback_due(table.pressure_level(config.max_sessions)) {
+            let _ = (&*socket).write_all(&fb);
+        }
+    };
+    send_feedback(&mut rx, &socket);
 
     let end = if let Some(end) = early_end {
         end
@@ -875,6 +931,7 @@ fn serve_connection(
                     if over_budget(&rx) {
                         break ConnEnd::Quarantined;
                     }
+                    send_feedback(&mut rx, &socket);
                 }
                 Err(e) if is_read_timeout(&e) => break ConnEnd::Stalled,
                 Err(_) => break ConnEnd::Closed,
@@ -1025,6 +1082,14 @@ pub struct ClientReport {
     /// TCP only: successful reconnect-and-resume cycles (each re-sent
     /// the HELLO so the hub could adopt the parked session).
     pub reconnects: u64,
+    /// UDP only: DATA frames retransmitted from the sender's
+    /// [`ReplayBuffer`](crate::flow::ReplayBuffer) in response to
+    /// feedback-reported holes (see
+    /// [`UdpSessionSender::with_flow`](crate::udp::UdpSessionSender::with_flow)).
+    /// The receiver duplicate-drops any repair that raced the original,
+    /// so the books stay exact. Always 0 over TCP, which retransmits at
+    /// the transport layer instead.
+    pub repairs: u64,
     /// `true` when the sender exhausted its retry budget and abandoned
     /// the session (the corresponding call also returned an error).
     pub gave_up: bool,
@@ -1055,6 +1120,11 @@ pub struct SessionSender {
     reconnects: u64,
     gave_up: bool,
     obs: Option<TxObs>,
+    /// Partial-frame buffer for FEEDBACK frames read off the duplex
+    /// connection (reads are non-blocking, frames can split).
+    fb_buf: Vec<u8>,
+    last_feedback: Option<crate::packet::FeedbackSummary>,
+    feedback_rx: u64,
 }
 
 fn connect_any(addrs: &[SocketAddr]) -> std::io::Result<TcpStream> {
@@ -1125,6 +1195,9 @@ impl SessionSender {
             reconnects: 0,
             gave_up: false,
             obs: None,
+            fb_buf: Vec::new(),
+            last_feedback: None,
+            feedback_rx: 0,
         };
         let hello = tx.packetizer.hello();
         tx.write_resilient(&hello)?;
@@ -1178,8 +1251,74 @@ impl SessionSender {
             datagrams_refused: 0,
             retries: self.retries,
             reconnects: self.reconnects,
+            repairs: 0,
             gave_up: self.gave_up,
         }
+    }
+
+    /// Non-blockingly drains any FEEDBACK frames the hub wrote back on
+    /// the duplex connection and returns the newest summary, if a new
+    /// one arrived. Foreign-nonce reports (stale frames from a previous
+    /// session on a reused port) are discarded.
+    ///
+    /// Over TCP the report is *informational* — the transport's own
+    /// flow control already paces the byte stream and retransmits — so
+    /// nothing here adapts automatically; poll it to watch the
+    /// receiver's books converge (see
+    /// [`last_feedback`](SessionSender::last_feedback)). The UDP sender
+    /// is the one that closes the loop
+    /// ([`with_flow`](crate::udp::UdpSessionSender::with_flow)).
+    pub fn poll_feedback(&mut self) -> Option<crate::packet::FeedbackSummary> {
+        if self.socket.set_nonblocking(true).is_err() {
+            return None;
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.socket.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => self.fb_buf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let _ = self.socket.set_nonblocking(false);
+        let nonce = self.packetizer.header().nonce();
+        let mut newest = None;
+        let mut off = 0usize;
+        loop {
+            match parse_frame(&self.fb_buf[off..]) {
+                ParseOutcome::Frame { frame, consumed } => {
+                    if frame.ftype == FrameType::Feedback {
+                        if let Some(fb) = crate::packet::FeedbackSummary::decode(frame.payload) {
+                            if fb.nonce == nonce {
+                                self.feedback_rx += 1;
+                                newest = Some(fb);
+                            }
+                        }
+                    }
+                    off += consumed;
+                }
+                ParseOutcome::Skip { skip, .. } => off += skip,
+                ParseOutcome::NeedMore => break,
+            }
+        }
+        self.fb_buf.drain(..off);
+        if newest.is_some() {
+            self.last_feedback = newest;
+        }
+        newest
+    }
+
+    /// The newest flow-control report
+    /// [`poll_feedback`](SessionSender::poll_feedback) has seen, if
+    /// any.
+    pub fn last_feedback(&self) -> Option<crate::packet::FeedbackSummary> {
+        self.last_feedback
+    }
+
+    /// FEEDBACK frames consumed over the session's lifetime.
+    pub fn feedback_rx(&self) -> u64 {
+        self.feedback_rx
     }
 
     /// Packetises and writes a run of (tick-ordered) events.
@@ -1301,6 +1440,15 @@ pub(crate) fn validate_config(config: &HubConfig) -> std::io::Result<()> {
     }
     if config.resume_window == Some(Duration::ZERO) {
         return invalid("resume_window must be positive (use None to disable resume)");
+    }
+    if config.bye_grace.is_zero() {
+        return invalid("bye_grace must be positive");
+    }
+    if config.session.parked_bytes_cap == Some(0) {
+        return invalid("parked_bytes_cap must be positive (use None for unbounded)");
+    }
+    if config.session.feedback_every == Some(Duration::ZERO) {
+        return invalid("feedback_every must be positive (use None to disable feedback)");
     }
     if !positive(config.session.output_fs) {
         return invalid("output_fs must be positive and finite");
@@ -1448,6 +1596,54 @@ mod tests {
             );
             assert_eq!(s.report.stats.events_lost, 0);
         }
+    }
+
+    #[test]
+    fn hub_writes_feedback_back_down_the_duplex_connection() {
+        let config = HubConfig {
+            session: SessionRxConfig {
+                feedback_every: Some(Duration::from_millis(1)),
+                ..HubConfig::default().session
+            },
+            ..HubConfig::default()
+        };
+        let hub = TelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(21, 1, 2000.0, 2.0);
+        let events: Vec<AddressedEvent> = (0..400)
+            .map(|i| AddressedEvent {
+                channel: 0,
+                event: Event::at_tick(i * 9, header.tick_period_s, Some(2)),
+            })
+            .collect();
+        let mut tx = SessionSender::connect(hub.local_addr(), header).unwrap();
+        let mut newest = None;
+        for chunk in events.chunks(40) {
+            tx.send_events(chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(3));
+            if let Some(fb) = tx.poll_feedback() {
+                newest = Some(fb);
+            }
+        }
+        wait_until(
+            || {
+                if let Some(fb) = tx.poll_feedback() {
+                    newest = Some(fb);
+                }
+                newest.is_some_and(|fb| fb.next_index == 400)
+            },
+            "feedback converges on the full event count",
+        );
+        let fb = newest.expect("hub wrote feedback back");
+        assert_eq!(fb.nonce, header.nonce(), "report pinned to this session");
+        assert_eq!(fb.events_lost, 0, "clean link reports no loss");
+        assert_eq!(tx.last_feedback(), Some(fb));
+        assert!(tx.feedback_rx() >= 1);
+
+        let client = tx.finish().unwrap();
+        assert_eq!(client.repairs, 0, "TCP senders never repair");
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].report.stats.events_decoded, 400);
     }
 
     #[test]

@@ -47,7 +47,13 @@
 //!   seeded hostile link (drop, duplication, bounded reorder, bit
 //!   corruption, truncation, stall windows, mid-session disconnects)
 //!   that replays any failure from its logged seed, wrapping both
-//!   senders via `with_chaos`.
+//!   senders via `with_chaos`;
+//! * [`flow`] — receiver-driven flow control: hubs write
+//!   [`packet::FeedbackSummary`] frames back to the
+//!   sender, whose [`AimdController`] adapts [`UdpPacing`] (additive
+//!   increase, multiplicative decrease) and whose [`ReplayBuffer`]
+//!   retransmits feedback-reported holes still inside a bounded
+//!   window — loss *repair* on top of loss tolerance.
 //!
 //! ## Guarantees
 //!
@@ -101,6 +107,7 @@
 pub mod batch;
 pub mod chaos;
 pub mod decode;
+pub mod flow;
 pub mod frame;
 pub mod gateway;
 pub mod obs;
@@ -113,12 +120,13 @@ pub mod varint;
 pub use batch::EventBatch;
 pub use chaos::{ChaosLink, ChaosProfile, ChaosStats, Fate, FaultPlan};
 pub use decode::{ChannelWireStats, StreamDecoder, WireCounters, WireStats};
+pub use flow::{AimdConfig, AimdController, FlowConfig, FlowSession, ReplayBuffer};
 pub use gateway::{
     stream_fleet, ClientReport, HubConfig, HubHealth, HubSession, RetryPolicy, SessionSender,
     SessionTable, SinkFactory, TelemetryHub,
 };
-pub use obs::{SessionObs, TxObs};
-pub use packet::{ByeSummary, Packetizer, SessionHeader, WireEvent};
+pub use obs::{FlowObs, SessionObs, TxObs};
+pub use packet::{ByeSummary, FeedbackSummary, Packetizer, SessionHeader, WireEvent};
 pub use session::{SessionReport, SessionRx, SessionRxConfig};
 pub use sink::{capture_store, CaptureStore, ForceRing, MemorySink, SessionCapture, SessionSink};
 pub use udp::{udp_stream_fleet, UdpPacing, UdpSessionSender, UdpTelemetryHub};

@@ -41,6 +41,7 @@
 //! | `datc_rx_events_decoded_total` | counter | `session` | events delivered in time order |
 //! | `datc_rx_events_lost_total` | counter | `session` | events booked as lost |
 //! | `datc_rx_gaps_total` | counter | `session` | distinct gap episodes |
+//! | `datc_rx_parked_shed_events_total` | counter | `session` | parked events force-flushed at the byte cap |
 //! | `datc_rx_reorder_depth` | gauge | `session` | events parked in the reorder buffer |
 //! | `datc_session_force_ring_bytes` | gauge | `session` | bytes retained in the force rings |
 //! | `datc_session_event_rate_ewma` | gauge | `session` | smoothed event rate, events/s (session time) |
@@ -49,6 +50,12 @@
 //! | `datc_tx_events_total` | counter | `session` | events packetised |
 //! | `datc_tx_frames_total` | counter | `session` | frames emitted (HELLO + DATA + BYE) |
 //! | `datc_tx_bytes_total` | counter | `session` | wire bytes emitted, framing included |
+//! | `datc_flow_feedback_tx_total` | counter | `session` | FEEDBACK frames the receiver wrote back |
+//! | `datc_flow_feedback_rx_total` | counter | `session` | FEEDBACK frames the sender consumed |
+//! | `datc_flow_repair_frames_total` | counter | `session` | DATA frames retransmitted from the replay buffer |
+//! | `datc_flow_repaired_events_total` | counter | `session` | events carried by those retransmissions |
+//! | `datc_flow_throttles_total` | counter | `session` | multiplicative AIMD rate decreases |
+//! | `datc_flow_rate_datagrams_per_s` | gauge | `session` | current AIMD send rate |
 //!
 //! The tick-domain latency histogram is **deterministic**: latencies
 //! are computed from event timestamps and the decoder watermark (both
@@ -120,6 +127,9 @@ names! {
     RX_EVENTS_LOST = "datc_rx_events_lost_total";
     /// Per-session counter: distinct gap episodes declared.
     RX_GAPS = "datc_rx_gaps_total";
+    /// Per-session counter: parked events force-flushed when the
+    /// parked-bytes cap overflowed.
+    RX_PARKED_SHED = "datc_rx_parked_shed_events_total";
     /// Per-session gauge: events parked in the reorder buffer.
     RX_REORDER_DEPTH = "datc_rx_reorder_depth";
     /// Per-session gauge: bytes retained in the bounded force rings.
@@ -139,11 +149,26 @@ names! {
     TX_FRAMES = "datc_tx_frames_total";
     /// Per-session counter: wire bytes the sender's packetizer emitted.
     TX_BYTES = "datc_tx_bytes_total";
+    /// Per-session counter: FEEDBACK frames the receive session wrote
+    /// back to its sender.
+    FLOW_FEEDBACK_TX = "datc_flow_feedback_tx_total";
+    /// Per-session counter: FEEDBACK frames the sender consumed.
+    FLOW_FEEDBACK_RX = "datc_flow_feedback_rx_total";
+    /// Per-session counter: DATA frames retransmitted from the sender's
+    /// replay buffer.
+    FLOW_REPAIR_FRAMES = "datc_flow_repair_frames_total";
+    /// Per-session counter: events carried by those retransmissions.
+    FLOW_REPAIRED_EVENTS = "datc_flow_repaired_events_total";
+    /// Per-session counter: multiplicative AIMD rate decreases.
+    FLOW_THROTTLES = "datc_flow_throttles_total";
+    /// Per-session gauge: the AIMD controller's current send rate in
+    /// datagrams per second.
+    FLOW_RATE = "datc_flow_rate_datagrams_per_s";
 }
 
 /// Every name in the per-session receive family — what
 /// [`SessionObs::retire`] removes.
-const RX_SERIES: [&str; 16] = [
+const RX_SERIES: [&str; 18] = [
     RX_FRAMES,
     RX_DUPLICATE_FRAMES,
     RX_CRC_FAILURES,
@@ -155,6 +180,8 @@ const RX_SERIES: [&str; 16] = [
     RX_EVENTS_DECODED,
     RX_EVENTS_LOST,
     RX_GAPS,
+    RX_PARKED_SHED,
+    FLOW_FEEDBACK_TX,
     RX_REORDER_DEPTH,
     SESSION_FORCE_RING_BYTES,
     SESSION_EVENT_RATE_EWMA,
@@ -207,6 +234,8 @@ pub struct SessionObs {
     events_decoded: Counter,
     events_lost: Counter,
     gaps: Counter,
+    parked_shed: Counter,
+    feedback_tx: Counter,
     reorder_depth: Gauge,
     force_ring_bytes: Gauge,
     event_rate: Gauge,
@@ -234,6 +263,8 @@ impl SessionObs {
             events_decoded: registry.counter_with(RX_EVENTS_DECODED, &l),
             events_lost: registry.counter_with(RX_EVENTS_LOST, &l),
             gaps: registry.counter_with(RX_GAPS, &l),
+            parked_shed: registry.counter_with(RX_PARKED_SHED, &l),
+            feedback_tx: registry.counter_with(FLOW_FEEDBACK_TX, &l),
             reorder_depth: registry.gauge_with(RX_REORDER_DEPTH, &l),
             force_ring_bytes: registry.gauge_with(SESSION_FORCE_RING_BYTES, &l),
             event_rate: registry.gauge_with(SESSION_EVENT_RATE_EWMA, &l),
@@ -295,7 +326,14 @@ impl SessionObs {
         self.events_decoded.store(c.events_decoded);
         self.events_lost.store(c.events_lost);
         self.gaps.store(c.gaps);
+        self.parked_shed.store(c.parked_shed_events);
         self.reorder_depth.set(c.pending_events as f64);
+    }
+
+    /// Publishes the session's lifetime FEEDBACK-frame tally (the
+    /// session calls this as each report goes out).
+    pub fn set_feedback_tx(&self, frames: u64) {
+        self.feedback_tx.store(frames);
     }
 
     /// Observes one event's ingest→force-release latency in clock
@@ -549,6 +587,83 @@ impl TxObs {
     }
 }
 
+/// Sender-side flow-control instrumentation: publishes a
+/// [`FlowSession`](crate::flow::FlowSession)'s feedback and repair
+/// books plus its AIMD controller state as the `datc_flow_*` series,
+/// labeled `session="<label>"`.
+///
+/// # Example
+///
+/// ```
+/// use datc_obs::Registry;
+/// use datc_wire::flow::{FlowConfig, FlowSession};
+/// use datc_wire::obs::FlowObs;
+///
+/// let reg = Registry::new();
+/// let obs = FlowObs::register(&reg, "3");
+/// let flow = FlowSession::new(FlowConfig::default());
+/// obs.sync(&flow);
+/// # if cfg!(feature = "metrics") {
+/// assert!(datc_obs::render_prometheus(&reg)
+///     .contains("datc_flow_rate_datagrams_per_s{session=\"3\"}"));
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FlowObs {
+    registry: Registry,
+    label: String,
+    feedback_rx: Counter,
+    repair_frames: Counter,
+    repaired_events: Counter,
+    throttles: Counter,
+    rate: Gauge,
+}
+
+impl FlowObs {
+    /// Registers the flow-control series for `session`.
+    pub fn register(registry: &Registry, session: &str) -> FlowObs {
+        let l = [(SESSION_LABEL, session)];
+        FlowObs {
+            feedback_rx: registry.counter_with(FLOW_FEEDBACK_RX, &l),
+            repair_frames: registry.counter_with(FLOW_REPAIR_FRAMES, &l),
+            repaired_events: registry.counter_with(FLOW_REPAIRED_EVENTS, &l),
+            throttles: registry.counter_with(FLOW_THROTTLES, &l),
+            rate: registry.gauge_with(FLOW_RATE, &l),
+            registry: registry.clone(),
+            label: session.to_owned(),
+        }
+    }
+
+    /// The `session` label value.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Publishes the flow session's lifetime books (a handful of
+    /// relaxed stores — call after each feedback pump).
+    pub fn sync(&self, flow: &crate::flow::FlowSession) {
+        self.feedback_rx.store(flow.feedback_rx());
+        self.repair_frames.store(flow.repairs_frames());
+        self.repaired_events.store(flow.repairs_events());
+        self.throttles.store(flow.aimd().throttles());
+        self.rate.set(flow.aimd().rate_datagrams_per_s());
+    }
+
+    /// Removes this sender's flow series from the registry.
+    pub fn retire(&self) {
+        let l = [(SESSION_LABEL, self.label.as_str())];
+        for name in [
+            FLOW_FEEDBACK_RX,
+            FLOW_REPAIR_FRAMES,
+            FLOW_REPAIRED_EVENTS,
+            FLOW_THROTTLES,
+            FLOW_RATE,
+        ] {
+            self.registry.remove(name, &l);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,9 +840,11 @@ mod tests {
         let reg = Registry::new();
         let obs = SessionObs::register(&reg, "5").with_wall_clock();
         let tx = TxObs::register(&reg, "5");
+        let flow = FlowObs::register(&reg, "5");
         assert!(!reg.is_empty());
         obs.retire();
         tx.retire();
+        flow.retire();
         assert!(reg.is_empty(), "all series retired: {:?}", reg.snapshot());
     }
 

@@ -38,6 +38,15 @@
 //! **BYE** (variable): `total_events:varint`, `n_channels:varint`, then
 //! one sent-count varint per channel — the receiver subtracts its own
 //! tallies for exact per-channel loss.
+//!
+//! **FEEDBACK** (variable): `nonce:u8` (the same CRC-8 session nonce
+//! DATA-V2 carries, so a sender on a reused address never applies a
+//! foreign session's feedback), `next_index:varint` (highest-contiguous
+//! event index the receiver has released), `events_lost:varint`
+//! (cumulative exact loss booked so far), `reorder_depth:varint`
+//! (events parked in the reorder buffer), `pressure:u8` (hub load
+//! level, 0 = idle … 255 = saturated). The only frame that travels
+//! receiver→sender; see [`FeedbackSummary`].
 
 use crate::batch::EventBatch;
 use crate::frame::{encode_frame, FrameType, HEADER_LEN, MAX_PAYLOAD};
@@ -414,6 +423,77 @@ impl ByeSummary {
     }
 }
 
+/// A receiver→sender flow-control report, the FEEDBACK frame payload.
+///
+/// Snapshotted from the receiver's exact books at a configurable
+/// cadence and written back on the reverse path (duplex TCP socket or
+/// UDP datagram to the peer address). The sender's
+/// [`flow`](crate::flow) module turns these into AIMD pacing decisions
+/// and gap-repair retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackSummary {
+    /// Session nonce ([`SessionHeader::nonce`]) — lets the sender drop
+    /// feedback that belongs to another session on a reused address.
+    pub nonce: u8,
+    /// Highest-contiguous event index released by the decoder: every
+    /// event below this index was either delivered or booked as lost.
+    pub next_index: u64,
+    /// Cumulative exact event loss booked so far.
+    pub events_lost: u64,
+    /// Events currently parked in the reorder buffer.
+    pub reorder_depth: u64,
+    /// Hub pressure level: 0 = idle, 255 = saturated (derived from
+    /// in-flight sessions vs capacity plus shed/quarantine activity).
+    pub pressure: u8,
+}
+
+impl FeedbackSummary {
+    /// Serialises the FEEDBACK payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 3 * 10);
+        out.push(self.nonce);
+        write_varint(self.next_index, &mut out);
+        write_varint(self.events_lost, &mut out);
+        write_varint(self.reorder_depth, &mut out);
+        out.push(self.pressure);
+        out
+    }
+
+    /// Parses a FEEDBACK payload; `None` on truncation or trailing
+    /// garbage.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use datc_wire::packet::FeedbackSummary;
+    /// let fb = FeedbackSummary {
+    ///     nonce: 0x5A,
+    ///     next_index: 1000,
+    ///     events_lost: 12,
+    ///     reorder_depth: 64,
+    ///     pressure: 0,
+    /// };
+    /// assert_eq!(FeedbackSummary::decode(&fb.encode()), Some(fb));
+    /// ```
+    pub fn decode(payload: &[u8]) -> Option<FeedbackSummary> {
+        let (&nonce, rest) = payload.split_first()?;
+        let (next_index, mut off) = read_varint(rest)?;
+        let (events_lost, used) = read_varint(&rest[off..])?;
+        off += used;
+        let (reorder_depth, used) = read_varint(&rest[off..])?;
+        off += used;
+        let &pressure = rest.get(off)?;
+        off += 1;
+        (off == rest.len()).then_some(FeedbackSummary {
+            nonce,
+            next_index,
+            events_lost,
+            reorder_depth,
+            pressure,
+        })
+    }
+}
+
 /// Transmit-side state machine: splits an addressed-event stream into
 /// framed HELLO / DATA / BYE byte chunks, tracking sequence numbers,
 /// cumulative indices and the per-channel totals the BYE announces.
@@ -505,6 +585,14 @@ impl Packetizer {
     /// The session header this packetizer announces.
     pub fn header(&self) -> &SessionHeader {
         &self.header
+    }
+
+    /// Events packed into each DATA frame (the chunking
+    /// [`data_frames`](Packetizer::data_frames) applies) — what a
+    /// sender needs to reconstruct per-frame index spans, e.g. when
+    /// recording frames into a [`ReplayBuffer`](crate::flow::ReplayBuffer).
+    pub fn events_per_frame(&self) -> usize {
+        self.max_events_per_frame
     }
 
     /// Builds the framed HELLO chunk (send first).
@@ -712,6 +800,25 @@ mod tests {
         };
         assert_eq!(parsed.total_events, 25);
         assert_eq!(parsed.per_channel, vec![9, 8, 8]);
+    }
+
+    #[test]
+    fn feedback_round_trips_and_rejects_truncation_and_padding() {
+        let fb = FeedbackSummary {
+            nonce: 0xA7,
+            next_index: u64::MAX,
+            events_lost: 1 << 40,
+            reorder_depth: 300,
+            pressure: 255,
+        };
+        let payload = fb.encode();
+        assert_eq!(FeedbackSummary::decode(&payload), Some(fb));
+        for cut in 0..payload.len() {
+            assert_eq!(FeedbackSummary::decode(&payload[..cut]), None, "cut {cut}");
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(FeedbackSummary::decode(&padded), None);
     }
 
     #[test]

@@ -55,6 +55,15 @@ pub struct SessionRxConfig {
     /// `Some(n)` keeps the newest `n` (bounded memory), `None` keeps the
     /// whole trace.
     pub force_window: Option<usize>,
+    /// Ceiling on bytes parked in the decoder's reorder buffer
+    /// (`Some(bytes)` sheds the oldest parked packet on overflow — see
+    /// [`StreamDecoder::with_parked_bytes_cap`]); `None` leaves parking
+    /// bounded only by the reorder window. The default (1 MiB) keeps a
+    /// hostile or badly reordered peer from ballooning session memory.
+    pub parked_bytes_cap: Option<usize>,
+    /// Cadence for [`feedback_due`](SessionRx::feedback_due) flow-control
+    /// snapshots; `None` disables feedback production entirely.
+    pub feedback_every: Option<std::time::Duration>,
 }
 
 impl Default for SessionRxConfig {
@@ -64,6 +73,8 @@ impl Default for SessionRxConfig {
             output_fs: 100.0,
             reorder_window: crate::decode::DEFAULT_REORDER_WINDOW,
             force_window: None,
+            parked_bytes_cap: Some(1 << 20),
+            feedback_every: Some(std::time::Duration::from_millis(50)),
         }
     }
 }
@@ -146,6 +157,12 @@ pub struct SessionRx {
     /// `AddressedEvent`s).
     sink_scratch: Vec<AddressedEvent>,
     emit_scratch: Vec<f64>,
+    /// When the last FEEDBACK frame went out (cadence limiter).
+    feedback_last: Option<std::time::Instant>,
+    /// Wrapping sequence counter for outgoing FEEDBACK frames.
+    feedback_seq: u16,
+    /// Total FEEDBACK frames produced over the session's lifetime.
+    feedback_tx: u64,
 }
 
 impl std::fmt::Debug for SessionRx {
@@ -166,15 +183,18 @@ impl SessionRx {
     ///
     /// # Panics
     ///
-    /// Panics when `force_window` is `Some(0)` (use `None` for an
-    /// unbounded trace). The hubs reject such a config at bind time
-    /// instead, so the panic cannot reach a worker thread.
+    /// Panics when `force_window` or `parked_bytes_cap` is `Some(0)`
+    /// (use `None` for unbounded). The hubs reject such configs at bind
+    /// time instead, so the panic cannot reach a worker thread.
     pub fn new(config: SessionRxConfig) -> Self {
         assert!(
             config.force_window != Some(0),
             "force_window must be positive (use None for unbounded)"
         );
-        let decoder = StreamDecoder::with_reorder_window(config.reorder_window);
+        let mut decoder = StreamDecoder::with_reorder_window(config.reorder_window);
+        if let Some(cap) = config.parked_bytes_cap {
+            decoder = decoder.with_parked_bytes_cap(cap);
+        }
         SessionRx {
             config,
             decoder,
@@ -185,6 +205,9 @@ impl SessionRx {
             scratch: EventBatch::new(),
             sink_scratch: Vec::new(),
             emit_scratch: Vec::new(),
+            feedback_last: None,
+            feedback_seq: 0,
+            feedback_tx: 0,
         }
     }
 
@@ -231,6 +254,44 @@ impl SessionRx {
     /// without cloning per-channel stats.
     pub fn framing_garbage(&self) -> u64 {
         self.decoder.framing_garbage()
+    }
+
+    /// Current flow-control snapshot (see [`StreamDecoder::feedback`]);
+    /// `None` before the HELLO. `pressure` is the hub's load level
+    /// (0 = idle … 255 = saturated), stamped in verbatim.
+    pub fn feedback(&self, pressure: u8) -> Option<crate::packet::FeedbackSummary> {
+        self.decoder.feedback(pressure)
+    }
+
+    /// Produces a framed FEEDBACK report when one is due: the config's
+    /// [`feedback_every`](SessionRxConfig::feedback_every) cadence has
+    /// elapsed (the first call after the HELLO is always due) and the
+    /// session knows its nonce. Returns the complete wire frame ready to
+    /// write back to the sender; `None` when feedback is disabled, the
+    /// HELLO has not arrived, or the cadence has not elapsed. The hubs
+    /// call this once per read/datagram — the cadence limiter makes that
+    /// cheap.
+    pub fn feedback_due(&mut self, pressure: u8) -> Option<Vec<u8>> {
+        let every = self.config.feedback_every?;
+        let now = std::time::Instant::now();
+        if let Some(last) = self.feedback_last {
+            if now.duration_since(last) < every {
+                return None;
+            }
+        }
+        let fb = self.decoder.feedback(pressure)?;
+        self.feedback_last = Some(now);
+        let frame = crate::frame::encode_frame(
+            crate::frame::FrameType::Feedback,
+            self.feedback_seq,
+            &fb.encode(),
+        );
+        self.feedback_seq = self.feedback_seq.wrapping_add(1);
+        self.feedback_tx += 1;
+        if let Some(obs) = &self.obs {
+            obs.set_feedback_tx(self.feedback_tx);
+        }
+        Some(frame)
     }
 
     /// Feeds received bytes; decoded events flow straight into the
@@ -530,6 +591,54 @@ mod tests {
         for trace in &report.force_tail {
             assert_eq!(trace.len(), 400, "full 4 s at 100 Hz despite loss");
         }
+    }
+
+    #[test]
+    fn feedback_frames_follow_the_cadence_and_carry_the_books() {
+        use crate::frame::{parse_frame, FrameType, ParseOutcome};
+        use crate::packet::FeedbackSummary;
+        use std::time::Duration;
+
+        let header = SessionHeader::new(5, 2, 2000.0, 2.0);
+        let events = test_events(&header, 100);
+        let mut tx = Packetizer::new(header).with_events_per_frame(20);
+
+        let mut rx = SessionRx::new(SessionRxConfig {
+            feedback_every: Some(Duration::ZERO),
+            ..SessionRxConfig::default()
+        });
+        assert!(rx.feedback_due(0).is_none(), "no HELLO, no nonce yet");
+        rx.push_bytes(&tx.hello());
+        for f in &tx.data_frames(&events) {
+            rx.push_bytes(f);
+        }
+        let frame = rx.feedback_due(42).expect("due immediately after HELLO");
+        let ParseOutcome::Frame { frame, .. } = parse_frame(&frame) else {
+            panic!("feedback_due produced an unparseable frame");
+        };
+        assert_eq!(frame.ftype, FrameType::Feedback);
+        let fb = FeedbackSummary::decode(frame.payload).expect("payload decodes");
+        assert_eq!(fb.nonce, header.nonce());
+        assert_eq!(fb.next_index, 100);
+        assert_eq!(fb.events_lost, 0);
+        assert_eq!(fb.pressure, 42);
+
+        // a long cadence suppresses the next report…
+        let mut slow = SessionRx::new(SessionRxConfig {
+            feedback_every: Some(Duration::from_secs(3600)),
+            ..SessionRxConfig::default()
+        });
+        slow.push_bytes(&tx.hello());
+        assert!(slow.feedback_due(0).is_some(), "first report is always due");
+        assert!(slow.feedback_due(0).is_none(), "cadence not yet elapsed");
+
+        // …and `None` disables production entirely
+        let mut off = SessionRx::new(SessionRxConfig {
+            feedback_every: None,
+            ..SessionRxConfig::default()
+        });
+        off.push_bytes(&tx.hello());
+        assert!(off.feedback_due(0).is_none());
     }
 
     #[test]

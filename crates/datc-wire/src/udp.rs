@@ -26,8 +26,9 @@
 //! ## Sessions without connections
 //!
 //! UDP has no accept/EOF, so the [`UdpTelemetryHub`] keys in-flight
-//! sessions by peer address. A received BYE is held for a short grace
-//! window before it closes the books, so DATA datagrams reordered
+//! sessions by peer address. A received BYE is held for a grace
+//! window ([`HubConfig::bye_grace`]) before it closes the books, so
+//! DATA datagrams reordered
 //! *behind* the BYE are still absorbed by the reorder buffer; the
 //! session then retires, and late stragglers of a retired session are
 //! dropped rather than resurrecting it as a ghost (a CRC-valid HELLO
@@ -224,14 +225,6 @@ impl Drop for UdpTelemetryHub {
     }
 }
 
-/// How long a received BYE datagram is held back before it closes the
-/// session's books. A DATA datagram reordered *behind* the BYE (the
-/// classic session-tail reorder) arriving within this window still
-/// reaches the reorder buffer and is decoded — not falsely counted
-/// lost. Generous multiple of [`POLL`]; loopback reorder is
-/// instantaneous, real links reorder on the millisecond scale.
-const BYE_GRACE: Duration = Duration::from_millis(10);
-
 /// Minimum lifetime of a straggler-filter entry (see `retired` in
 /// [`receive_loop`]): generous against any realistic reorder/duplicate
 /// delay, yet bounding the filter to the sessions retired in the last
@@ -381,7 +374,7 @@ fn receive_loop(
                     // a held BYE are byte-identical and dropped.
                     if peer.pending_bye.is_none() {
                         peer.pending_bye =
-                            Some((dgram.to_vec(), std::time::Instant::now() + BYE_GRACE));
+                            Some((dgram.to_vec(), std::time::Instant::now() + config.bye_grace));
                         pending_byes += 1;
                     }
                 } else {
@@ -420,6 +413,20 @@ fn receive_loop(
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
                     break;
+                }
+            }
+        }
+        // Receiver-driven flow control: write a FEEDBACK datagram back
+        // to every peer whose cadence came due, from the hub's own
+        // socket to the session's source address. Best-effort — a
+        // legacy sender that never reads them just leaves a few tiny
+        // datagrams to its kernel buffer. The cadence limiter inside
+        // `feedback_due` keeps this walk cheap on busy hubs.
+        if !peers.is_empty() {
+            let pressure = table.pressure_level(config.max_sessions);
+            for (addr, peer) in peers.iter_mut() {
+                if let Some(fb) = peer.rx.feedback_due(pressure) {
+                    let _ = socket.send_to(&fb, addr);
                 }
             }
         }
@@ -633,6 +640,8 @@ pub struct UdpSessionSender {
     retries: u64,
     gave_up: bool,
     obs: Option<crate::obs::TxObs>,
+    flow: Option<crate::flow::FlowSession>,
+    flow_obs: Option<crate::obs::FlowObs>,
 }
 
 impl UdpSessionSender {
@@ -689,6 +698,8 @@ impl UdpSessionSender {
             retries: 0,
             gave_up: false,
             obs: None,
+            flow: None,
+            flow_obs: None,
         };
         let hello = tx.packetizer.hello();
         tx.send_datagram(&hello)?;
@@ -736,6 +747,56 @@ impl UdpSessionSender {
         self
     }
 
+    /// Installs receiver-driven flow control: the sender drains the
+    /// FEEDBACK datagrams the hub writes back, runs every report
+    /// through an [`AimdController`](crate::flow::AimdController) that
+    /// re-paces the socket (additive increase on clean feedback,
+    /// multiplicative decrease on fresh loss or hub pressure), and
+    /// retransmits feedback-reported holes still covered by its
+    /// [`ReplayBuffer`](crate::flow::ReplayBuffer). Repairs are
+    /// byte-identical originals — the receiver's duplicate/overlap
+    /// dedup keeps the books exact — and bypass any installed
+    /// [`ChaosLink`], so a pinned fate schedule stays pinned.
+    ///
+    /// The installed config's AIMD band replaces the connect-time
+    /// [`UdpPacing`] from the first feedback onward (pacing starts at
+    /// the band's ceiling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config is invalid (see
+    /// [`FlowConfig::validate`](crate::flow::FlowConfig::validate)).
+    #[must_use]
+    pub fn with_flow(mut self, config: crate::flow::FlowConfig) -> UdpSessionSender {
+        let flow = crate::flow::FlowSession::new(config);
+        self.pacing = flow.aimd().pacing();
+        self.flow = Some(flow);
+        self
+    }
+
+    /// Attaches flow-control instrumentation: the sender keeps the
+    /// `datc_flow_*` series synced after every feedback drain. No-op
+    /// until [`with_flow`](UdpSessionSender::with_flow) is installed.
+    #[must_use]
+    pub fn with_flow_metrics(mut self, obs: crate::obs::FlowObs) -> UdpSessionSender {
+        self.flow_obs = Some(obs);
+        self.sync_flow_obs();
+        self
+    }
+
+    fn sync_flow_obs(&self) {
+        if let (Some(obs), Some(flow)) = (&self.flow_obs, &self.flow) {
+            obs.sync(flow);
+        }
+    }
+
+    /// The flow-control state, when installed via
+    /// [`with_flow`](UdpSessionSender::with_flow) — rate, raise and
+    /// throttle tallies, repair counts, last accepted feedback.
+    pub fn flow(&self) -> Option<&crate::flow::FlowSession> {
+        self.flow.as_ref()
+    }
+
     /// The chaos link's running statistics, when one is installed.
     pub fn chaos_stats(&self) -> Option<ChaosStats> {
         self.chaos.as_ref().map(|link| link.stats())
@@ -758,6 +819,7 @@ impl UdpSessionSender {
             datagrams_refused: self.refused,
             retries: self.retries,
             reconnects: 0,
+            repairs: self.flow.as_ref().map_or(0, |f| f.repairs_frames()),
             gave_up: self.gave_up,
         }
     }
@@ -774,33 +836,96 @@ impl UdpSessionSender {
     ///
     /// Propagates send failures.
     pub fn send_events(&mut self, events: &[AddressedEvent]) -> std::io::Result<()> {
+        let first_index = self.packetizer.events_sent();
         let frames = self.packetizer.data_frames(events);
+        if let Some(flow) = self.flow.as_mut() {
+            // Record each frame's event span into the replay window
+            // BEFORE any chaos mangling: repairs resend the pristine
+            // original, whatever the link did to the first copy.
+            let per_frame = self.packetizer.events_per_frame() as u64;
+            let mut index = first_index;
+            for frame in &frames {
+                let n = per_frame.min(events.len() as u64 - (index - first_index));
+                flow.record_sent(index, n, frame);
+                index += n;
+            }
+        }
         if self.chaos.is_none() {
             for frame in &frames {
                 self.send_datagram(frame)?;
             }
-            self.sync_obs();
-            return Ok(());
-        }
-        let mut out: Vec<Vec<u8>> = Vec::new();
-        for frame in &frames {
-            out.clear();
-            let link = self.chaos.as_mut().expect("chaos presence checked above");
-            link.push(frame, &mut out);
-            // No connection to tear down on a datagram transport: a
-            // disconnect boundary is fully expressed by the outage
-            // window of drops the link already applied.
-            let _ = link.take_disconnect();
-            for unit in &out {
-                self.send_datagram(unit)?;
+        } else {
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            for frame in &frames {
+                out.clear();
+                let link = self.chaos.as_mut().expect("chaos presence checked above");
+                link.push(frame, &mut out);
+                // No connection to tear down on a datagram transport: a
+                // disconnect boundary is fully expressed by the outage
+                // window of drops the link already applied.
+                let _ = link.take_disconnect();
+                for unit in &out {
+                    self.send_datagram(unit)?;
+                }
             }
         }
+        self.pump_feedback(false)?;
         self.sync_obs();
         Ok(())
     }
 
-    /// Flushes any datagrams the chaos link still holds, sends the BYE
-    /// datagram and reports the client-side counters.
+    /// Drains any FEEDBACK datagrams the hub has written back and — when
+    /// flow control is installed — applies each report: one AIMD pacing
+    /// step plus any replay-window repairs. Repairs go straight to the
+    /// socket (never through the chaos link). Without flow control the
+    /// datagrams are read and dropped, keeping the socket buffer clean.
+    fn pump_feedback(&mut self, drain: bool) -> std::io::Result<()> {
+        if self.socket.set_nonblocking(true).is_err() {
+            return Ok(());
+        }
+        let mut repairs: Vec<Vec<u8>> = Vec::new();
+        let mut buf = [0u8; 256];
+        // WouldBlock = drained; any other error (e.g. a refused ICMP
+        // surfacing on the read side) also ends the pump — feedback is
+        // advisory, never session-fatal.
+        while let Ok(n) = self.socket.recv(&mut buf) {
+            let Some(flow) = self.flow.as_mut() else {
+                continue;
+            };
+            if let crate::frame::ParseOutcome::Frame { frame, .. } =
+                crate::frame::parse_frame(&buf[..n])
+            {
+                if frame.ftype == crate::frame::FrameType::Feedback {
+                    if let Some(fb) = crate::packet::FeedbackSummary::decode(frame.payload) {
+                        let decision = flow.on_feedback(
+                            fb,
+                            self.packetizer.header().nonce(),
+                            self.packetizer.events_sent(),
+                            drain,
+                        );
+                        self.pacing = UdpPacing {
+                            burst: decision.pacing.burst.max(1),
+                            ..decision.pacing
+                        };
+                        repairs.extend(decision.repairs);
+                    }
+                }
+            }
+        }
+        let _ = self.socket.set_nonblocking(false);
+        for frame in &repairs {
+            self.send_datagram(frame)?;
+        }
+        self.sync_flow_obs();
+        Ok(())
+    }
+
+    /// Flushes any datagrams the chaos link still holds, runs the
+    /// flow-control drain when one is installed (pumping feedback and
+    /// repairing tail holes until the receiver confirms everything sent
+    /// or the [`FlowConfig::drain`](crate::flow::FlowConfig::drain)
+    /// budget runs out), sends the BYE datagram and reports the
+    /// client-side counters.
     ///
     /// # Errors
     ///
@@ -811,6 +936,27 @@ impl UdpSessionSender {
             link.flush(&mut tail);
             for unit in &tail {
                 self.send_datagram(unit)?;
+            }
+        }
+        if self.flow.is_some() {
+            // Tail drain: the last DATA frames have nothing behind them
+            // to park, so only drain-mode feedback comparison against
+            // `events_sent` can confirm (or repair) them before the BYE
+            // closes the books.
+            let budget = self.flow.as_ref().expect("presence checked").config().drain;
+            let deadline = std::time::Instant::now() + budget;
+            loop {
+                self.pump_feedback(true)?;
+                let confirmed = self
+                    .flow
+                    .as_ref()
+                    .expect("presence checked")
+                    .last_feedback()
+                    .is_some_and(|fb| fb.next_index >= self.packetizer.events_sent());
+                if confirmed || std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(POLL);
             }
         }
         let bye = self.packetizer.bye();
@@ -1032,8 +1178,8 @@ mod tests {
     #[test]
     fn data_reordered_behind_the_bye_is_absorbed_by_the_grace_window() {
         // The classic session-tail reorder: [.., D1, BYE, D2]. The BYE
-        // is held for BYE_GRACE, so D2 still reaches the reorder
-        // buffer and the books close with zero loss.
+        // is held for `HubConfig::bye_grace`, so D2 still reaches the
+        // reorder buffer and the books close with zero loss.
         let hub = UdpTelemetryHub::bind("127.0.0.1:0", HubConfig::default()).unwrap();
         let header = SessionHeader::new(60, 1, 2000.0, 1.0);
         let events = test_events(&header, 20);
@@ -1278,6 +1424,24 @@ mod tests {
                 }),
                 ..HubConfig::default()
             },
+            HubConfig {
+                bye_grace: Duration::ZERO,
+                ..HubConfig::default()
+            },
+            HubConfig {
+                session: SessionRxConfig {
+                    parked_bytes_cap: Some(0),
+                    ..Default::default()
+                },
+                ..HubConfig::default()
+            },
+            HubConfig {
+                session: SessionRxConfig {
+                    feedback_every: Some(Duration::ZERO),
+                    ..Default::default()
+                },
+                ..HubConfig::default()
+            },
         ];
         for bad in bad_configs {
             let err = UdpTelemetryHub::bind("127.0.0.1:0", bad.clone());
@@ -1293,6 +1457,156 @@ mod tests {
                 "tcp bind must reject {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn udp_feedback_round_trips_and_the_aimd_band_takes_over_pacing() {
+        use crate::flow::{AimdConfig, FlowConfig};
+        use crate::session::SessionRxConfig;
+
+        let config = HubConfig {
+            session: SessionRxConfig {
+                feedback_every: Some(Duration::from_millis(1)),
+                ..Default::default()
+            },
+            ..HubConfig::default()
+        };
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(40, 2, 2000.0, 2.0);
+        let events = test_events(&header, 300);
+        let flow = FlowConfig {
+            aimd: AimdConfig {
+                ceiling_datagrams_per_s: 10_000.0,
+                ..AimdConfig::default()
+            },
+            ..FlowConfig::default()
+        };
+        let mut tx = UdpSessionSender::connect(hub.local_addr(), header)
+            .unwrap()
+            .with_flow(flow);
+        assert!(
+            (tx.pacing().datagrams_per_s() - 10_000.0).abs() < 1e-6,
+            "flow install re-paces to the AIMD ceiling"
+        );
+        for chunk in events.chunks(30) {
+            tx.send_events(chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while tx.flow().unwrap().last_feedback().is_none() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(3));
+            tx.send_events(&[]).unwrap(); // keep pumping feedback
+        }
+        let flow = tx.flow().unwrap();
+        assert!(flow.feedback_rx() >= 1, "hub wrote feedback back");
+        let fb = flow.last_feedback().expect("waited for feedback above");
+        assert_eq!(fb.nonce, header.nonce(), "report pinned to this session");
+        assert_eq!(fb.events_lost, 0, "clean loopback loses nothing");
+        assert_eq!(flow.aimd().throttles(), 0, "no congestion evidence");
+        assert!(
+            (tx.pacing().datagrams_per_s() - 10_000.0).abs() < 1e-6,
+            "clean feedback holds the rate at the ceiling"
+        );
+
+        let client = tx.finish().unwrap();
+        assert_eq!(client.events_sent, 300);
+        assert_eq!(client.repairs, 0, "nothing to repair on a clean link");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].report.stats.events_decoded, 300);
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert!(sessions[0].report.stats.closed);
+    }
+
+    #[test]
+    fn drain_repairs_a_tail_hole_the_reorder_buffer_cannot_see() {
+        use crate::flow::FlowConfig;
+        use crate::session::SessionRxConfig;
+
+        // Drop the LAST DATA datagram by hand: nothing parks behind it,
+        // so only the finish() drain can notice (cursor short of
+        // everything sent) and repair it from the replay window.
+        let config = HubConfig {
+            session: SessionRxConfig {
+                feedback_every: Some(Duration::from_millis(1)),
+                ..Default::default()
+            },
+            ..HubConfig::default()
+        };
+        let hub = UdpTelemetryHub::bind("127.0.0.1:0", config).unwrap();
+        let header = SessionHeader::new(41, 1, 2000.0, 1.0);
+        let events = test_events(&header, 30);
+
+        // A raw socket stands in for the sender's wire so the test can
+        // lose exactly one datagram; the FlowSession on the side is the
+        // same state machine UdpSessionSender embeds.
+        let mut flow = crate::flow::FlowSession::new(FlowConfig::default());
+        let mut packetizer = Packetizer::new(header).with_events_per_frame(10);
+        let socket = UdpSocket::bind("0.0.0.0:0").unwrap();
+        socket.connect(hub.local_addr()).unwrap();
+        socket.send(&packetizer.hello()).unwrap();
+        let data = packetizer.data_frames(&events);
+        assert_eq!(data.len(), 3);
+        let per_frame = packetizer.events_per_frame() as u64;
+        for (i, frame) in data.iter().enumerate() {
+            flow.record_sent(i as u64 * per_frame, per_frame, frame);
+            if i != 2 {
+                socket.send(frame).unwrap(); // the last frame is lost
+            }
+        }
+
+        // Pump feedback the way finish() would, repairing what the
+        // receiver reports missing.
+        socket
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let mut buf = [0u8; 256];
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let repaired = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "drain never converged"
+            );
+            let Ok(n) = socket.recv(&mut buf) else {
+                continue;
+            };
+            let crate::frame::ParseOutcome::Frame { frame, .. } =
+                crate::frame::parse_frame(&buf[..n])
+            else {
+                continue;
+            };
+            assert_eq!(frame.ftype, crate::frame::FrameType::Feedback);
+            let fb = crate::packet::FeedbackSummary::decode(frame.payload).unwrap();
+            let decision = flow.on_feedback(fb, header.nonce(), 30, true);
+            for repair in &decision.repairs {
+                socket.send(repair).unwrap();
+            }
+            if fb.next_index >= 30 {
+                break flow.repairs_frames();
+            }
+        };
+        // ≥ 1, not == 1: a stale feedback racing the first repair can
+        // legitimately trip the stall detector and resend once more —
+        // the receiver's dedup keeps the books exact either way.
+        assert!(repaired >= 1, "the lost tail frame was resent");
+        socket.send(&packetizer.bye()).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while hub.session_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sessions = hub.shutdown();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(
+            sessions[0].report.stats.events_decoded, 30,
+            "the dropped tail was repaired"
+        );
+        assert_eq!(sessions[0].report.stats.events_lost, 0);
+        assert!(sessions[0].report.stats.closed);
     }
 
     #[test]
